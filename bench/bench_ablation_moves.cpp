@@ -1,0 +1,104 @@
+/// \file bench_ablation_moves.cpp
+/// \brief EXP-A2 — move-class ablation. §4.2 claims the simultaneous
+/// exploration of all sub-problems through the combined move set is what
+/// sets the method apart from staged flows. This harness disables move
+/// classes one at a time on the §5 benchmark:
+///   - full move set (m1 + m2 + implementation selection + context reorder),
+///   - no software reordering (m1 off),
+///   - no implementation selection,
+///   - no context reordering,
+///   - m2 only (closest to a pure spatial partitioner),
+///   - full set + adaptive move-mix controller ([11] refinement).
+
+#include "bench_common.hpp"
+#include "core/explorer.hpp"
+#include "model/motion_detection.hpp"
+#include "util/statistics.hpp"
+#include "util/table.hpp"
+
+using namespace rdse;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  MoveConfig moves;
+  bool adaptive = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::parse_scale(argc, argv, 10, 15'000);
+  bench::print_header("EXP-A2", "move-class ablation", scale);
+
+  const Application app = make_motion_detection_app();
+  Architecture arch = make_cpu_fpga_architecture(
+      2000, kMotionDetectionTrPerClb, kMotionDetectionBusRate);
+  Explorer explorer(app.graph, arch);
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"full move set", MoveConfig{}, false};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no sw reordering (m1 off)", MoveConfig{}, false};
+    v.moves.enable_reorder_sw = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no implementation selection", MoveConfig{}, false};
+    v.moves.p_change_impl = 0.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no context reordering", MoveConfig{}, false};
+    v.moves.p_reorder_contexts = 0.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"m2 only (spatial moves)", MoveConfig{}, false};
+    v.moves.enable_reorder_sw = false;
+    v.moves.p_change_impl = 0.0;
+    v.moves.p_reorder_contexts = 0.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"full set + adaptive move mix", MoveConfig{}, true};
+    variants.push_back(v);
+  }
+
+  Table table({"variant", "best ms", "mean ms", "sd", "hit rate"});
+  for (const Variant& v : variants) {
+    std::vector<double> best;
+    int hits = 0;
+    for (int i = 0; i < scale.runs; ++i) {
+      ExplorerConfig config;
+      config.seed = scale.seed + static_cast<std::uint64_t>(i);
+      config.iterations = scale.iters;
+      config.warmup_iterations = scale.warmup;
+      config.moves = v.moves;
+      config.adaptive_move_mix = v.adaptive;
+      config.record_trace = false;
+      const RunResult r = explorer.run(config);
+      best.push_back(to_ms(r.best_metrics.makespan));
+      if (r.best_metrics.makespan <= app.deadline) ++hits;
+    }
+    table.row()
+        .cell(std::string(v.name))
+        .cell(min_of(best), 2)
+        .cell(mean_of(best), 2)
+        .cell(stddev_of(best), 2)
+        .cell(static_cast<double>(hits) / scale.runs, 2);
+  }
+  table.print(std::cout, "EXP-A2 motion detection @ 2000 CLBs, " +
+                             std::to_string(scale.runs) + " runs each");
+  std::cout << "\nreading: each row removes one degree of freedom from the "
+               "concurrent\nexploration (§4.2). Differences quantify how much "
+               "each move class\ncontributes on this instance; classes whose "
+               "removal changes nothing are\nredundant *here* but required "
+               "for other instances (e.g. software ordering\nmatters once the "
+               "processor is the bottleneck).\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+#pragma once
+/// \file bench_common.hpp
+/// \brief Shared scaffolding for the experiment harnesses: scale knobs
+/// (environment / command line) and uniform headers.
+///
+/// Knobs (command line beats environment):
+///   --runs  / RDSE_RUNS   repetitions per sweep point (paper: 100)
+///   --iters / RDSE_ITERS  cooling iterations per exploration
+///   --full  / RDSE_FULL   paper-scale settings (runs=100)
+///   --seed  / RDSE_SEED   base seed
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+
+namespace rdse::bench {
+
+struct Scale {
+  int runs = 20;
+  std::int64_t iters = 15'000;
+  std::int64_t warmup = 1'200;
+  std::uint64_t seed = 1;
+  bool full = false;
+};
+
+inline Scale parse_scale(int argc, char** argv, int default_runs = 20,
+                         std::int64_t default_iters = 15'000) {
+  const Options opts = Options::parse(argc, argv);
+  Scale s;
+  s.full = opts.get_flag("full", "RDSE_FULL");
+  s.runs = static_cast<int>(
+      opts.get_int("runs", s.full ? 100 : default_runs, "RDSE_RUNS"));
+  s.iters = opts.get_int("iters", default_iters, "RDSE_ITERS");
+  s.warmup = opts.get_int("warmup", 1'200);
+  s.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1, "RDSE_SEED"));
+  return s;
+}
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& paper_artifact,
+                         const Scale& scale) {
+  std::cout << "\n############################################################"
+            << "\n# " << experiment_id << " — " << paper_artifact
+            << "\n# runs=" << scale.runs << " iters=" << scale.iters
+            << " warmup=" << scale.warmup << " seed=" << scale.seed
+            << (scale.full ? " (paper scale)" : "")
+            << "\n############################################################\n";
+}
+
+}  // namespace rdse::bench

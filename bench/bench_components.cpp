@@ -1,0 +1,160 @@
+/// \file bench_components.cpp
+/// \brief EXP-M1 — google-benchmark microbenchmarks of the engine's moving
+/// parts: search-graph realization, full longest-path evaluation, the
+/// incremental engine (the paper's Woodbury-style update, §4.4), transitive
+/// closure maintenance (the §4.3 O(1) cycle test), move generation and the
+/// GA decoder. Establishes that full re-evaluation at paper scale costs
+/// microseconds — which is why the reference implementation favours the
+/// simple rebuild-per-move design — and quantifies what the incremental
+/// path saves for localized updates.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/genetic.hpp"
+#include "core/moves.hpp"
+#include "graph/closure.hpp"
+#include "model/motion_detection.hpp"
+#include "sched/evaluator.hpp"
+#include "sched/incremental.hpp"
+
+using namespace rdse;
+
+namespace {
+
+struct Setup {
+  Application app = make_motion_detection_app();
+  Architecture arch = make_cpu_fpga_architecture(
+      2000, kMotionDetectionTrPerClb, kMotionDetectionBusRate);
+  Solution solution;
+
+  Setup() : solution(0) {
+    Rng rng(7);
+    solution = Solution::random_partition(app.graph, arch, 0, 1, rng);
+  }
+};
+
+Setup& setup() {
+  static Setup s;
+  return s;
+}
+
+void BM_SearchGraphBuild(benchmark::State& state) {
+  auto& s = setup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_search_graph(s.app.graph, s.arch,
+                                                s.solution));
+  }
+}
+BENCHMARK(BM_SearchGraphBuild);
+
+void BM_FullEvaluation(benchmark::State& state) {
+  auto& s = setup();
+  const Evaluator ev(s.app.graph, s.arch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.evaluate(s.solution));
+  }
+}
+BENCHMARK(BM_FullEvaluation);
+
+void BM_LongestPathFull(benchmark::State& state) {
+  auto& s = setup();
+  const SearchGraph sg = build_search_graph(s.app.graph, s.arch, s.solution);
+  const WeightedDag dag{&sg.graph, sg.node_weight, sg.edge_weight,
+                        sg.release};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(longest_path(dag));
+  }
+}
+BENCHMARK(BM_LongestPathFull);
+
+void BM_IncrementalWeightUpdate(benchmark::State& state) {
+  auto& s = setup();
+  const SearchGraph sg = build_search_graph(s.app.graph, s.arch, s.solution);
+  IncrementalLongestPath inc(
+      sg.graph,
+      std::vector<TimeNs>(sg.node_weight.begin(), sg.node_weight.end()),
+      std::vector<TimeNs>(sg.edge_weight.begin(), sg.edge_weight.end()),
+      std::vector<TimeNs>(sg.release.begin(), sg.release.end()));
+  TimeNs w = sg.node_weight[5];
+  for (auto _ : state) {
+    w = (w == sg.node_weight[5]) ? sg.node_weight[5] + from_us(50)
+                                 : sg.node_weight[5];
+    inc.set_node_weight(5, w);
+    benchmark::DoNotOptimize(inc.makespan());
+  }
+}
+BENCHMARK(BM_IncrementalWeightUpdate);
+
+void BM_ClosureBuild(benchmark::State& state) {
+  auto& s = setup();
+  const SearchGraph sg = build_search_graph(s.app.graph, s.arch, s.solution);
+  for (auto _ : state) {
+    TransitiveClosure tc;
+    tc.build(sg.graph);
+    benchmark::DoNotOptimize(tc);
+  }
+}
+BENCHMARK(BM_ClosureBuild);
+
+void BM_ClosureCycleProbe(benchmark::State& state) {
+  auto& s = setup();
+  const SearchGraph sg = build_search_graph(s.app.graph, s.arch, s.solution);
+  TransitiveClosure tc;
+  tc.build(sg.graph);
+  NodeId u = 0;
+  for (auto _ : state) {
+    u = (u + 1) % 28;
+    benchmark::DoNotOptimize(tc.would_create_cycle(u, (u + 13) % 28));
+  }
+}
+BENCHMARK(BM_ClosureCycleProbe);
+
+void BM_MoveGenerateAndEvaluate(benchmark::State& state) {
+  auto& s = setup();
+  const Evaluator ev(s.app.graph, s.arch);
+  Rng rng(13);
+  MoveConfig config;
+  for (auto _ : state) {
+    Architecture cand_arch = s.arch;
+    Solution cand = s.solution;
+    const MoveOutcome out =
+        generate_move(s.app.graph, cand_arch, cand, config, rng);
+    if (out.applied) {
+      benchmark::DoNotOptimize(ev.evaluate(cand));
+    }
+  }
+}
+BENCHMARK(BM_MoveGenerateAndEvaluate);
+
+void BM_RandomPartitionInit(benchmark::State& state) {
+  auto& s = setup();
+  Rng rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Solution::random_partition(s.app.graph, s.arch, 0, 1, rng));
+  }
+}
+BENCHMARK(BM_RandomPartitionInit);
+
+void BM_GaDecode(benchmark::State& state) {
+  auto& s = setup();
+  GeneticPartitioner ga(s.app.graph, s.arch);
+  Rng rng(19);
+  const Chromosome c = ga.random_chromosome(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ga.decode(c));
+  }
+}
+BENCHMARK(BM_GaDecode);
+
+void BM_RngDraw(benchmark::State& state) {
+  Rng rng(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform_u64(29));
+  }
+}
+BENCHMARK(BM_RngDraw);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+/// \file device_sizing.cpp
+/// \brief The Fig. 3 "byproduct" study as a designer-facing tool: find the
+/// smallest FPGA for which the application's real-time constraint is met.
+///
+/// Sweeps device sizes, runs a few explorations per size and reports the
+/// average/best achieved execution time and the constraint hit rate.
+///
+/// Usage: device_sizing [--runs N] [--iters N]
+
+#include <iostream>
+
+#include "core/explorer.hpp"
+#include "model/motion_detection.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdse;
+  const Options opts = Options::parse(argc, argv);
+  const int runs = static_cast<int>(opts.get_int("runs", 5));
+  const std::int64_t iters = opts.get_int("iters", 8'000);
+
+  const Application app = make_motion_detection_app();
+  const std::int32_t sizes[] = {200, 400, 600, 800, 1200, 2000, 4000};
+
+  Table table({"CLBs", "mean ms", "best ms", "contexts", "hit rate"});
+  std::int32_t smallest_ok = -1;
+  for (const std::int32_t clbs : sizes) {
+    Architecture arch = make_cpu_fpga_architecture(
+        clbs, kMotionDetectionTrPerClb, kMotionDetectionBusRate);
+    Explorer explorer(app.graph, arch);
+    ExplorerConfig config;
+    config.seed = 1;
+    config.iterations = iters;
+    config.record_trace = false;
+    const auto results = explorer.run_many(config, runs);
+    const RunAggregate agg = Explorer::aggregate(results, app.deadline);
+    table.row()
+        .cell(static_cast<std::int64_t>(clbs))
+        .cell(agg.mean_makespan_ms, 2)
+        .cell(agg.best_makespan_ms, 2)
+        .cell(agg.mean_contexts, 1)
+        .cell(agg.deadline_hit_rate, 2);
+    if (smallest_ok < 0 && agg.deadline_hit_rate >= 0.99) {
+      smallest_ok = clbs;
+    }
+  }
+  table.print(std::cout, "device sizing for " + app.name + " (deadline " +
+                             format_ms(app.deadline) + ")");
+  if (smallest_ok > 0) {
+    std::cout << "\nsmallest device meeting the constraint in every run: "
+              << smallest_ok << " CLBs\n";
+  } else {
+    std::cout << "\nno swept device met the constraint in every run\n";
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "anneal/annealer.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+#include "util/statistics.hpp"
+
+namespace rdse {
+
+AnnealResult anneal(AnnealProblem& problem, const AnnealConfig& config) {
+  RDSE_REQUIRE(config.iterations >= 0 && config.warmup_iterations >= 0,
+               "anneal: negative iteration counts");
+  Rng rng(config.seed);
+  const auto schedule = make_schedule(config.schedule);
+
+  AnnealResult result;
+  result.schedule_name = schedule->name();
+
+  double current = problem.cost();
+  double best = current;
+  result.initial_cost = current;
+  problem.snapshot_best();
+
+  std::int64_t global_iter = 0;
+  auto emit = [&](bool proposed, bool accepted, bool warmup, double temp) {
+    if (config.on_iteration) {
+      IterationStat stat;
+      stat.iteration = global_iter;
+      stat.cost = current;
+      stat.best = best;
+      stat.temperature = temp;
+      stat.proposed = proposed;
+      stat.accepted = accepted;
+      stat.warmup = warmup;
+      config.on_iteration(stat);
+    }
+    ++global_iter;
+  };
+
+  auto note_best = [&]() {
+    if (current < best) {
+      best = current;
+      result.best_iteration = global_iter;
+      problem.snapshot_best();
+    }
+  };
+
+  // ---- warm-up: infinite temperature, gather statistics -----------------
+  RunningStats warm_stats;
+  warm_stats.add(current);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (std::int64_t i = 0; i < config.warmup_iterations; ++i) {
+    bool accepted = false;
+    const bool proposed = problem.propose(rng);
+    if (proposed) {
+      current = problem.candidate_cost();
+      problem.accept();  // infinite temperature accepts every feasible move
+      accepted = true;
+      ++result.accepted;
+      note_best();
+    } else {
+      ++result.infeasible;
+    }
+    warm_stats.add(current);
+    emit(proposed, accepted, /*warmup=*/true, inf);
+  }
+
+  // ---- cooling ------------------------------------------------------------
+  const double sigma0 =
+      warm_stats.stddev() > 0 ? warm_stats.stddev() : std::abs(current) + 1.0;
+  schedule->initialize(warm_stats.mean(), sigma0,
+                       std::max<std::int64_t>(config.iterations, 1));
+
+  std::int64_t last_improvement = 0;
+  for (std::int64_t i = 0; i < config.iterations; ++i) {
+    bool accepted = false;
+    const bool proposed = problem.propose(rng);
+    if (proposed) {
+      const double cand = problem.candidate_cost();
+      const double delta = cand - current;
+      const double temp = schedule->temperature();
+      if (delta <= 0.0 ||
+          (temp > 0.0 && rng.uniform01() < std::exp(-delta / temp))) {
+        problem.accept();
+        current = cand;
+        accepted = true;
+        ++result.accepted;
+        if (current < best) {
+          last_improvement = i;
+        }
+        note_best();
+      } else {
+        problem.reject();
+        ++result.rejected;
+      }
+    } else {
+      ++result.infeasible;
+    }
+    schedule->update(current, accepted, proposed);
+    emit(proposed, accepted, /*warmup=*/false, schedule->temperature());
+
+    if (config.freeze_after > 0 &&
+        i - last_improvement >= config.freeze_after) {
+      break;  // frozen: no best-improvement for freeze_after iterations
+    }
+  }
+
+  result.best_cost = best;
+  result.final_cost = current;
+  result.iterations_run = global_iter;
+  return result;
+}
+
+}  // namespace rdse

@@ -1,0 +1,92 @@
+#pragma once
+/// \file annealer.hpp
+/// \brief Problem-agnostic adaptive simulated annealing (§4.1).
+///
+/// The engine follows the experimental protocol of §5: a configurable
+/// warm-up phase at infinite temperature (every feasible move accepted)
+/// gathers the cost statistics that initialize the adaptive schedule, then
+/// the cooling loop runs for a fixed horizon with Metropolis acceptance.
+/// Being iterative, the search "can be interrupted by the user at any time
+/// and will then return the current solution": the loop supports early
+/// freezing and always reports the best solution seen.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "anneal/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace rdse {
+
+/// A combinatorial optimization state explored through local moves.
+/// Implementations stage *one* candidate at a time: propose() prepares it,
+/// then exactly one of accept()/reject() is called.
+class AnnealProblem {
+ public:
+  virtual ~AnnealProblem() = default;
+
+  /// Cost of the current solution (lower is better).
+  [[nodiscard]] virtual double cost() const = 0;
+
+  /// Stage a random candidate; returns false if the drawn move was
+  /// infeasible (it then counts as a null iteration, as in §4.3 where
+  /// cycle-creating moves "will not be performed").
+  virtual bool propose(Rng& rng) = 0;
+
+  /// Cost of the staged candidate (only valid after propose() == true).
+  [[nodiscard]] virtual double candidate_cost() const = 0;
+
+  /// Commit / drop the staged candidate.
+  virtual void accept() = 0;
+  virtual void reject() = 0;
+
+  /// Called whenever the current solution is the best seen so far.
+  virtual void snapshot_best() {}
+};
+
+/// Per-iteration observation passed to the trace callback.
+struct IterationStat {
+  std::int64_t iteration = 0;  ///< global index (warm-up included)
+  double cost = 0.0;           ///< current cost after the decision
+  double best = 0.0;
+  double temperature = 0.0;    ///< +inf during warm-up
+  bool proposed = false;       ///< false = infeasible draw
+  bool accepted = false;
+  bool warmup = false;
+};
+
+struct AnnealConfig {
+  std::uint64_t seed = 1;
+  /// Iterations at infinite temperature before cooling starts (§5 uses
+  /// 1200 on the motion-detection run).
+  std::int64_t warmup_iterations = 1200;
+  /// Cooling iterations after warm-up.
+  std::int64_t iterations = 20'000;
+  ScheduleKind schedule = ScheduleKind::kModifiedLam;
+  /// Stop early when no best-improvement happened for this many iterations
+  /// (0 disables; the paper runs a fixed horizon).
+  std::int64_t freeze_after = 0;
+  /// Optional per-iteration observer (tracing, UI).
+  std::function<void(const IterationStat&)> on_iteration;
+};
+
+struct AnnealResult {
+  double initial_cost = 0.0;
+  double best_cost = 0.0;
+  double final_cost = 0.0;
+  std::int64_t iterations_run = 0;   ///< warm-up + cooling, without freeze cut
+  std::int64_t accepted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t infeasible = 0;       ///< proposals rejected before evaluation
+  std::int64_t best_iteration = 0;   ///< global index of the last improvement
+  std::string schedule_name;
+};
+
+/// Run the annealing loop on a problem. The problem object ends in its
+/// *current* (final) state; implementations that need the best state keep it
+/// in snapshot_best().
+[[nodiscard]] AnnealResult anneal(AnnealProblem& problem,
+                                  const AnnealConfig& config);
+
+}  // namespace rdse

@@ -1,0 +1,73 @@
+#include "anneal/move_control.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+MoveMixController::MoveMixController(std::vector<std::string> class_names,
+                                     double floor, double ewma_alpha,
+                                     double target_acceptance)
+    : names_(std::move(class_names)),
+      weights_(names_.size(), 1.0),
+      floor_(floor),
+      target_(target_acceptance) {
+  RDSE_REQUIRE(!names_.empty(), "MoveMixController: no move classes");
+  RDSE_REQUIRE(floor >= 0.0 && floor * static_cast<double>(names_.size()) < 1.0,
+               "MoveMixController: floor too large");
+  acceptance_.reserve(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    acceptance_.emplace_back(ewma_alpha);
+    acceptance_.back().seed(target_);  // neutral start
+  }
+  refresh_weights();
+}
+
+const std::string& MoveMixController::class_name(std::size_t c) const {
+  RDSE_REQUIRE(c < names_.size(), "MoveMixController: class out of range");
+  return names_[c];
+}
+
+std::size_t MoveMixController::pick(Rng& rng) {
+  return rng.weighted_index(weights_);
+}
+
+void MoveMixController::report(std::size_t c, bool accepted) {
+  RDSE_REQUIRE(c < names_.size(), "MoveMixController: class out of range");
+  acceptance_[c].add(accepted ? 1.0 : 0.0);
+  // Refreshing every report is cheap (few classes) and keeps pick() O(k).
+  refresh_weights();
+}
+
+double MoveMixController::weight(std::size_t c) const {
+  RDSE_REQUIRE(c < names_.size(), "MoveMixController: class out of range");
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  return weights_[c] / total;
+}
+
+double MoveMixController::acceptance(std::size_t c) const {
+  RDSE_REQUIRE(c < names_.size(), "MoveMixController: class out of range");
+  return acceptance_[c].value();
+}
+
+void MoveMixController::refresh_weights() {
+  // Score peaks at the target acceptance and decays quadratically; the
+  // floor guarantees ergodicity (every class keeps nonzero probability).
+  const std::size_t k = names_.size();
+  double sum = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const double a = acceptance_[c].value();
+    const double d = (a - target_) / std::max(target_, 1e-9);
+    weights_[c] = std::max(1.0 - d * d, 0.0) + 1e-3;
+    sum += weights_[c];
+  }
+  // Blend in the floor.
+  for (std::size_t c = 0; c < k; ++c) {
+    weights_[c] = weights_[c] / sum * (1.0 - floor_ * static_cast<double>(k)) +
+                  floor_;
+  }
+}
+
+}  // namespace rdse

@@ -1,0 +1,56 @@
+#pragma once
+/// \file move_control.hpp
+/// \brief Adaptive move-class selection.
+///
+/// Lam's schedule controls not only the temperature but also *move
+/// generation* ("the adaptive schedule specifies how to control move
+/// generation to maximize cooling speed", §4.1); the paper refines the move
+/// selection process further in [11]. This controller implements that idea
+/// for discrete move classes: it tracks an exponentially weighted acceptance
+/// rate per class and biases selection towards classes whose acceptance is
+/// closest to Lam's optimal ~0.44, with a floor so no class ever starves.
+/// It is off by default and ablated in EXP-A2.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+namespace rdse {
+
+class MoveMixController {
+ public:
+  /// `floor` is the minimum selection weight fraction of any class.
+  explicit MoveMixController(std::vector<std::string> class_names,
+                             double floor = 0.05, double ewma_alpha = 0.02,
+                             double target_acceptance = 0.44);
+
+  [[nodiscard]] std::size_t class_count() const { return names_.size(); }
+  [[nodiscard]] const std::string& class_name(std::size_t c) const;
+
+  /// Draw a move class according to the current weights.
+  [[nodiscard]] std::size_t pick(Rng& rng);
+
+  /// Report the outcome of a proposal of class `c`.
+  void report(std::size_t c, bool accepted);
+
+  /// Current normalized selection weight of a class.
+  [[nodiscard]] double weight(std::size_t c) const;
+  /// Smoothed acceptance rate of a class.
+  [[nodiscard]] double acceptance(std::size_t c) const;
+
+ private:
+  void refresh_weights();
+
+  std::vector<std::string> names_;
+  std::vector<Ewma> acceptance_;
+  std::vector<double> weights_;
+  double floor_;
+  double target_;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace rdse

@@ -1,0 +1,79 @@
+#include "anneal/problems/bipartition.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+BipartitionProblem::BipartitionProblem(const Digraph& graph,
+                                       double balance_weight,
+                                       std::uint64_t init_seed)
+    : graph_(&graph), balance_weight_(balance_weight) {
+  RDSE_REQUIRE(graph.node_count() >= 2, "Bipartition: need >= 2 vertices");
+  Rng rng(init_seed);
+  side_.resize(graph.node_count());
+  for (std::size_t v = 0; v < side_.size(); ++v) {
+    side_[v] = rng.bernoulli(0.5);
+    side1_count_ += side_[v] ? 1 : 0;
+  }
+  cut_ = 0;
+  for (EdgeId e = 0; e < graph.edge_capacity(); ++e) {
+    if (!graph.edge_alive(e)) continue;
+    const auto& ed = graph.edge(e);
+    cut_ += (side_[ed.src] != side_[ed.dst]) ? 1 : 0;
+  }
+  best_side_ = side_;
+}
+
+double BipartitionProblem::cost_of(int cut, int side1) const {
+  const double imbalance =
+      static_cast<double>(2 * side1 - static_cast<int>(side_.size()));
+  return static_cast<double>(cut) + balance_weight_ * imbalance * imbalance;
+}
+
+double BipartitionProblem::cost() const { return cost_of(cut_, side1_count_); }
+
+bool BipartitionProblem::propose(Rng& rng) {
+  pending_ = static_cast<NodeId>(rng.index(side_.size()));
+  int delta_cut = 0;
+  auto scan = [&](std::span<const EdgeId> edges, bool incoming) {
+    for (EdgeId e : edges) {
+      const auto& ed = graph_->edge(e);
+      const NodeId other = incoming ? ed.src : ed.dst;
+      if (other == pending_) continue;
+      const bool was_cut = side_[other] != side_[pending_];
+      delta_cut += was_cut ? -1 : 1;
+    }
+  };
+  scan(graph_->out_edges(pending_), false);
+  scan(graph_->in_edges(pending_), true);
+  pending_cut_ = cut_ + delta_cut;
+  pending_side1_ = side1_count_ + (side_[pending_] ? -1 : 1);
+  return true;
+}
+
+double BipartitionProblem::candidate_cost() const {
+  RDSE_ASSERT(pending_ != kInvalidNode);
+  return cost_of(pending_cut_, pending_side1_);
+}
+
+void BipartitionProblem::accept() {
+  RDSE_ASSERT(pending_ != kInvalidNode);
+  side_[pending_] = !side_[pending_];
+  cut_ = pending_cut_;
+  side1_count_ = pending_side1_;
+  pending_ = kInvalidNode;
+}
+
+void BipartitionProblem::reject() { pending_ = kInvalidNode; }
+
+void BipartitionProblem::snapshot_best() { best_side_ = side_; }
+
+int BipartitionProblem::cut_edges() const { return cut_; }
+
+int BipartitionProblem::imbalance() const {
+  return std::abs(2 * side1_count_ - static_cast<int>(side_.size()));
+}
+
+}  // namespace rdse

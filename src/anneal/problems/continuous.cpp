@@ -1,0 +1,89 @@
+#include "anneal/problems/continuous.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+ContinuousObjective sphere_objective() {
+  return ContinuousObjective{
+      "sphere",
+      [](std::span<const double> x) {
+        double s = 0.0;
+        for (double v : x) s += v * v;
+        return s;
+      },
+      -5.0, 5.0};
+}
+
+ContinuousObjective rosenbrock_objective() {
+  return ContinuousObjective{
+      "rosenbrock",
+      [](std::span<const double> x) {
+        double s = 0.0;
+        for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+          const double a = x[i + 1] - x[i] * x[i];
+          const double b = 1.0 - x[i];
+          s += 100.0 * a * a + b * b;
+        }
+        return s;
+      },
+      -2.048, 2.048};
+}
+
+ContinuousObjective rastrigin_objective() {
+  return ContinuousObjective{
+      "rastrigin",
+      [](std::span<const double> x) {
+        constexpr double kPi = 3.14159265358979323846;
+        double s = 10.0 * static_cast<double>(x.size());
+        for (double v : x) {
+          s += v * v - 10.0 * std::cos(2.0 * kPi * v);
+        }
+        return s;
+      },
+      -5.12, 5.12};
+}
+
+ContinuousProblem::ContinuousProblem(ContinuousObjective objective,
+                                     std::size_t dimension,
+                                     std::uint64_t init_seed)
+    : obj_(std::move(objective)) {
+  RDSE_REQUIRE(dimension >= 1, "ContinuousProblem: zero dimension");
+  RDSE_REQUIRE(obj_.hi > obj_.lo, "ContinuousProblem: empty domain");
+  Rng rng(init_seed);
+  x_.resize(dimension);
+  for (double& v : x_) {
+    v = rng.uniform_real(obj_.lo, obj_.hi);
+  }
+  best_x_ = x_;
+  cost_ = obj_.f(x_);
+  step_ = (obj_.hi - obj_.lo) / 10.0;
+}
+
+bool ContinuousProblem::propose(Rng& rng) {
+  pending_dim_ = rng.index(x_.size());
+  pending_value_ = std::clamp(x_[pending_dim_] + rng.normal(0.0, step_),
+                              obj_.lo, obj_.hi);
+  const double saved = x_[pending_dim_];
+  x_[pending_dim_] = pending_value_;
+  cand_cost_ = obj_.f(x_);
+  x_[pending_dim_] = saved;
+  return true;
+}
+
+void ContinuousProblem::accept() {
+  x_[pending_dim_] = pending_value_;
+  cost_ = cand_cost_;
+  // 1/5th-rule style adaptation: grow the step on success...
+  step_ = std::min(step_ * 1.01, (obj_.hi - obj_.lo));
+}
+
+void ContinuousProblem::reject() {
+  // ... shrink on failure (ratio tuned for ~40% equilibrium acceptance).
+  step_ = std::max(step_ * 0.995, (obj_.hi - obj_.lo) * 1e-9);
+}
+
+}  // namespace rdse

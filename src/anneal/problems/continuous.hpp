@@ -1,0 +1,60 @@
+#pragma once
+/// \file continuous.hpp
+/// \brief Continuous function minimization as an annealing problem (the
+/// second §4.1 validation domain). Moves are Gaussian perturbations of one
+/// coordinate with a self-adapting step size that tracks a healthy
+/// acceptance ratio — the continuous analogue of move-generation control.
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "anneal/annealer.hpp"
+
+namespace rdse {
+
+/// Objective: R^n -> R, plus a box domain.
+struct ContinuousObjective {
+  std::string name;
+  std::function<double(std::span<const double>)> f;
+  double lo = -5.0;
+  double hi = 5.0;
+};
+
+/// Standard test functions.
+[[nodiscard]] ContinuousObjective sphere_objective();
+[[nodiscard]] ContinuousObjective rosenbrock_objective();
+[[nodiscard]] ContinuousObjective rastrigin_objective();
+
+class ContinuousProblem final : public AnnealProblem {
+ public:
+  ContinuousProblem(ContinuousObjective objective, std::size_t dimension,
+                    std::uint64_t init_seed = 1);
+
+  [[nodiscard]] double cost() const override { return cost_; }
+  bool propose(Rng& rng) override;
+  [[nodiscard]] double candidate_cost() const override { return cand_cost_; }
+  void accept() override;
+  void reject() override;
+  void snapshot_best() override { best_x_ = x_; }
+
+  [[nodiscard]] const std::vector<double>& best_point() const {
+    return best_x_;
+  }
+  [[nodiscard]] double step_size() const { return step_; }
+
+ private:
+  ContinuousObjective obj_;
+  std::vector<double> x_;
+  std::vector<double> best_x_;
+  double cost_ = 0.0;
+  // staged move
+  std::size_t pending_dim_ = 0;
+  double pending_value_ = 0.0;
+  double cand_cost_ = 0.0;
+  // self-adaptive step
+  double step_ = 1.0;
+};
+
+}  // namespace rdse

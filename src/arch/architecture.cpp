@@ -1,0 +1,105 @@
+#include "arch/architecture.hpp"
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+Architecture::Architecture(const Architecture& other) : bus_(other.bus_) {
+  resources_.reserve(other.resources_.size());
+  for (const auto& r : other.resources_) {
+    resources_.push_back(r ? r->clone() : nullptr);
+  }
+  live_count_ = other.live_count_;
+}
+
+Architecture& Architecture::operator=(const Architecture& other) {
+  if (this != &other) {
+    Architecture copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+ResourceId Architecture::add_processor(std::string name, double price,
+                                       double speed_factor) {
+  resources_.push_back(
+      std::make_unique<Processor>(std::move(name), price, speed_factor));
+  ++live_count_;
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+ResourceId Architecture::add_asic(std::string name, double price) {
+  resources_.push_back(std::make_unique<Asic>(std::move(name), price));
+  ++live_count_;
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+ResourceId Architecture::add_reconfigurable(std::string name,
+                                            std::int32_t n_clbs,
+                                            TimeNs tr_per_clb) {
+  resources_.push_back(std::make_unique<ReconfigurableCircuit>(
+      std::move(name), n_clbs, tr_per_clb));
+  ++live_count_;
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+void Architecture::remove(ResourceId id) {
+  RDSE_REQUIRE(alive(id), "Architecture::remove: resource not alive");
+  resources_[id].reset();
+  --live_count_;
+}
+
+bool Architecture::alive(ResourceId id) const {
+  return id < resources_.size() && resources_[id] != nullptr;
+}
+
+const Resource& Architecture::resource(ResourceId id) const {
+  RDSE_REQUIRE(alive(id), "Architecture::resource: resource not alive");
+  return *resources_[id];
+}
+
+const ReconfigurableCircuit& Architecture::reconfigurable(
+    ResourceId id) const {
+  const Resource& r = resource(id);
+  RDSE_REQUIRE(r.kind() == ResourceKind::kReconfigurable,
+               "Architecture::reconfigurable: wrong resource kind");
+  return static_cast<const ReconfigurableCircuit&>(r);
+}
+
+std::vector<ResourceId> Architecture::live_ids() const {
+  std::vector<ResourceId> out;
+  for (ResourceId id = 0; id < resources_.size(); ++id) {
+    if (resources_[id]) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ResourceId> Architecture::ids_of(ResourceKind kind) const {
+  std::vector<ResourceId> out;
+  for (ResourceId id = 0; id < resources_.size(); ++id) {
+    if (resources_[id] && resources_[id]->kind() == kind) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+double Architecture::total_price() const {
+  double total = 0.0;
+  for (const auto& r : resources_) {
+    if (r) total += r->price();
+  }
+  return total;
+}
+
+Architecture make_cpu_fpga_architecture(std::int32_t n_clbs,
+                                        TimeNs tr_per_clb,
+                                        std::int64_t bus_bytes_per_second) {
+  Architecture arch{Bus(bus_bytes_per_second)};
+  const ResourceId cpu = arch.add_processor("cpu0");
+  const ResourceId fpga = arch.add_reconfigurable("fpga0", n_clbs, tr_per_clb);
+  RDSE_ASSERT(cpu == 0 && fpga == 1);
+  return arch;
+}
+
+}  // namespace rdse

@@ -1,0 +1,39 @@
+#pragma once
+/// \file bus.hpp
+/// \brief Shared communication medium of §3.2: processor and RC communicate
+/// via a shared memory connected to each by a bus; the transfer time of an
+/// edge is estimated from its data amount q_ij and the bus transfer rate D.
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace rdse {
+
+class Bus {
+ public:
+  /// `bytes_per_second` is the sustained transfer rate D.
+  explicit Bus(std::int64_t bytes_per_second)
+      : bytes_per_second_(bytes_per_second) {
+    RDSE_REQUIRE(bytes_per_second > 0, "Bus: non-positive transfer rate");
+  }
+
+  [[nodiscard]] std::int64_t bytes_per_second() const {
+    return bytes_per_second_;
+  }
+
+  /// Transfer time of `bytes` over the bus, rounded up to whole ns.
+  [[nodiscard]] TimeNs transfer_time(std::int64_t bytes) const {
+    RDSE_REQUIRE(bytes >= 0, "Bus::transfer_time: negative size");
+    // ceil(bytes * 1e9 / rate) without overflow for realistic sizes.
+    const __int128 num = static_cast<__int128>(bytes) * kNsPerSec;
+    return static_cast<TimeNs>((num + bytes_per_second_ - 1) /
+                               bytes_per_second_);
+  }
+
+ private:
+  std::int64_t bytes_per_second_;
+};
+
+}  // namespace rdse

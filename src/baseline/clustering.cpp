@@ -1,0 +1,51 @@
+#include "baseline/clustering.hpp"
+
+#include <algorithm>
+
+#include "graph/topo.hpp"
+#include "util/assert.hpp"
+
+namespace rdse {
+
+std::vector<std::vector<TaskId>> cluster_into_contexts(
+    const TaskGraph& tg, const ReconfigurableCircuit& dev,
+    const std::vector<bool>& hw_mask,
+    const std::vector<std::uint32_t>& impl_choice) {
+  RDSE_REQUIRE(hw_mask.size() == tg.task_count(),
+               "cluster_into_contexts: mask size mismatch");
+  RDSE_REQUIRE(impl_choice.size() == tg.task_count(),
+               "cluster_into_contexts: impl size mismatch");
+
+  const auto level = asap_levels(tg.digraph());
+  std::vector<TaskId> selected;
+  for (TaskId t = 0; t < tg.task_count(); ++t) {
+    if (!hw_mask[t]) continue;
+    const Task& task = tg.task(t);
+    RDSE_REQUIRE(task.hw_capable(), "cluster_into_contexts: task '" +
+                                        task.name + "' has no hw variant");
+    RDSE_REQUIRE(impl_choice[t] < task.hw.size(),
+                 "cluster_into_contexts: impl index out of range");
+    RDSE_REQUIRE(task.hw.at(impl_choice[t]).clbs <= dev.n_clbs(),
+                 "cluster_into_contexts: task '" + task.name +
+                     "' does not fit the device");
+    selected.push_back(t);
+  }
+  std::sort(selected.begin(), selected.end(), [&level](TaskId a, TaskId b) {
+    return level[a] != level[b] ? level[a] < level[b] : a < b;
+  });
+
+  std::vector<std::vector<TaskId>> contexts;
+  std::int32_t used = 0;
+  for (TaskId t : selected) {
+    const std::int32_t area = tg.task(t).hw.at(impl_choice[t]).clbs;
+    if (contexts.empty() || used + area > dev.n_clbs()) {
+      contexts.emplace_back();
+      used = 0;
+    }
+    contexts.back().push_back(t);
+    used += area;
+  }
+  return contexts;
+}
+
+}  // namespace rdse

@@ -1,0 +1,29 @@
+#pragma once
+/// \file clustering.hpp
+/// \brief Deterministic temporal partitioning by level-ordered greedy
+/// packing — the clustering stage of [6].
+///
+/// Hardware tasks are visited in ASAP-level order (ties by id) and packed
+/// into the current context until the device capacity NCLB would be
+/// exceeded, which opens the next context. Because the visiting order is a
+/// linearization of the precedence relation, a task never lands in an
+/// earlier context than any of its predecessors, so the resulting GTLP
+/// order is always realizable (acyclic G').
+
+#include <vector>
+
+#include "arch/resource.hpp"
+#include "model/task_graph.hpp"
+
+namespace rdse {
+
+/// Pack the selected tasks (hw_mask[t] == true) into an ordered context
+/// list. `impl_choice[t]` selects the implementation whose area is charged.
+/// Throws if a selected task has no implementation or does not fit an empty
+/// device.
+[[nodiscard]] std::vector<std::vector<TaskId>> cluster_into_contexts(
+    const TaskGraph& tg, const ReconfigurableCircuit& dev,
+    const std::vector<bool>& hw_mask,
+    const std::vector<std::uint32_t>& impl_choice);
+
+}  // namespace rdse

@@ -1,0 +1,17 @@
+#include "baseline/hill_climb.hpp"
+
+namespace rdse {
+
+RunResult run_hill_climb(const TaskGraph& tg, const Architecture& arch,
+                         std::int64_t iterations, std::uint64_t seed) {
+  Explorer explorer(tg, arch);
+  ExplorerConfig config;
+  config.seed = seed;
+  config.iterations = iterations;
+  config.warmup_iterations = 0;  // greedy search needs no statistics
+  config.schedule = ScheduleKind::kGreedy;
+  config.record_trace = false;
+  return explorer.run(config);
+}
+
+}  // namespace rdse

@@ -1,0 +1,18 @@
+#pragma once
+/// \file hill_climb.hpp
+/// \brief Greedy local search baseline: the full §4.2 move set driven at
+/// temperature zero (only improving moves accepted) — isolates the value of
+/// the annealing schedule in EXP-A1.
+
+#include "core/explorer.hpp"
+
+namespace rdse {
+
+/// Run greedy local search with the standard move set for `iterations`
+/// moves; returns the usual exploration result (trace included).
+[[nodiscard]] RunResult run_hill_climb(const TaskGraph& tg,
+                                       const Architecture& arch,
+                                       std::int64_t iterations,
+                                       std::uint64_t seed);
+
+}  // namespace rdse

@@ -1,0 +1,35 @@
+#pragma once
+/// \file list_scheduler.hpp
+/// \brief Deterministic priority list scheduling — the scheduling stage of
+/// the Ben Chehida & Auguin flow [6] that the paper compares against, and a
+/// useful standalone heuristic.
+///
+/// Priorities are upward ranks (critical-path-to-sink lengths) computed on
+/// the application graph with software execution times; the software order
+/// of a decoded solution is the priority-greedy topological order restricted
+/// to the software tasks — always a valid linear extension by construction.
+
+#include <span>
+#include <vector>
+
+#include "model/task_graph.hpp"
+
+namespace rdse {
+
+/// Upward rank of every task: rank(v) = tsw(v) + max over successors of
+/// (transfer-free) rank — the classic b-level with software times.
+[[nodiscard]] std::vector<double> upward_ranks(const TaskGraph& tg);
+
+/// Topological order that always picks the highest-priority ready task
+/// (ties by smaller id). With priorities from upward_ranks this is the
+/// standard list-scheduling order.
+[[nodiscard]] std::vector<TaskId> priority_topological_order(
+    const TaskGraph& tg, std::span<const double> priority);
+
+/// Same, over an explicit constraint graph (used by the GA decoder, whose
+/// software order must also respect the context sequencing constraints).
+/// Throws if the graph is cyclic.
+[[nodiscard]] std::vector<NodeId> priority_topological_order(
+    const Digraph& g, std::span<const double> priority);
+
+}  // namespace rdse

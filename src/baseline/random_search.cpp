@@ -1,0 +1,43 @@
+#include "baseline/random_search.hpp"
+
+#include <chrono>
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+RandomSearchResult run_random_search(const TaskGraph& tg,
+                                     const Architecture& arch,
+                                     std::int64_t samples,
+                                     std::uint64_t seed) {
+  RDSE_REQUIRE(samples >= 1, "run_random_search: need >= 1 sample");
+  const auto procs = arch.processor_ids();
+  const auto rcs = arch.reconfigurable_ids();
+  RDSE_REQUIRE(!procs.empty() && !rcs.empty(),
+               "run_random_search: need a processor and an RC");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  Rng rng(seed);
+  const Evaluator ev(tg, arch);
+  RandomSearchResult result;
+  bool have_best = false;
+  for (std::int64_t i = 0; i < samples; ++i) {
+    Solution sol = Solution::random_partition(tg, arch, procs.front(),
+                                              rcs.front(), rng);
+    const auto m = ev.evaluate(sol);
+    RDSE_ASSERT(m.has_value());  // random_partition is feasible by design
+    ++result.evaluations;
+    const double cost = to_ms(m->makespan);
+    if (!have_best || cost < result.best_cost_ms) {
+      result.best_cost_ms = cost;
+      result.best_metrics = *m;
+      result.best_solution = std::move(sol);
+      have_best = true;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace rdse

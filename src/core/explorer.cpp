@@ -1,0 +1,124 @@
+#include "core/explorer.hpp"
+
+#include <chrono>
+
+#include "util/assert.hpp"
+#include "util/statistics.hpp"
+
+namespace rdse {
+
+Explorer::Explorer(const TaskGraph& tg, Architecture arch)
+    : tg_(&tg), arch_(std::move(arch)) {
+  tg.validate();
+  RDSE_REQUIRE(!arch_.processor_ids().empty(),
+               "Explorer: architecture needs at least one processor");
+}
+
+Solution Explorer::initial_solution(InitKind kind, Rng& rng) const {
+  const ResourceId proc = arch_.processor_ids().front();
+  switch (kind) {
+    case InitKind::kAllSoftware:
+      return Solution::all_software(*tg_, proc);
+    case InitKind::kRandomPartition: {
+      const auto rcs = arch_.reconfigurable_ids();
+      if (rcs.empty()) {
+        return Solution::all_software(*tg_, proc);
+      }
+      return Solution::random_partition(*tg_, arch_, proc, rcs.front(), rng);
+    }
+  }
+  RDSE_ASSERT_MSG(false, "initial_solution: unknown init kind");
+  return Solution(0);
+}
+
+RunResult Explorer::run(const ExplorerConfig& config) const {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  Rng init_rng(config.seed ^ 0x5851F42D4C957F2DULL);
+  Solution initial = initial_solution(config.init, init_rng);
+
+  DseProblem problem(*tg_, arch_, std::move(initial), config.moves,
+                     config.cost, config.adaptive_move_mix);
+
+  RunResult result;
+  result.initial_metrics = problem.current_metrics();
+
+  AnnealConfig ac;
+  ac.seed = config.seed;
+  ac.iterations = config.iterations;
+  ac.warmup_iterations = config.warmup_iterations;
+  ac.schedule = config.schedule;
+  ac.freeze_after = config.freeze_after;
+  if (config.record_trace) {
+    const std::int64_t stride = std::max<std::int64_t>(config.trace_stride, 1);
+    ac.on_iteration = [&problem, &result, stride](const IterationStat& s) {
+      if (s.iteration % stride != 0) return;
+      TraceRow row;
+      row.iteration = s.iteration;
+      row.cost = s.cost;
+      row.best = s.best;
+      row.temperature = s.temperature;
+      row.n_contexts = problem.current_metrics().n_contexts;
+      row.accepted = s.accepted;
+      row.warmup = s.warmup;
+      result.trace.add(row);
+    };
+  }
+
+  result.anneal = anneal(problem, ac);
+  result.best_solution = problem.best_solution();
+  result.best_architecture = problem.best_architecture();
+  result.best_metrics = problem.best_metrics();
+  result.move_stats = problem.move_stats();
+
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+std::vector<RunResult> Explorer::run_many(const ExplorerConfig& config,
+                                          int n) const {
+  RDSE_REQUIRE(n >= 1, "run_many: need at least one run");
+  std::vector<RunResult> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ExplorerConfig c = config;
+    c.seed = config.seed + static_cast<std::uint64_t>(i);
+    out.push_back(run(c));
+  }
+  return out;
+}
+
+RunAggregate Explorer::aggregate(const std::vector<RunResult>& results,
+                                 TimeNs deadline) {
+  RDSE_REQUIRE(!results.empty(), "aggregate: no results");
+  RunAggregate agg;
+  agg.runs = static_cast<int>(results.size());
+  std::vector<double> makespans;
+  makespans.reserve(results.size());
+  int hits = 0;
+  for (const RunResult& r : results) {
+    const Metrics& m = r.best_metrics;
+    makespans.push_back(to_ms(m.makespan));
+    agg.mean_init_reconfig_ms += to_ms(m.init_reconfig);
+    agg.mean_dyn_reconfig_ms += to_ms(m.dyn_reconfig);
+    agg.mean_contexts += m.n_contexts;
+    agg.mean_hw_tasks += m.hw_tasks;
+    agg.mean_wall_seconds += r.wall_seconds;
+    if (deadline > 0 && m.makespan <= deadline) ++hits;
+  }
+  const auto n = static_cast<double>(results.size());
+  agg.mean_makespan_ms = mean_of(makespans);
+  agg.stddev_makespan_ms = stddev_of(makespans);
+  agg.best_makespan_ms = min_of(makespans);
+  agg.worst_makespan_ms = max_of(makespans);
+  agg.mean_init_reconfig_ms /= n;
+  agg.mean_dyn_reconfig_ms /= n;
+  agg.mean_contexts /= n;
+  agg.mean_hw_tasks /= n;
+  agg.mean_wall_seconds /= n;
+  agg.deadline_hit_rate = deadline > 0 ? static_cast<double>(hits) / n : 0.0;
+  return agg;
+}
+
+}  // namespace rdse

@@ -1,0 +1,93 @@
+#pragma once
+/// \file explorer.hpp
+/// \brief Top-level façade: one call runs the full §4 exploration — initial
+/// solution, infinite-temperature warm-up, adaptive cooling, tracing — and
+/// returns the best mapping with its metrics. This is the library's primary
+/// public entry point.
+
+#include <cstdint>
+#include <vector>
+
+#include "anneal/annealer.hpp"
+#include "core/problem.hpp"
+#include "core/trace.hpp"
+
+namespace rdse {
+
+enum class InitKind : std::uint8_t {
+  kRandomPartition,  ///< §5: random HW/SW partition packed into contexts
+  kAllSoftware,      ///< everything on the first processor
+};
+
+struct ExplorerConfig {
+  std::uint64_t seed = 1;
+  std::int64_t iterations = 20'000;        ///< cooling iterations
+  std::int64_t warmup_iterations = 1'200;  ///< §5's infinite-T phase
+  ScheduleKind schedule = ScheduleKind::kModifiedLam;
+  InitKind init = InitKind::kRandomPartition;
+  MoveConfig moves;
+  CostWeights cost;
+  bool adaptive_move_mix = false;
+  std::int64_t freeze_after = 0;  ///< 0: fixed horizon as in the paper
+  bool record_trace = true;
+  std::int64_t trace_stride = 1;  ///< keep every k-th iteration
+};
+
+/// Result of one exploration run.
+struct RunResult {
+  Solution best_solution;
+  Architecture best_architecture;
+  Metrics best_metrics;
+  Metrics initial_metrics;
+  AnnealResult anneal;
+  Trace trace;
+  double wall_seconds = 0.0;
+  std::array<MoveClassStats, kMoveKindCount> move_stats{};
+
+  RunResult() : best_solution(0), best_architecture(Bus(1)) {}
+};
+
+/// Aggregates over repeated runs (Fig. 3 averages 100 runs per point).
+struct RunAggregate {
+  int runs = 0;
+  double mean_makespan_ms = 0.0;
+  double stddev_makespan_ms = 0.0;
+  double best_makespan_ms = 0.0;
+  double worst_makespan_ms = 0.0;
+  double mean_init_reconfig_ms = 0.0;
+  double mean_dyn_reconfig_ms = 0.0;
+  double mean_contexts = 0.0;
+  double mean_hw_tasks = 0.0;
+  double mean_wall_seconds = 0.0;
+  /// Fraction of runs whose best solution met the deadline (if any).
+  double deadline_hit_rate = 0.0;
+};
+
+class Explorer {
+ public:
+  /// The architecture is copied; the task graph must outlive the explorer.
+  Explorer(const TaskGraph& tg, Architecture arch);
+
+  /// Run one exploration.
+  [[nodiscard]] RunResult run(const ExplorerConfig& config) const;
+
+  /// Run `n` explorations with seeds config.seed, config.seed+1, ...
+  [[nodiscard]] std::vector<RunResult> run_many(const ExplorerConfig& config,
+                                                int n) const;
+
+  /// Aggregate repeated-run statistics (deadline from `deadline`, 0 = none).
+  [[nodiscard]] static RunAggregate aggregate(
+      const std::vector<RunResult>& results, TimeNs deadline);
+
+  [[nodiscard]] const TaskGraph& task_graph() const { return *tg_; }
+  [[nodiscard]] const Architecture& architecture() const { return arch_; }
+
+  /// Build the configured initial solution (exposed for tests/examples).
+  [[nodiscard]] Solution initial_solution(InitKind kind, Rng& rng) const;
+
+ private:
+  const TaskGraph* tg_;
+  Architecture arch_;
+};
+
+}  // namespace rdse

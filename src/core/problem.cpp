@@ -1,0 +1,129 @@
+#include "core/problem.hpp"
+
+#include "mapping/validation.hpp"
+#include "util/assert.hpp"
+
+namespace rdse {
+
+DseProblem::DseProblem(const TaskGraph& tg, Architecture arch,
+                       Solution initial, MoveConfig moves,
+                       CostWeights weights, bool adaptive_move_mix)
+    : tg_(&tg),
+      move_config_(moves),
+      weights_(weights),
+      arch_(std::move(arch)),
+      sol_(std::move(initial)),
+      cand_arch_(arch_),
+      cand_sol_(sol_),
+      best_arch_(arch_),
+      best_sol_(sol_) {
+  require_valid(*tg_, arch_, sol_);
+  const Evaluator ev(*tg_, arch_);
+  const auto m = ev.evaluate(sol_);
+  RDSE_REQUIRE(m.has_value(), "DseProblem: initial solution is infeasible");
+  metrics_ = *m;
+  cost_ = cost_of(metrics_, arch_);
+  best_metrics_ = metrics_;
+
+  if (adaptive_move_mix) {
+    std::vector<std::string> names;
+    names.reserve(kMoveKindCount);
+    for (std::size_t k = 0; k < kMoveKindCount; ++k) {
+      names.emplace_back(to_string(static_cast<MoveKind>(k)));
+    }
+    mix_ = std::make_unique<MoveMixController>(std::move(names));
+  }
+}
+
+double DseProblem::cost_of(const Metrics& m, const Architecture& arch) const {
+  double c = weights_.time_weight * to_ms(m.makespan);
+  if (weights_.price_weight != 0.0) {
+    c += weights_.price_weight * arch.total_price();
+  }
+  if (weights_.deadline_penalty_per_ms > 0.0 && weights_.deadline > 0 &&
+      m.makespan > weights_.deadline) {
+    c += weights_.deadline_penalty_per_ms *
+         to_ms(m.makespan - weights_.deadline);
+  }
+  return c;
+}
+
+bool DseProblem::propose(Rng& rng) {
+  cand_arch_ = arch_;
+  cand_sol_ = sol_;
+
+  MoveOutcome outcome;
+  if (mix_) {
+    // Adaptive move-mix (EXP-A2): the controller picks the class, the
+    // §4.2 operand draws stay random.
+    const auto kind = static_cast<MoveKind>(mix_->pick(rng));
+    MoveConfig forced = move_config_;
+    // Force the auxiliary classes or fall back to the m1/m2 dispatch.
+    switch (kind) {
+      case MoveKind::kChangeImpl:
+        forced.p_change_impl = 1.0;
+        break;
+      case MoveKind::kReorderContexts:
+        forced.p_change_impl = 0.0;
+        forced.p_reorder_contexts = 1.0;
+        break;
+      case MoveKind::kRemoveResource:
+      case MoveKind::kCreateResource:
+        forced.p_change_impl = 0.0;
+        forced.p_reorder_contexts = 0.0;
+        forced.p_zero = move_config_.p_zero > 0.0 ? 1.0 : 0.0;
+        break;
+      default:
+        forced.p_change_impl = 0.0;
+        forced.p_reorder_contexts = 0.0;
+        break;
+    }
+    outcome = generate_move(*tg_, cand_arch_, cand_sol_, forced, rng);
+  } else {
+    outcome = generate_move(*tg_, cand_arch_, cand_sol_, move_config_, rng);
+  }
+
+  auto& stats = move_stats_[static_cast<std::size_t>(outcome.kind)];
+  ++stats.drawn;
+  cand_kind_ = outcome.kind;
+  if (!outcome.applied) {
+    ++stats.null_draws;
+    if (mix_) mix_->report(static_cast<std::size_t>(outcome.kind), false);
+    return false;
+  }
+
+  const Evaluator ev(*tg_, cand_arch_);
+  const auto m = ev.evaluate(cand_sol_);
+  if (!m.has_value()) {
+    // §4.3: the realized G' has a cycle — the move "will not be performed".
+    ++stats.infeasible;
+    if (mix_) mix_->report(static_cast<std::size_t>(outcome.kind), false);
+    return false;
+  }
+  ++stats.evaluated;
+  cand_metrics_ = *m;
+  cand_cost_ = cost_of(cand_metrics_, cand_arch_);
+  return true;
+}
+
+void DseProblem::accept() {
+  arch_ = cand_arch_;
+  sol_ = cand_sol_;
+  metrics_ = cand_metrics_;
+  cost_ = cand_cost_;
+  auto& stats = move_stats_[static_cast<std::size_t>(cand_kind_)];
+  ++stats.accepted;
+  if (mix_) mix_->report(static_cast<std::size_t>(cand_kind_), true);
+}
+
+void DseProblem::reject() {
+  if (mix_) mix_->report(static_cast<std::size_t>(cand_kind_), false);
+}
+
+void DseProblem::snapshot_best() {
+  best_arch_ = arch_;
+  best_sol_ = sol_;
+  best_metrics_ = metrics_;
+}
+
+}  // namespace rdse

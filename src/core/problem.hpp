@@ -1,0 +1,100 @@
+#pragma once
+/// \file problem.hpp
+/// \brief The design-space exploration problem handed to the annealer:
+/// state = (architecture, solution), moves = §4.2, cost = §4.4 longest path
+/// (optionally blended with system price and a deadline penalty for the
+/// architecture-exploration mode of [11]).
+
+#include <array>
+#include <memory>
+#include <optional>
+
+#include "anneal/annealer.hpp"
+#include "anneal/move_control.hpp"
+#include "core/moves.hpp"
+#include "sched/evaluator.hpp"
+
+namespace rdse {
+
+/// Objective weights. With the defaults the cost is the execution time in
+/// milliseconds — the paper's §5 criterion for a fixed architecture. For
+/// architecture exploration, price_weight > 0 charges the system cost and
+/// deadline_penalty_per_ms turns the performance constraint into a soft
+/// barrier.
+struct CostWeights {
+  double time_weight = 1.0;            ///< per ms of makespan
+  double price_weight = 0.0;           ///< per unit of resource price
+  double deadline_penalty_per_ms = 0.0;
+  TimeNs deadline = 0;
+};
+
+/// Per-move-class counters (proposals may be null, infeasible = cyclic G').
+struct MoveClassStats {
+  std::int64_t drawn = 0;
+  std::int64_t null_draws = 0;
+  std::int64_t infeasible = 0;
+  std::int64_t evaluated = 0;
+  std::int64_t accepted = 0;
+};
+
+class DseProblem final : public AnnealProblem {
+ public:
+  DseProblem(const TaskGraph& tg, Architecture arch, Solution initial,
+             MoveConfig moves = {}, CostWeights weights = {},
+             bool adaptive_move_mix = false);
+
+  // AnnealProblem interface.
+  [[nodiscard]] double cost() const override { return cost_; }
+  bool propose(Rng& rng) override;
+  [[nodiscard]] double candidate_cost() const override { return cand_cost_; }
+  void accept() override;
+  void reject() override;
+  void snapshot_best() override;
+
+  // Inspection.
+  [[nodiscard]] const Solution& current_solution() const { return sol_; }
+  [[nodiscard]] const Architecture& current_architecture() const {
+    return arch_;
+  }
+  [[nodiscard]] const Metrics& current_metrics() const { return metrics_; }
+  [[nodiscard]] const Solution& best_solution() const { return best_sol_; }
+  [[nodiscard]] const Architecture& best_architecture() const {
+    return best_arch_;
+  }
+  [[nodiscard]] const Metrics& best_metrics() const { return best_metrics_; }
+  [[nodiscard]] const std::array<MoveClassStats, kMoveKindCount>&
+  move_stats() const {
+    return move_stats_;
+  }
+
+  /// Cost of a (makespan, price) pair under the configured weights.
+  [[nodiscard]] double cost_of(const Metrics& m,
+                               const Architecture& arch) const;
+
+ private:
+  bool propose_with_controller(Rng& rng);
+
+  const TaskGraph* tg_;
+  MoveConfig move_config_;
+  CostWeights weights_;
+
+  Architecture arch_;
+  Solution sol_;
+  Metrics metrics_;
+  double cost_ = 0.0;
+
+  Architecture cand_arch_;
+  Solution cand_sol_;
+  Metrics cand_metrics_;
+  double cand_cost_ = 0.0;
+  MoveKind cand_kind_ = MoveKind::kReassign;
+
+  Architecture best_arch_;
+  Solution best_sol_;
+  Metrics best_metrics_;
+
+  std::unique_ptr<MoveMixController> mix_;
+  std::array<MoveClassStats, kMoveKindCount> move_stats_{};
+};
+
+}  // namespace rdse

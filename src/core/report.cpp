@@ -1,0 +1,123 @@
+#include "core/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace rdse {
+
+std::string describe_solution(const TaskGraph& tg, const Architecture& arch,
+                              const Solution& sol) {
+  std::ostringstream os;
+  for (const ResourceId id : arch.live_ids()) {
+    const Resource& res = arch.resource(id);
+    switch (res.kind()) {
+      case ResourceKind::kProcessor: {
+        os << res.name() << " (processor, total order):\n  ";
+        const auto order = sol.processor_order(id);
+        if (order.empty()) {
+          os << "(idle)";
+        }
+        for (std::size_t i = 0; i < order.size(); ++i) {
+          os << (i ? " -> " : "") << tg.task(order[i]).name;
+        }
+        os << '\n';
+        break;
+      }
+      case ResourceKind::kReconfigurable: {
+        const auto& dev = arch.reconfigurable(id);
+        os << res.name() << " (reconfigurable, " << dev.n_clbs()
+           << " CLBs, tR=" << to_us(dev.tr_per_clb()) << " us/CLB):\n";
+        const std::size_t n_ctx = sol.context_count(id);
+        if (n_ctx == 0) {
+          os << "  (no contexts)\n";
+        }
+        for (std::size_t c = 0; c < n_ctx; ++c) {
+          os << "  context C" << (c + 1) << " ["
+             << sol.context_clbs(tg, id, c) << " CLBs]:";
+          for (TaskId t : sol.context_tasks(id, c)) {
+            const Placement& p = sol.placement(t);
+            const auto& impl = tg.task(t).hw.at(p.impl);
+            os << ' ' << tg.task(t).name << "(impl" << p.impl << ':'
+               << impl.clbs << "clb," << format_double(to_ms(impl.time), 2)
+               << "ms)";
+          }
+          os << '\n';
+        }
+        break;
+      }
+      case ResourceKind::kAsic: {
+        os << res.name() << " (asic, partial order):\n ";
+        const auto members = sol.asic_tasks(id);
+        if (members.empty()) os << " (idle)";
+        for (TaskId t : members) {
+          os << ' ' << tg.task(t).name;
+        }
+        os << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string describe_metrics(const Metrics& m) {
+  std::ostringstream os;
+  os << "makespan " << format_ms(m.makespan) << " | reconfiguration "
+     << format_ms(m.total_reconfig()) << " (initial "
+     << format_ms(m.init_reconfig) << " + dynamic "
+     << format_ms(m.dyn_reconfig) << ") | bus transfers "
+     << format_ms(m.comm_cross) << " | " << m.n_contexts << " context(s), "
+     << m.hw_tasks << " hw / " << m.sw_tasks << " sw tasks | "
+     << m.clbs_loaded << " CLBs loaded (max context " << m.max_context_clbs
+     << ")";
+  return os.str();
+}
+
+std::string describe_move_stats(
+    const std::array<MoveClassStats, kMoveKindCount>& stats) {
+  Table table({"move class", "drawn", "null", "cyclic", "evaluated",
+               "accepted", "accept %"});
+  for (std::size_t k = 0; k < kMoveKindCount; ++k) {
+    const MoveClassStats& s = stats[k];
+    if (s.drawn == 0) continue;
+    const double pct =
+        s.evaluated > 0
+            ? 100.0 * static_cast<double>(s.accepted) /
+                  static_cast<double>(s.evaluated)
+            : 0.0;
+    table.row()
+        .cell(std::string(to_string(static_cast<MoveKind>(k))))
+        .cell(s.drawn)
+        .cell(s.null_draws)
+        .cell(s.infeasible)
+        .cell(s.evaluated)
+        .cell(s.accepted)
+        .cell(pct, 1);
+  }
+  return table.to_text();
+}
+
+void print_run_report(std::ostream& os, const TaskGraph& tg,
+                      const RunResult& result) {
+  os << "=== exploration report ===\n"
+     << "schedule " << result.anneal.schedule_name << ", "
+     << result.anneal.iterations_run << " iterations ("
+     << result.anneal.accepted << " accepted, " << result.anneal.rejected
+     << " rejected, " << result.anneal.infeasible << " null/cyclic), "
+     << format_double(result.wall_seconds * 1000.0, 1) << " ms wall clock\n"
+     << "initial: " << describe_metrics(result.initial_metrics) << '\n'
+     << "best:    " << describe_metrics(result.best_metrics) << '\n'
+     << '\n'
+     << describe_solution(tg, result.best_architecture, result.best_solution)
+     << '\n'
+     << "move statistics:\n"
+     << describe_move_stats(result.move_stats) << '\n'
+     << "schedule (bus-serialized timeline):\n"
+     << build_timeline(tg, result.best_architecture, result.best_solution)
+            .to_ascii()
+     << '\n';
+}
+
+}  // namespace rdse

@@ -1,0 +1,32 @@
+#pragma once
+/// \file report.hpp
+/// \brief Human-readable reporting of explored solutions: assignment tables,
+/// context inventories, metrics summaries, Gantt charts and move statistics.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/explorer.hpp"
+#include "sched/timeline.hpp"
+
+namespace rdse {
+
+/// Multi-line description of a solution: per-resource assignments, per-
+/// context CLB usage, implementation choices.
+[[nodiscard]] std::string describe_solution(const TaskGraph& tg,
+                                            const Architecture& arch,
+                                            const Solution& sol);
+
+/// One-paragraph metric summary ("makespan 18.10 ms = ... ; 3 contexts ...").
+[[nodiscard]] std::string describe_metrics(const Metrics& m);
+
+/// Move-class statistics table.
+[[nodiscard]] std::string describe_move_stats(
+    const std::array<MoveClassStats, kMoveKindCount>& stats);
+
+/// Full run report: metrics, solution, Gantt (uses the bus-serialized
+/// timeline), and annealing summary.
+void print_run_report(std::ostream& os, const TaskGraph& tg,
+                      const RunResult& result);
+
+}  // namespace rdse

@@ -1,0 +1,60 @@
+#include "core/trace.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+const TraceRow& Trace::at(std::size_t i) const {
+  RDSE_REQUIRE(i < rows_.size(), "Trace::at: index out of range");
+  return rows_[i];
+}
+
+Trace Trace::downsample(std::size_t max_points) const {
+  RDSE_REQUIRE(max_points >= 2, "Trace::downsample: need >= 2 points");
+  if (rows_.size() <= max_points) {
+    return *this;
+  }
+  Trace out;
+  const std::size_t n = rows_.size();
+  for (std::size_t i = 0; i < max_points - 1; ++i) {
+    out.add(rows_[i * (n - 1) / (max_points - 1)]);
+  }
+  out.add(rows_.back());
+  return out;
+}
+
+std::string Trace::to_csv() const {
+  std::ostringstream os;
+  os << "iteration,cost,best,temperature,contexts,accepted,warmup\n";
+  for (const TraceRow& r : rows_) {
+    os << r.iteration << ',' << r.cost << ',' << r.best << ','
+       << r.temperature << ',' << r.n_contexts << ',' << (r.accepted ? 1 : 0)
+       << ',' << (r.warmup ? 1 : 0) << '\n';
+  }
+  return os.str();
+}
+
+std::vector<double> Trace::iterations() const {
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(static_cast<double>(r.iteration));
+  return out;
+}
+
+std::vector<double> Trace::costs() const {
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r.cost);
+  return out;
+}
+
+std::vector<double> Trace::contexts() const {
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(static_cast<double>(r.n_contexts));
+  return out;
+}
+
+}  // namespace rdse

@@ -1,0 +1,46 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Iteration traces of an exploration run — the data behind Fig. 2
+/// (execution time and number of allocated contexts at each iteration).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdse {
+
+struct TraceRow {
+  std::int64_t iteration = 0;
+  double cost = 0.0;         ///< current cost (ms for the default objective)
+  double best = 0.0;
+  double temperature = 0.0;  ///< +inf during the warm-up phase
+  int n_contexts = 0;
+  bool accepted = false;
+  bool warmup = false;
+};
+
+class Trace {
+ public:
+  void add(TraceRow row) { rows_.push_back(row); }
+  [[nodiscard]] bool empty() const { return rows_.empty(); }
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] const TraceRow& at(std::size_t i) const;
+  [[nodiscard]] const std::vector<TraceRow>& rows() const { return rows_; }
+
+  /// Keep at most `max_points` rows, evenly subsampled (first and last rows
+  /// always survive) — for plotting long runs.
+  [[nodiscard]] Trace downsample(std::size_t max_points) const;
+
+  /// "iteration,cost,best,temperature,contexts,accepted,warmup" CSV.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Column extraction helpers for plotting.
+  [[nodiscard]] std::vector<double> iterations() const;
+  [[nodiscard]] std::vector<double> costs() const;
+  [[nodiscard]] std::vector<double> contexts() const;
+
+ private:
+  std::vector<TraceRow> rows_;
+};
+
+}  // namespace rdse

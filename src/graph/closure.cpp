@@ -1,0 +1,84 @@
+#include "graph/closure.hpp"
+
+#include "graph/topo.hpp"
+
+namespace rdse {
+
+BitMatrix::BitMatrix(std::size_t n) : n_(n), bits_(n * ((n + 63) / 64), 0) {}
+
+bool BitMatrix::get(std::size_t row, std::size_t col) const {
+  RDSE_ASSERT(row < n_ && col < n_);
+  return (bits_[row * words_per_row() + col / 64] >> (col % 64)) & 1ULL;
+}
+
+void BitMatrix::set(std::size_t row, std::size_t col) {
+  RDSE_ASSERT(row < n_ && col < n_);
+  bits_[row * words_per_row() + col / 64] |= 1ULL << (col % 64);
+}
+
+void BitMatrix::clear(std::size_t row, std::size_t col) {
+  RDSE_ASSERT(row < n_ && col < n_);
+  bits_[row * words_per_row() + col / 64] &= ~(1ULL << (col % 64));
+}
+
+void BitMatrix::reset() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+}
+
+void BitMatrix::or_row(std::size_t dst_row, std::size_t src_row) {
+  RDSE_ASSERT(dst_row < n_ && src_row < n_);
+  const std::size_t w = words_per_row();
+  std::uint64_t* dst = &bits_[dst_row * w];
+  const std::uint64_t* src = &bits_[src_row * w];
+  for (std::size_t i = 0; i < w; ++i) {
+    dst[i] |= src[i];
+  }
+}
+
+bool BitMatrix::operator==(const BitMatrix& other) const {
+  return n_ == other.n_ && bits_ == other.bits_;
+}
+
+void TransitiveClosure::build(const Digraph& g) {
+  const auto order = topological_order(g);
+  RDSE_REQUIRE(order.has_value(), "TransitiveClosure::build: graph is cyclic");
+  matrix_ = BitMatrix(g.node_count());
+  // Reverse topological order: a node's row is the OR of its successors'
+  // rows plus the successor bits themselves.
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId v = *it;
+    for (EdgeId e : g.out_edges(v)) {
+      const NodeId w = g.edge(e).dst;
+      matrix_.set(v, w);
+      matrix_.or_row(v, w);
+    }
+  }
+}
+
+void TransitiveClosure::add_edge(NodeId src, NodeId dst) {
+  RDSE_REQUIRE(src < matrix_.size() && dst < matrix_.size(),
+               "TransitiveClosure::add_edge: node out of range");
+  RDSE_REQUIRE(!reaches(dst, src) || dst == src,
+               "TransitiveClosure::add_edge: edge would create a cycle");
+  // All u with u ->* src (including src) now reach dst and all of dst's
+  // descendants.
+  for (NodeId u = 0; u < matrix_.size(); ++u) {
+    if (u == src || matrix_.get(u, src)) {
+      matrix_.set(u, dst);
+      matrix_.or_row(u, dst);
+    }
+  }
+}
+
+bool TransitiveClosure::reaches(NodeId from, NodeId to) const {
+  RDSE_ASSERT(from < matrix_.size() && to < matrix_.size());
+  if (from == to) return true;
+  return matrix_.get(from, to);
+}
+
+bool TransitiveClosure::would_create_cycle(NodeId src, NodeId dst) const {
+  if (src == dst) return true;
+  return matrix_.get(dst, src);
+}
+
+}  // namespace rdse

@@ -1,0 +1,74 @@
+#pragma once
+/// \file closure.hpp
+/// \brief Transitive-closure bit matrix.
+///
+/// §4.3 of the paper: "A move will not be performed if a cycle appears when
+/// the search graph is updated (detectable in O(1) operations on the
+/// associated transitive closure matrix)." This class provides exactly that:
+/// `reaches(u, v)` is a single bit probe, so the test "does adding edge
+/// (u, v) create a cycle?" is `reaches(v, u)` — O(1). Maintaining the matrix
+/// under edge *insertion* costs O(N²/64) words; arbitrary deletion support
+/// is provided via rebuild (deletion cannot be maintained incrementally
+/// without path counting).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace rdse {
+
+/// Square boolean matrix packed 64 bits per word.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  explicit BitMatrix(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] bool get(std::size_t row, std::size_t col) const;
+  void set(std::size_t row, std::size_t col);
+  void clear(std::size_t row, std::size_t col);
+  void reset();
+
+  /// row |= other_row (used by closure propagation).
+  void or_row(std::size_t dst_row, std::size_t src_row);
+
+  [[nodiscard]] bool operator==(const BitMatrix& other) const;
+
+ private:
+  [[nodiscard]] std::size_t words_per_row() const { return (n_ + 63) / 64; }
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> bits_;
+
+  friend class TransitiveClosure;
+};
+
+/// Transitive closure of a digraph with O(1) reachability queries.
+class TransitiveClosure {
+ public:
+  TransitiveClosure() = default;
+
+  /// Build from scratch: O(V * E / 64) via reverse-topological accumulation
+  /// (requires an acyclic graph; throws otherwise).
+  void build(const Digraph& g);
+
+  /// Incrementally account for a new edge (src, dst) that has already been
+  /// verified not to create a cycle: every ancestor-of-src (plus src) now
+  /// reaches every descendant-of-dst (plus dst). O(N²/64) worst case.
+  void add_edge(NodeId src, NodeId dst);
+
+  /// O(1): true iff a path from `from` to `to` exists (reflexive: true when
+  /// from == to).
+  [[nodiscard]] bool reaches(NodeId from, NodeId to) const;
+
+  /// O(1): true iff inserting edge (src, dst) would create a cycle.
+  [[nodiscard]] bool would_create_cycle(NodeId src, NodeId dst) const;
+
+  [[nodiscard]] std::size_t size() const { return matrix_.size(); }
+  [[nodiscard]] const BitMatrix& matrix() const { return matrix_; }
+
+ private:
+  BitMatrix matrix_;  // matrix_[u][v] == 1 iff u reaches v via >= 1 edge
+};
+
+}  // namespace rdse

@@ -1,0 +1,117 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+namespace rdse {
+
+Digraph::Digraph(std::size_t node_count)
+    : out_(node_count), in_(node_count) {}
+
+NodeId Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+EdgeId Digraph::add_edge(NodeId src, NodeId dst) {
+  RDSE_REQUIRE(src < node_count() && dst < node_count(),
+               "Digraph::add_edge: node id out of range");
+  RDSE_REQUIRE(src != dst, "Digraph::add_edge: self loops are not allowed");
+  EdgeId id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+    edges_[id] = Edge{src, dst};
+    alive_[id] = true;
+  } else {
+    id = static_cast<EdgeId>(edges_.size());
+    edges_.push_back(Edge{src, dst});
+    alive_.push_back(true);
+  }
+  out_[src].push_back(id);
+  in_[dst].push_back(id);
+  ++live_edges_;
+  return id;
+}
+
+void Digraph::detach(std::vector<EdgeId>& list, EdgeId edge) {
+  const auto it = std::find(list.begin(), list.end(), edge);
+  RDSE_ASSERT(it != list.end());
+  *it = list.back();
+  list.pop_back();
+}
+
+void Digraph::remove_edge(EdgeId edge) {
+  RDSE_REQUIRE(edge < edges_.size() && alive_[edge],
+               "Digraph::remove_edge: edge not alive");
+  const Edge e = edges_[edge];
+  detach(out_[e.src], edge);
+  detach(in_[e.dst], edge);
+  alive_[edge] = false;
+  free_.push_back(edge);
+  --live_edges_;
+}
+
+bool Digraph::edge_alive(EdgeId edge) const {
+  return edge < edges_.size() && alive_[edge];
+}
+
+const Digraph::Edge& Digraph::edge(EdgeId edge) const {
+  RDSE_REQUIRE(edge_alive(edge), "Digraph::edge: edge not alive");
+  return edges_[edge];
+}
+
+std::span<const EdgeId> Digraph::out_edges(NodeId node) const {
+  RDSE_REQUIRE(node < node_count(), "Digraph::out_edges: node out of range");
+  return out_[node];
+}
+
+std::span<const EdgeId> Digraph::in_edges(NodeId node) const {
+  RDSE_REQUIRE(node < node_count(), "Digraph::in_edges: node out of range");
+  return in_[node];
+}
+
+bool Digraph::has_edge(NodeId src, NodeId dst) const {
+  return find_edge(src, dst) != kInvalidEdge;
+}
+
+EdgeId Digraph::find_edge(NodeId src, NodeId dst) const {
+  for (EdgeId id : out_edges(src)) {
+    if (edges_[id].dst == dst) {
+      return id;
+    }
+  }
+  return kInvalidEdge;
+}
+
+void Digraph::clear_edges() {
+  for (auto& lst : out_) lst.clear();
+  for (auto& lst : in_) lst.clear();
+  edges_.clear();
+  alive_.clear();
+  free_.clear();
+  live_edges_ = 0;
+}
+
+void Digraph::check_consistency() const {
+  std::size_t live = 0;
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    if (!alive_[id]) continue;
+    ++live;
+    const Edge& e = edges_[id];
+    RDSE_ASSERT(e.src < node_count() && e.dst < node_count());
+    RDSE_ASSERT(std::count(out_[e.src].begin(), out_[e.src].end(), id) == 1);
+    RDSE_ASSERT(std::count(in_[e.dst].begin(), in_[e.dst].end(), id) == 1);
+  }
+  RDSE_ASSERT(live == live_edges_);
+  for (NodeId v = 0; v < node_count(); ++v) {
+    for (EdgeId id : out_[v]) {
+      RDSE_ASSERT(alive_[id] && edges_[id].src == v);
+    }
+    for (EdgeId id : in_[v]) {
+      RDSE_ASSERT(alive_[id] && edges_[id].dst == v);
+    }
+  }
+}
+
+}  // namespace rdse

@@ -1,0 +1,90 @@
+#pragma once
+/// \file digraph.hpp
+/// \brief Dynamic directed graph used for both the application precedence
+/// graph (§3.1) and the search graph G' with its churning sequentialization
+/// edges (§4.3).
+///
+/// Edges carry stable ids: removing an edge leaves a tombstone whose id is
+/// recycled by later insertions, so edge handles held by move/undo machinery
+/// stay valid until their own edge is removed. Node count is fixed after
+/// construction growth (nodes are never deleted; the search graph always
+/// covers all application tasks).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+class Digraph {
+ public:
+  struct Edge {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+  };
+
+  Digraph() = default;
+  explicit Digraph(std::size_t node_count);
+
+  /// Append a node, returning its id (ids are dense, 0..node_count-1).
+  NodeId add_node();
+
+  [[nodiscard]] std::size_t node_count() const { return out_.size(); }
+  /// Number of live (non-removed) edges.
+  [[nodiscard]] std::size_t edge_count() const { return live_edges_; }
+  /// Upper bound over edge ids ever allocated (for dense per-edge arrays).
+  [[nodiscard]] std::size_t edge_capacity() const { return edges_.size(); }
+
+  /// Insert an edge src -> dst. Parallel edges are allowed (the search graph
+  /// may stack a communication edge and a sequentialization edge on the same
+  /// node pair). Self-loops are rejected.
+  EdgeId add_edge(NodeId src, NodeId dst);
+
+  /// Remove a live edge by id (O(out-degree + in-degree)).
+  void remove_edge(EdgeId edge);
+
+  [[nodiscard]] bool edge_alive(EdgeId edge) const;
+  [[nodiscard]] const Edge& edge(EdgeId edge) const;
+
+  /// Outgoing / incoming live edge ids of a node.
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId node) const;
+  [[nodiscard]] std::span<const EdgeId> in_edges(NodeId node) const;
+
+  [[nodiscard]] std::size_t out_degree(NodeId node) const {
+    return out_edges(node).size();
+  }
+  [[nodiscard]] std::size_t in_degree(NodeId node) const {
+    return in_edges(node).size();
+  }
+
+  /// True if at least one live edge src -> dst exists (linear in degree).
+  [[nodiscard]] bool has_edge(NodeId src, NodeId dst) const;
+  /// First live edge src -> dst, or kInvalidEdge.
+  [[nodiscard]] EdgeId find_edge(NodeId src, NodeId dst) const;
+
+  /// Remove all edges, keeping nodes.
+  void clear_edges();
+
+  /// Validate internal adjacency consistency (tests / debugging).
+  void check_consistency() const;
+
+ private:
+  void detach(std::vector<EdgeId>& list, EdgeId edge);
+
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  std::vector<Edge> edges_;
+  std::vector<bool> alive_;
+  std::vector<EdgeId> free_;
+  std::size_t live_edges_ = 0;
+};
+
+}  // namespace rdse

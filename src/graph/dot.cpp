@@ -1,0 +1,67 @@
+#include "graph/dot.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+std::string to_dot(const Digraph& g, const DotStyle& style) {
+  RDSE_REQUIRE(style.node_label.empty() ||
+                   style.node_label.size() == g.node_count(),
+               "to_dot: node_label size mismatch");
+  RDSE_REQUIRE(style.node_group.empty() ||
+                   style.node_group.size() == g.node_count(),
+               "to_dot: node_group size mismatch");
+
+  std::ostringstream os;
+  os << "digraph \"" << style.graph_name << "\" {\n";
+  if (style.left_to_right) {
+    os << "  rankdir=LR;\n";
+  }
+  os << "  node [shape=box, fontsize=10];\n";
+
+  auto label_of = [&](NodeId v) {
+    if (!style.node_label.empty() && !style.node_label[v].empty()) {
+      return style.node_label[v];
+    }
+    return std::string("n") + std::to_string(v);
+  };
+
+  // Group nodes into clusters.
+  std::map<std::string, std::vector<NodeId>> groups;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::string key =
+        style.node_group.empty() ? std::string{} : style.node_group[v];
+    groups[key].push_back(v);
+  }
+  int cluster_idx = 0;
+  for (const auto& [key, nodes] : groups) {
+    if (!key.empty()) {
+      os << "  subgraph cluster_" << cluster_idx++ << " {\n"
+         << "    label=\"" << key << "\";\n";
+    }
+    for (NodeId v : nodes) {
+      os << (key.empty() ? "  " : "    ") << 'n' << v << " [label=\""
+         << label_of(v) << "\"];\n";
+    }
+    if (!key.empty()) {
+      os << "  }\n";
+    }
+  }
+
+  for (EdgeId e = 0; e < g.edge_capacity(); ++e) {
+    if (!g.edge_alive(e)) continue;
+    const auto& ed = g.edge(e);
+    os << "  n" << ed.src << " -> n" << ed.dst;
+    if (e < style.edge_style.size() && !style.edge_style[e].empty()) {
+      os << " [style=" << style.edge_style[e] << "]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rdse

@@ -1,0 +1,26 @@
+#pragma once
+/// \file dot.hpp
+/// \brief Graphviz DOT export of graphs and partitioned solutions for
+/// inspection and documentation.
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace rdse {
+
+/// Optional annotations for DOT rendering.
+struct DotStyle {
+  std::vector<std::string> node_label;     ///< per-node; empty -> id used
+  std::vector<std::string> node_group;     ///< cluster key per node ("" = none)
+  std::vector<std::string> edge_style;     ///< per edge id ("dashed", ...)
+  std::string graph_name = "rdse";
+  bool left_to_right = true;
+};
+
+/// Render the graph to DOT; nodes sharing a non-empty group are wrapped in
+/// the same cluster subgraph (used to show FPGA contexts as in Fig. 1(b)).
+[[nodiscard]] std::string to_dot(const Digraph& g, const DotStyle& style = {});
+
+}  // namespace rdse

@@ -1,0 +1,89 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+Digraph random_layered_dag(const LayeredDagParams& params, Rng& rng) {
+  RDSE_REQUIRE(params.node_count >= 1, "random_layered_dag: empty graph");
+  RDSE_REQUIRE(params.max_width >= 1, "random_layered_dag: zero width");
+  Digraph g(params.node_count);
+
+  // Assign nodes to layers with random widths.
+  std::vector<std::vector<NodeId>> layers;
+  NodeId next = 0;
+  while (next < params.node_count) {
+    const std::size_t remaining = params.node_count - next;
+    const std::size_t width =
+        1 + rng.index(std::min(params.max_width, remaining));
+    layers.emplace_back();
+    for (std::size_t i = 0; i < width; ++i) {
+      layers.back().push_back(next++);
+    }
+  }
+
+  for (std::size_t l = 1; l < layers.size(); ++l) {
+    for (NodeId v : layers[l]) {
+      bool has_pred = false;
+      for (NodeId u : layers[l - 1]) {
+        if (rng.bernoulli(params.edge_probability)) {
+          g.add_edge(u, v);
+          has_pred = true;
+        }
+      }
+      // Occasional skip-layer edge for irregularity.
+      if (l >= 2 && rng.bernoulli(params.edge_probability / 4.0)) {
+        const auto& far = layers[l - 2];
+        g.add_edge(far[rng.index(far.size())], v);
+        has_pred = true;
+      }
+      if (!has_pred && params.connect_orphans) {
+        const auto& prev = layers[l - 1];
+        g.add_edge(prev[rng.index(prev.size())], v);
+      }
+    }
+  }
+  return g;
+}
+
+Digraph chain_graph(std::size_t n) {
+  RDSE_REQUIRE(n >= 1, "chain_graph: empty chain");
+  Digraph g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    g.add_edge(v - 1, v);
+  }
+  return g;
+}
+
+Digraph fork_join_graph(std::size_t branches) {
+  RDSE_REQUIRE(branches >= 1, "fork_join_graph: need >= 1 branch");
+  Digraph g(branches + 2);
+  const NodeId source = 0;
+  const NodeId sink = static_cast<NodeId>(branches + 1);
+  for (NodeId b = 1; b <= branches; ++b) {
+    g.add_edge(source, b);
+    g.add_edge(b, sink);
+  }
+  return g;
+}
+
+Digraph random_order_dag(std::size_t n, double p, Rng& rng) {
+  RDSE_REQUIRE(n >= 1, "random_order_dag: empty graph");
+  Digraph g(n);
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(p)) {
+        g.add_edge(perm[i], perm[j]);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace rdse

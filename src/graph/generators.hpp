@@ -1,0 +1,34 @@
+#pragma once
+/// \file generators.hpp
+/// \brief Random DAG generators for property tests and the scalability
+/// study (EXP-S1). All generators are deterministic given the Rng seed.
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace rdse {
+
+/// Parameters for the layered random DAG generator (TGFF-style).
+struct LayeredDagParams {
+  std::size_t node_count = 20;
+  std::size_t max_width = 4;       ///< max nodes per layer
+  double edge_probability = 0.4;   ///< per (prev-layer node, node) pair
+  bool connect_orphans = true;     ///< guarantee in-degree >= 1 past layer 0
+};
+
+/// Layered DAG: nodes are grouped into layers; edges go from earlier layers
+/// to later ones, mostly adjacent-layer. Result is acyclic by construction.
+[[nodiscard]] Digraph random_layered_dag(const LayeredDagParams& params,
+                                         Rng& rng);
+
+/// A simple chain of n nodes.
+[[nodiscard]] Digraph chain_graph(std::size_t n);
+
+/// Fork-join: source -> n parallel branch nodes -> sink (n + 2 nodes).
+[[nodiscard]] Digraph fork_join_graph(std::size_t branches);
+
+/// Random DAG over a random permutation: each pair (u, v) with
+/// rank(u) < rank(v) gets an edge with probability p. Dense-capable.
+[[nodiscard]] Digraph random_order_dag(std::size_t n, double p, Rng& rng);
+
+}  // namespace rdse

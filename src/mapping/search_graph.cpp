@@ -1,0 +1,136 @@
+#include "mapping/search_graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+ContextBoundary context_boundary(const TaskGraph& tg, const Solution& sol,
+                                 ResourceId rc, std::size_t ctx) {
+  ContextBoundary b;
+  const auto members = sol.context_tasks(rc, ctx);
+  auto in_context = [&](TaskId t) {
+    const Placement& p = sol.placement(t);
+    return p.resource == rc &&
+           p.context == static_cast<std::int32_t>(ctx);
+  };
+  for (TaskId t : members) {
+    bool has_inner_pred = false;
+    for (EdgeId e : tg.digraph().in_edges(t)) {
+      if (in_context(tg.digraph().edge(e).src)) {
+        has_inner_pred = true;
+        break;
+      }
+    }
+    if (!has_inner_pred) b.initials.push_back(t);
+
+    bool has_inner_succ = false;
+    for (EdgeId e : tg.digraph().out_edges(t)) {
+      if (in_context(tg.digraph().edge(e).dst)) {
+        has_inner_succ = true;
+        break;
+      }
+    }
+    if (!has_inner_succ) b.terminals.push_back(t);
+  }
+  return b;
+}
+
+SearchGraph build_search_graph(const TaskGraph& tg, const Architecture& arch,
+                               const Solution& sol) {
+  RDSE_REQUIRE(sol.task_count() == tg.task_count(),
+               "build_search_graph: solution/task-graph size mismatch");
+  SearchGraph sg;
+  sg.graph = tg.digraph();  // value copy: application edges keep their ids
+  sg.release.assign(tg.task_count(), 0);
+
+  // --- node weights: execution time on the assigned resource -------------
+  sg.node_weight.resize(tg.task_count());
+  for (TaskId t = 0; t < tg.task_count(); ++t) {
+    const Placement& p = sol.placement(t);
+    RDSE_REQUIRE(p.assigned(), "build_search_graph: task '" +
+                                   tg.task(t).name + "' is unassigned");
+    const Resource& res = arch.resource(p.resource);
+    if (res.kind() == ResourceKind::kProcessor) {
+      sg.node_weight[t] = static_cast<const Processor&>(res).execution_time(
+          tg.task(t).sw_time);
+    } else {
+      const auto& impls = tg.task(t).hw;
+      RDSE_REQUIRE(p.impl < impls.size(),
+                   "build_search_graph: implementation index out of range");
+      sg.node_weight[t] = impls.at(p.impl).time;
+    }
+  }
+
+  // --- application edges: bus time when crossing -------------------------
+  const Bus& bus = arch.bus();
+  sg.edge_weight.assign(sg.graph.edge_capacity(), 0);
+  sg.edge_kind.assign(sg.graph.edge_capacity(), SearchEdgeKind::kComm);
+  for (EdgeId e = 0; e < tg.comm_count(); ++e) {
+    const CommEdge& c = tg.comm(e);
+    const Placement& ps = sol.placement(c.src);
+    const Placement& pd = sol.placement(c.dst);
+    const bool same_place = ps.resource == pd.resource &&
+                            ps.context == pd.context;
+    if (!same_place) {
+      const TimeNs w = bus.transfer_time(c.bytes);
+      sg.edge_weight[e] = w;
+      sg.comm_cross += w;
+    }
+  }
+
+  auto add_edge = [&](TaskId src, TaskId dst, TimeNs weight,
+                      SearchEdgeKind kind) {
+    const EdgeId id = sg.graph.add_edge(src, dst);
+    if (id >= sg.edge_weight.size()) {
+      sg.edge_weight.resize(id + 1, 0);
+      sg.edge_kind.resize(id + 1, SearchEdgeKind::kComm);
+    }
+    sg.edge_weight[id] = weight;
+    sg.edge_kind[id] = kind;
+  };
+
+  // --- Esw: processor total orders ----------------------------------------
+  for (ResourceId proc : arch.processor_ids()) {
+    const auto order = sol.processor_order(proc);
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      add_edge(order[i - 1], order[i], 0, SearchEdgeKind::kSwSeq);
+    }
+  }
+
+  // --- Ehw: context sequentialization + first-context release ------------
+  for (ResourceId rc : arch.reconfigurable_ids()) {
+    const std::size_t n_ctx = sol.context_count(rc);
+    if (n_ctx == 0) continue;
+    const ReconfigurableCircuit& dev = arch.reconfigurable(rc);
+
+    std::vector<ContextBoundary> bounds;
+    bounds.reserve(n_ctx);
+    for (std::size_t c = 0; c < n_ctx; ++c) {
+      bounds.push_back(context_boundary(tg, sol, rc, c));
+    }
+
+    const TimeNs first_load =
+        dev.reconfiguration_time(sol.context_clbs(tg, rc, 0));
+    sg.init_reconfig += first_load;
+    for (TaskId t : bounds[0].initials) {
+      sg.release[t] = std::max(sg.release[t], first_load);
+    }
+
+    for (std::size_t c = 0; c + 1 < n_ctx; ++c) {
+      const TimeNs reconf =
+          dev.reconfiguration_time(sol.context_clbs(tg, rc, c + 1));
+      sg.dyn_reconfig += reconf;
+      for (TaskId from : bounds[c].terminals) {
+        for (TaskId to : bounds[c + 1].initials) {
+          add_edge(from, to, reconf, SearchEdgeKind::kHwSeq);
+        }
+      }
+    }
+  }
+
+  return sg;
+}
+
+}  // namespace rdse

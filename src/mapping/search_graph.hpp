@@ -1,0 +1,74 @@
+#pragma once
+/// \file search_graph.hpp
+/// \brief Realization of a solution as the search graph
+/// G' = <V, E ∪ Esw ∪ Ehw> of §3.3/§4.3.
+///
+/// Starting from the application graph, the builder adds
+///  - Esw: zero-weight sequentialization edges between consecutive tasks of
+///    each processor's total order (black dashed arrows in Fig. 1(b));
+///  - Ehw: context sequentialization edges from every terminal node of
+///    context Ck to every initial node of context Ck+1, weighted by the
+///    partial reconfiguration time tR * nCLB(Ck+1) (white dashed arrows);
+///  - a release time tR * nCLB(C1) on the initial nodes of the first
+///    context of each RC (the device must be configured before anything
+///    runs on it; this is Fig. 3's "initial reconfiguration time").
+///
+/// Node weights are the execution times on the assigned resources; original
+/// edges are weighted with the bus transfer time when they cross resources
+/// (or cross contexts within the RC — data is staged through the shared
+/// memory), zero otherwise.
+///
+/// The paper rejects moves whose realization creates a cycle; here a cyclic
+/// solution simply fails evaluation (topological sort fails), which the
+/// move layer treats as infeasible.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/architecture.hpp"
+#include "graph/digraph.hpp"
+#include "mapping/solution.hpp"
+#include "model/task_graph.hpp"
+
+namespace rdse {
+
+enum class SearchEdgeKind : std::uint8_t {
+  kComm,   ///< original application edge
+  kSwSeq,  ///< processor total-order edge (Esw)
+  kHwSeq,  ///< context sequentialization edge (Ehw)
+};
+
+/// G' plus the per-node/per-edge weights needed for longest-path evaluation
+/// and the aggregate reconfiguration/communication statistics.
+struct SearchGraph {
+  Digraph graph;
+  std::vector<TimeNs> node_weight;       ///< execution time per task
+  std::vector<TimeNs> edge_weight;       ///< indexed by EdgeId
+  std::vector<SearchEdgeKind> edge_kind; ///< indexed by EdgeId
+  std::vector<TimeNs> release;           ///< earliest start per task
+
+  TimeNs init_reconfig = 0;  ///< sum of first-context loads over all RCs
+  TimeNs dyn_reconfig = 0;   ///< sum of inter-context reconfigurations
+  TimeNs comm_cross = 0;     ///< summed bus time of crossing transfers
+};
+
+/// Initial/terminal members of one context w.r.t. the application edges
+/// restricted to the context (§3.3).
+struct ContextBoundary {
+  std::vector<TaskId> initials;   ///< no immediate predecessor inside
+  std::vector<TaskId> terminals;  ///< no immediate successor inside
+};
+
+/// Compute the boundary of context `ctx` of `rc` under `sol`.
+[[nodiscard]] ContextBoundary context_boundary(const TaskGraph& tg,
+                                               const Solution& sol,
+                                               ResourceId rc,
+                                               std::size_t ctx);
+
+/// Build the weighted search graph for a structurally complete solution
+/// (every task assigned; impl indices valid). Does not check acyclicity.
+[[nodiscard]] SearchGraph build_search_graph(const TaskGraph& tg,
+                                             const Architecture& arch,
+                                             const Solution& sol);
+
+}  // namespace rdse

@@ -1,0 +1,332 @@
+#include "mapping/solution.hpp"
+
+#include <algorithm>
+
+#include "graph/topo.hpp"
+#include "util/assert.hpp"
+
+namespace rdse {
+
+Solution::Solution(std::size_t task_count) : placement_(task_count) {}
+
+Solution Solution::all_software(const TaskGraph& tg, ResourceId processor) {
+  Solution sol(tg.task_count());
+  const auto order = topological_order(tg.digraph());
+  RDSE_REQUIRE(order.has_value(), "all_software: task graph is cyclic");
+  for (TaskId t : *order) {
+    sol.insert_on_processor(t, processor, sol.processor_order(processor).size());
+  }
+  return sol;
+}
+
+Solution Solution::random_partition(const TaskGraph& tg,
+                                    const Architecture& arch,
+                                    ResourceId processor, ResourceId rc,
+                                    Rng& rng) {
+  const ReconfigurableCircuit& dev = arch.reconfigurable(rc);
+
+  std::vector<TaskId> candidates;
+  for (TaskId t = 0; t < tg.task_count(); ++t) {
+    // Only tasks with at least one implementation fitting the device.
+    if (tg.task(t).hw_capable() && tg.task(t).hw.min_clbs() <= dev.n_clbs()) {
+      candidates.push_back(t);
+    }
+  }
+  if (candidates.empty()) {
+    return all_software(tg, processor);
+  }
+  rng.shuffle(candidates);
+  // "A random number of tasks are moved, one by one, to the RC."
+  const std::size_t n_move = rng.index(candidates.size() + 1);
+  std::vector<bool> to_hw(tg.task_count(), false);
+  for (std::size_t i = 0; i < n_move; ++i) {
+    to_hw[candidates[i]] = true;
+  }
+
+  // Realize everything in (ASAP level, id) order. This single linearization
+  // is a valid linear extension of the precedence relation *and* keeps the
+  // greedy context sequence level-monotone, so the mixed Esw/Ehw constraint
+  // graph G' is acyclic by construction. (An arbitrary packing or software
+  // order can deadlock across branches: a software order placing branch-A's
+  // tail before branch-B's head conflicts with context sequencing edges
+  // that order their contexts the other way.)
+  const auto level = asap_levels(tg.digraph());
+  std::vector<TaskId> order(tg.task_count());
+  for (TaskId t = 0; t < tg.task_count(); ++t) order[t] = t;
+  std::sort(order.begin(), order.end(), [&level](TaskId a, TaskId b) {
+    return level[a] != level[b] ? level[a] < level[b] : a < b;
+  });
+
+  Solution sol(tg.task_count());
+  for (const TaskId t : order) {
+    if (!to_hw[t]) {
+      sol.insert_on_processor(t, processor,
+                              sol.processor_order(processor).size());
+      continue;
+    }
+    const auto& impls = tg.task(t).hw;
+    // Random implementation among those that fit an empty context.
+    std::vector<std::uint32_t> fitting;
+    for (std::uint32_t k = 0; k < impls.size(); ++k) {
+      if (impls.at(k).clbs <= dev.n_clbs()) fitting.push_back(k);
+    }
+    RDSE_ASSERT(!fitting.empty());
+    const std::uint32_t impl = fitting[rng.index(fitting.size())];
+
+    // Pack into the last context; spawn when capacity is exceeded (§5).
+    std::size_t ctx;
+    if (sol.context_count(rc) == 0) {
+      ctx = sol.spawn_context_after(rc, kFront);
+    } else {
+      ctx = sol.context_count(rc) - 1;
+      const std::int32_t used = sol.context_clbs(tg, rc, ctx);
+      if (used + impls.at(impl).clbs > dev.n_clbs()) {
+        ctx = sol.spawn_context_after(rc, ctx);
+      }
+    }
+    sol.insert_in_context(t, rc, ctx, impl);
+  }
+  return sol;
+}
+
+const Placement& Solution::placement(TaskId task) const {
+  RDSE_REQUIRE(task < placement_.size(), "Solution: task id out of range");
+  return placement_[task];
+}
+
+ResourceId Solution::resource_of(TaskId task) const {
+  return placement(task).resource;
+}
+
+std::span<const TaskId> Solution::processor_order(ResourceId processor) const {
+  const auto it = proc_order_.find(processor);
+  if (it == proc_order_.end()) return {};
+  return it->second;
+}
+
+std::size_t Solution::order_position(TaskId task) const {
+  const Placement& p = placement(task);
+  const auto it = proc_order_.find(p.resource);
+  RDSE_REQUIRE(it != proc_order_.end(),
+               "order_position: task is not on a processor");
+  const auto& order = it->second;
+  const auto pos = std::find(order.begin(), order.end(), task);
+  RDSE_ASSERT(pos != order.end());
+  return static_cast<std::size_t>(pos - order.begin());
+}
+
+std::size_t Solution::context_count(ResourceId rc) const {
+  const auto it = rc_contexts_.find(rc);
+  return it == rc_contexts_.end() ? 0 : it->second.size();
+}
+
+std::span<const TaskId> Solution::context_tasks(ResourceId rc,
+                                                std::size_t ctx) const {
+  const auto it = rc_contexts_.find(rc);
+  RDSE_REQUIRE(it != rc_contexts_.end() && ctx < it->second.size(),
+               "context_tasks: no such context");
+  return it->second[ctx];
+}
+
+std::int32_t Solution::context_clbs(const TaskGraph& tg, ResourceId rc,
+                                    std::size_t ctx) const {
+  std::int32_t total = 0;
+  for (TaskId t : context_tasks(rc, ctx)) {
+    const Placement& p = placement_[t];
+    total += tg.task(t).hw.at(p.impl).clbs;
+  }
+  return total;
+}
+
+std::span<const TaskId> Solution::asic_tasks(ResourceId asic) const {
+  const auto it = asic_tasks_.find(asic);
+  if (it == asic_tasks_.end()) return {};
+  return it->second;
+}
+
+std::size_t Solution::tasks_on(ResourceId id) const {
+  std::size_t n = 0;
+  for (const Placement& p : placement_) {
+    n += (p.resource == id) ? 1 : 0;
+  }
+  return n;
+}
+
+void Solution::remove_task(TaskId task) {
+  RDSE_REQUIRE(task < placement_.size(), "Solution: task id out of range");
+  Placement& p = placement_[task];
+  if (!p.assigned()) return;
+
+  if (auto it = proc_order_.find(p.resource); it != proc_order_.end()) {
+    auto& order = it->second;
+    const auto pos = std::find(order.begin(), order.end(), task);
+    if (pos != order.end()) {
+      order.erase(pos);
+      p = Placement{};
+      return;
+    }
+  }
+  if (auto it = rc_contexts_.find(p.resource); it != rc_contexts_.end()) {
+    auto& contexts = it->second;
+    RDSE_ASSERT(p.context >= 0 &&
+                static_cast<std::size_t>(p.context) < contexts.size());
+    auto& members = contexts[static_cast<std::size_t>(p.context)];
+    const auto pos = std::find(members.begin(), members.end(), task);
+    RDSE_ASSERT(pos != members.end());
+    members.erase(pos);
+    if (members.empty()) {
+      // Destroy the emptied context and renumber the ones behind it.
+      const auto dead = static_cast<std::int32_t>(p.context);
+      contexts.erase(contexts.begin() + dead);
+      for (Placement& q : placement_) {
+        if (q.resource == p.resource && q.context > dead) {
+          --q.context;
+        }
+      }
+    }
+    p = Placement{};
+    return;
+  }
+  if (auto it = asic_tasks_.find(p.resource); it != asic_tasks_.end()) {
+    auto& members = it->second;
+    const auto pos = std::find(members.begin(), members.end(), task);
+    RDSE_ASSERT(pos != members.end());
+    members.erase(pos);
+    p = Placement{};
+    return;
+  }
+  RDSE_ASSERT_MSG(false, "Solution::remove_task: placement without mirror");
+}
+
+void Solution::insert_on_processor(TaskId task, ResourceId processor,
+                                   std::size_t position) {
+  RDSE_REQUIRE(task < placement_.size(), "Solution: task id out of range");
+  RDSE_REQUIRE(!placement_[task].assigned(),
+               "insert_on_processor: task already assigned");
+  auto& order = proc_order_[processor];
+  position = std::min(position, order.size());
+  order.insert(order.begin() + static_cast<std::ptrdiff_t>(position), task);
+  placement_[task] = Placement{processor, -1, 0};
+}
+
+void Solution::insert_in_context(TaskId task, ResourceId rc, std::size_t ctx,
+                                 std::uint32_t impl) {
+  RDSE_REQUIRE(task < placement_.size(), "Solution: task id out of range");
+  RDSE_REQUIRE(!placement_[task].assigned(),
+               "insert_in_context: task already assigned");
+  auto it = rc_contexts_.find(rc);
+  RDSE_REQUIRE(it != rc_contexts_.end() && ctx < it->second.size(),
+               "insert_in_context: no context " + std::to_string(ctx) +
+                   " on resource " + std::to_string(rc) + " (" +
+                   std::to_string(it == rc_contexts_.end()
+                                      ? 0
+                                      : it->second.size()) +
+                   " contexts)");
+  it->second[ctx].push_back(task);
+  placement_[task] = Placement{rc, static_cast<std::int32_t>(ctx), impl};
+}
+
+void Solution::insert_on_asic(TaskId task, ResourceId asic,
+                              std::uint32_t impl) {
+  RDSE_REQUIRE(task < placement_.size(), "Solution: task id out of range");
+  RDSE_REQUIRE(!placement_[task].assigned(),
+               "insert_on_asic: task already assigned");
+  asic_tasks_[asic].push_back(task);
+  placement_[task] = Placement{asic, -1, impl};
+}
+
+std::size_t Solution::spawn_context_after(ResourceId rc, std::size_t after) {
+  auto& contexts = rc_contexts_[rc];
+  std::size_t pos;
+  if (after == kFront) {
+    pos = 0;
+  } else {
+    RDSE_REQUIRE(after < contexts.size(),
+                 "spawn_context_after: context index out of range");
+    pos = after + 1;
+  }
+  // Note: an explicit element type is required here — a braced "{}" would
+  // select the initializer_list overload and insert zero elements.
+  contexts.insert(contexts.begin() + static_cast<std::ptrdiff_t>(pos),
+                  std::vector<TaskId>{});
+  for (Placement& q : placement_) {
+    if (q.resource == rc && q.context >= static_cast<std::int32_t>(pos)) {
+      ++q.context;
+    }
+  }
+  return pos;
+}
+
+void Solution::reposition(TaskId task, std::size_t new_position) {
+  const Placement p = placement(task);
+  auto it = proc_order_.find(p.resource);
+  RDSE_REQUIRE(it != proc_order_.end(),
+               "reposition: task is not on a processor");
+  auto& order = it->second;
+  const auto pos = std::find(order.begin(), order.end(), task);
+  RDSE_ASSERT(pos != order.end());
+  order.erase(pos);
+  new_position = std::min(new_position, order.size());
+  order.insert(order.begin() + static_cast<std::ptrdiff_t>(new_position),
+               task);
+}
+
+void Solution::set_impl(TaskId task, std::uint32_t impl) {
+  RDSE_REQUIRE(task < placement_.size(), "Solution: task id out of range");
+  RDSE_REQUIRE(placement_[task].assigned() && placement_[task].context >= 0,
+               "set_impl: task is not on a reconfigurable circuit");
+  placement_[task].impl = impl;
+}
+
+void Solution::swap_contexts(ResourceId rc, std::size_t a, std::size_t b) {
+  auto it = rc_contexts_.find(rc);
+  RDSE_REQUIRE(it != rc_contexts_.end() && a < it->second.size() &&
+                   b < it->second.size(),
+               "swap_contexts: context index out of range");
+  if (a == b) return;
+  std::swap(it->second[a], it->second[b]);
+  for (Placement& q : placement_) {
+    if (q.resource != rc) continue;
+    if (q.context == static_cast<std::int32_t>(a)) {
+      q.context = static_cast<std::int32_t>(b);
+    } else if (q.context == static_cast<std::int32_t>(b)) {
+      q.context = static_cast<std::int32_t>(a);
+    }
+  }
+}
+
+void Solution::check_mirrors() const {
+  std::vector<int> seen(placement_.size(), 0);
+  for (const auto& [proc, order] : proc_order_) {
+    for (TaskId t : order) {
+      RDSE_ASSERT(t < placement_.size());
+      RDSE_ASSERT(placement_[t].resource == proc);
+      RDSE_ASSERT(placement_[t].context == -1);
+      ++seen[t];
+    }
+  }
+  for (const auto& [rc, contexts] : rc_contexts_) {
+    for (std::size_t c = 0; c < contexts.size(); ++c) {
+      RDSE_ASSERT_MSG(!contexts[c].empty(),
+                      "Solution: empty context not collapsed");
+      for (TaskId t : contexts[c]) {
+        RDSE_ASSERT(t < placement_.size());
+        RDSE_ASSERT(placement_[t].resource == rc);
+        RDSE_ASSERT(placement_[t].context == static_cast<std::int32_t>(c));
+        ++seen[t];
+      }
+    }
+  }
+  for (const auto& [asic, members] : asic_tasks_) {
+    for (TaskId t : members) {
+      RDSE_ASSERT(t < placement_.size());
+      RDSE_ASSERT(placement_[t].resource == asic);
+      ++seen[t];
+    }
+  }
+  for (TaskId t = 0; t < placement_.size(); ++t) {
+    RDSE_ASSERT(seen[t] == (placement_[t].assigned() ? 1 : 0));
+  }
+}
+
+}  // namespace rdse

@@ -1,0 +1,130 @@
+#pragma once
+/// \file solution.hpp
+/// \brief A point in the design space (§3.3): spatial partitioning,
+/// temporal partitioning, software ordering and implementation choices.
+///
+/// A Solution records, for every task,
+///  - the resource executing it (processor / ASIC / reconfigurable circuit),
+///  - for RC tasks: the run-time context (index into the RC's ordered
+///    context list) and the chosen hardware implementation,
+///  - for processor tasks: the position in that processor's total order.
+///
+/// The class stores the representation and maintains the mirror structures
+/// (order lists <-> placements); *semantic* feasibility — capacity bounds,
+/// acyclicity of the induced search graph — is enforced by the move layer
+/// and checked by mapping/validation.hpp. Solutions are value types: the
+/// annealer copies them to stage candidates. They deliberately hold no
+/// pointers to the task graph or architecture; methods that need those take
+/// them as parameters, so a Solution can outlive architecture snapshots.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "arch/architecture.hpp"
+#include "model/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace rdse {
+
+/// Where one task lives.
+struct Placement {
+  ResourceId resource = kInvalidResource;
+  std::int32_t context = -1;  ///< context index on an RC; -1 otherwise
+  std::uint32_t impl = 0;     ///< hardware implementation index (RC/ASIC)
+
+  [[nodiscard]] bool assigned() const { return resource != kInvalidResource; }
+  [[nodiscard]] bool operator==(const Placement&) const = default;
+};
+
+class Solution {
+ public:
+  /// All tasks unassigned (useful for hand-built scenarios and tests).
+  explicit Solution(std::size_t task_count);
+
+  /// Everything on one processor, in deterministic topological order —
+  /// the paper's software-reference point (76.4 ms for motion detection).
+  static Solution all_software(const TaskGraph& tg, ResourceId processor);
+
+  /// The paper's initial solution (§5): start all-software, then move a
+  /// random number of random hardware-capable tasks, one by one, to the RC
+  /// with a random implementation; a new context is created whenever the
+  /// capacity of the last context is exceeded.
+  static Solution random_partition(const TaskGraph& tg,
+                                   const Architecture& arch,
+                                   ResourceId processor, ResourceId rc,
+                                   Rng& rng);
+
+  [[nodiscard]] std::size_t task_count() const { return placement_.size(); }
+  [[nodiscard]] const Placement& placement(TaskId task) const;
+  [[nodiscard]] ResourceId resource_of(TaskId task) const;
+
+  /// Total order of tasks on a processor (empty if none assigned).
+  [[nodiscard]] std::span<const TaskId> processor_order(
+      ResourceId processor) const;
+  /// Position of a processor task within its order.
+  [[nodiscard]] std::size_t order_position(TaskId task) const;
+
+  /// Number of contexts currently allocated on an RC.
+  [[nodiscard]] std::size_t context_count(ResourceId rc) const;
+  /// Members of one context (unordered — locally partial order).
+  [[nodiscard]] std::span<const TaskId> context_tasks(ResourceId rc,
+                                                      std::size_t ctx) const;
+  /// CLBs occupied by a context under the current implementation choices.
+  [[nodiscard]] std::int32_t context_clbs(const TaskGraph& tg, ResourceId rc,
+                                          std::size_t ctx) const;
+  /// Tasks placed on an ASIC (unordered).
+  [[nodiscard]] std::span<const TaskId> asic_tasks(ResourceId asic) const;
+
+  /// Tasks on any resource of the given id.
+  [[nodiscard]] std::size_t tasks_on(ResourceId id) const;
+
+  // ---- mutators ----------------------------------------------------------
+
+  /// Detach a task from wherever it is (no-op if unassigned). Empties are
+  /// collapsed: a context left without tasks is destroyed, as in §4.2/§4.3.
+  void remove_task(TaskId task);
+
+  /// Insert an unassigned task into a processor's total order at `position`
+  /// (clamped to [0, size]).
+  void insert_on_processor(TaskId task, ResourceId processor,
+                           std::size_t position);
+
+  /// Insert an unassigned task into an existing context.
+  void insert_in_context(TaskId task, ResourceId rc, std::size_t ctx,
+                         std::uint32_t impl);
+
+  /// Insert an unassigned task on an ASIC.
+  void insert_on_asic(TaskId task, ResourceId asic, std::uint32_t impl);
+
+  /// Create an empty context right after `after` (pass npos to prepend at
+  /// the front, or context_count()-1 to append). Returns the new index.
+  std::size_t spawn_context_after(ResourceId rc, std::size_t after);
+  static constexpr std::size_t kFront = static_cast<std::size_t>(-1);
+
+  /// Move a processor task to a new position within the same order.
+  void reposition(TaskId task, std::size_t new_position);
+
+  /// Change the hardware implementation of an RC/ASIC task.
+  void set_impl(TaskId task, std::uint32_t impl);
+
+  /// Swap two contexts in the RC's execution order.
+  void swap_contexts(ResourceId rc, std::size_t a, std::size_t b);
+
+  /// Internal mirror-consistency check (aborts on violation; tests).
+  void check_mirrors() const;
+
+  [[nodiscard]] bool operator==(const Solution&) const = default;
+
+ private:
+  std::vector<Placement> placement_;
+  /// processor id -> total order
+  std::map<ResourceId, std::vector<TaskId>> proc_order_;
+  /// rc id -> ordered context list (members unordered within a context)
+  std::map<ResourceId, std::vector<std::vector<TaskId>>> rc_contexts_;
+  /// asic id -> members
+  std::map<ResourceId, std::vector<TaskId>> asic_tasks_;
+};
+
+}  // namespace rdse

@@ -1,0 +1,132 @@
+#include "mapping/validation.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/topo.hpp"
+#include "mapping/search_graph.hpp"
+
+namespace rdse {
+
+std::vector<std::string> validate_solution(const TaskGraph& tg,
+                                           const Architecture& arch,
+                                           const Solution& sol) {
+  std::vector<std::string> bad;
+  auto complain = [&bad](const std::string& msg) { bad.push_back(msg); };
+
+  if (sol.task_count() != tg.task_count()) {
+    complain("solution covers " + std::to_string(sol.task_count()) +
+             " tasks, task graph has " + std::to_string(tg.task_count()));
+    return bad;
+  }
+
+  for (TaskId t = 0; t < tg.task_count(); ++t) {
+    const Placement& p = sol.placement(t);
+    const std::string& name = tg.task(t).name;
+    if (!p.assigned()) {
+      complain("task '" + name + "' is unassigned");
+      continue;
+    }
+    if (!arch.alive(p.resource)) {
+      complain("task '" + name + "' is on a dead resource");
+      continue;
+    }
+    const Resource& res = arch.resource(p.resource);
+    switch (res.kind()) {
+      case ResourceKind::kProcessor: {
+        if (p.context != -1) {
+          complain("task '" + name + "' on a processor has a context index");
+        }
+        const auto order = sol.processor_order(p.resource);
+        if (std::count(order.begin(), order.end(), t) != 1) {
+          complain("task '" + name +
+                   "' does not appear exactly once in its processor order");
+        }
+        break;
+      }
+      case ResourceKind::kReconfigurable: {
+        if (!tg.task(t).hw_capable()) {
+          complain("software-only task '" + name + "' placed on an RC");
+          break;
+        }
+        if (p.impl >= tg.task(t).hw.size()) {
+          complain("task '" + name + "' has implementation index " +
+                   std::to_string(p.impl) + " out of range");
+          break;
+        }
+        if (p.context < 0 ||
+            static_cast<std::size_t>(p.context) >=
+                sol.context_count(p.resource)) {
+          complain("task '" + name + "' has an invalid context index");
+          break;
+        }
+        const auto members =
+            sol.context_tasks(p.resource, static_cast<std::size_t>(p.context));
+        if (std::count(members.begin(), members.end(), t) != 1) {
+          complain("task '" + name +
+                   "' does not appear exactly once in its context");
+        }
+        break;
+      }
+      case ResourceKind::kAsic: {
+        if (!tg.task(t).hw_capable()) {
+          complain("software-only task '" + name + "' placed on an ASIC");
+          break;
+        }
+        if (p.impl >= tg.task(t).hw.size()) {
+          complain("task '" + name + "' has implementation index " +
+                   std::to_string(p.impl) + " out of range");
+          break;
+        }
+        const auto members = sol.asic_tasks(p.resource);
+        if (std::count(members.begin(), members.end(), t) != 1) {
+          complain("task '" + name +
+                   "' does not appear exactly once on its ASIC");
+        }
+        break;
+      }
+    }
+  }
+  if (!bad.empty()) {
+    return bad;  // structure broken; capacity/cycle checks would be noise
+  }
+
+  // Context capacity.
+  for (ResourceId rc : arch.reconfigurable_ids()) {
+    const auto& dev = arch.reconfigurable(rc);
+    for (std::size_t c = 0; c < sol.context_count(rc); ++c) {
+      if (sol.context_tasks(rc, c).empty()) {
+        complain("context " + std::to_string(c) + " on '" + dev.name() +
+                 "' is empty");
+        continue;
+      }
+      const std::int32_t used = sol.context_clbs(tg, rc, c);
+      if (used > dev.n_clbs()) {
+        complain("context " + std::to_string(c) + " on '" + dev.name() +
+                 "' uses " + std::to_string(used) + " CLBs > capacity " +
+                 std::to_string(dev.n_clbs()));
+      }
+    }
+  }
+
+  // Acyclicity of the realized search graph.
+  const SearchGraph sg = build_search_graph(tg, arch, sol);
+  if (!is_acyclic(sg.graph)) {
+    complain("realized search graph G' contains a cycle");
+  }
+  return bad;
+}
+
+void require_valid(const TaskGraph& tg, const Architecture& arch,
+                   const Solution& sol) {
+  const auto bad = validate_solution(tg, arch, sol);
+  if (bad.empty()) return;
+  std::ostringstream os;
+  os << "invalid solution (" << bad.size() << " violation(s)):";
+  for (const auto& b : bad) {
+    os << "\n  - " << b;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace rdse

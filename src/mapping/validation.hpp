@@ -1,0 +1,32 @@
+#pragma once
+/// \file validation.hpp
+/// \brief Full structural + semantic validation of a solution against its
+/// task graph and architecture. Used by tests, by the explorer on entry and
+/// exit, and available to library users for debugging custom mappings.
+
+#include <string>
+#include <vector>
+
+#include "arch/architecture.hpp"
+#include "mapping/solution.hpp"
+#include "model/task_graph.hpp"
+
+namespace rdse {
+
+/// Collect all violations (empty result == valid). Checks:
+///  - every task is assigned to a live resource;
+///  - hardware placements only on hardware-capable tasks, implementation
+///    index in range;
+///  - tasks on processors appear exactly once in that processor's order;
+///  - context members match placements, contexts are non-empty;
+///  - each context fits the device capacity NCLB;
+///  - the realized search graph G' is acyclic (orders consistent with
+///    precedence).
+[[nodiscard]] std::vector<std::string> validate_solution(
+    const TaskGraph& tg, const Architecture& arch, const Solution& sol);
+
+/// Throw rdse::Error with a combined message if validation fails.
+void require_valid(const TaskGraph& tg, const Architecture& arch,
+                   const Solution& sol);
+
+}  // namespace rdse

@@ -1,0 +1,33 @@
+#pragma once
+/// \file generators.hpp (model)
+/// \brief Synthetic application generator for property tests and the
+/// scalability study (EXP-S1): random layered task graphs with plausible
+/// software times, communication volumes and Pareto implementation sets.
+
+#include "graph/generators.hpp"
+#include "model/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace rdse {
+
+struct AppGenParams {
+  LayeredDagParams dag;                 ///< topology parameters
+  double sw_ms_lo = 0.5;                ///< per-task software time range (ms)
+  double sw_ms_hi = 8.0;
+  double hw_capable_fraction = 1.0;     ///< share of tasks with HW variants
+  std::int32_t base_clbs_lo = 20;       ///< smallest-implementation area
+  std::int32_t base_clbs_hi = 90;
+  double base_speedup_lo = 3.0;         ///< speedup of smallest impl vs SW
+  double base_speedup_hi = 12.0;
+  std::size_t impl_count_lo = 5;        ///< Pareto points per function
+  std::size_t impl_count_hi = 6;
+  std::int64_t bytes_lo = 128;          ///< per-edge transfer volume
+  std::int64_t bytes_hi = 16384;
+  double deadline_slack = 0.5;          ///< deadline = slack * total SW time
+};
+
+/// Generate a random application; deterministic given rng state.
+[[nodiscard]] Application random_application(const AppGenParams& params,
+                                             Rng& rng);
+
+}  // namespace rdse

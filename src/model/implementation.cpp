@@ -1,0 +1,91 @@
+#include "model/implementation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+ImplementationSet ImplementationSet::pareto(
+    std::vector<HwImplementation> points) {
+  for (const auto& p : points) {
+    RDSE_REQUIRE(p.clbs > 0, "ImplementationSet: non-positive area");
+    RDSE_REQUIRE(p.time > 0, "ImplementationSet: non-positive time");
+  }
+  std::sort(points.begin(), points.end(), [](const auto& a, const auto& b) {
+    return a.clbs != b.clbs ? a.clbs < b.clbs : a.time < b.time;
+  });
+  ImplementationSet set;
+  for (const auto& p : points) {
+    // Keep p only if it is strictly faster than everything smaller.
+    if (!set.impls_.empty()) {
+      if (p.time >= set.impls_.back().time) {
+        continue;  // dominated by (or tied with) a smaller implementation
+      }
+      if (p.clbs == set.impls_.back().clbs) {
+        set.impls_.back() = p;  // same area, strictly faster
+        continue;
+      }
+    }
+    set.impls_.push_back(p);
+  }
+  return set;
+}
+
+const HwImplementation& ImplementationSet::at(std::size_t i) const {
+  RDSE_REQUIRE(i < impls_.size(), "ImplementationSet::at: index out of range");
+  return impls_[i];
+}
+
+std::optional<std::size_t> ImplementationSet::best_under_area(
+    std::int32_t max_clbs) const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < impls_.size(); ++i) {
+    if (impls_[i].clbs <= max_clbs) {
+      best = i;  // sorted by area; later fitting entries are faster
+    }
+  }
+  return best;
+}
+
+std::size_t ImplementationSet::smallest() const {
+  RDSE_REQUIRE(!impls_.empty(), "ImplementationSet::smallest: empty set");
+  return 0;
+}
+
+std::size_t ImplementationSet::fastest() const {
+  RDSE_REQUIRE(!impls_.empty(), "ImplementationSet::fastest: empty set");
+  return impls_.size() - 1;
+}
+
+std::int32_t ImplementationSet::min_clbs() const {
+  if (impls_.empty()) return INT32_MAX;
+  return impls_.front().clbs;
+}
+
+ImplementationSet make_pareto_impls(TimeNs sw_time, std::int32_t base_clbs,
+                                    double base_speedup, std::size_t count,
+                                    double ratio, double gamma) {
+  RDSE_REQUIRE(sw_time > 0, "make_pareto_impls: non-positive sw time");
+  RDSE_REQUIRE(base_clbs > 0, "make_pareto_impls: non-positive base area");
+  RDSE_REQUIRE(base_speedup >= 1.0, "make_pareto_impls: speedup < 1");
+  RDSE_REQUIRE(count >= 1, "make_pareto_impls: empty set requested");
+  RDSE_REQUIRE(ratio > 1.0, "make_pareto_impls: ratio must exceed 1");
+  std::vector<HwImplementation> points;
+  points.reserve(count);
+  double area = static_cast<double>(base_clbs);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double rel_area = area / static_cast<double>(base_clbs);
+    const double speedup = base_speedup * std::pow(rel_area, gamma);
+    auto time = static_cast<TimeNs>(
+        std::llround(static_cast<double>(sw_time) / speedup));
+    time = std::max<TimeNs>(time, 1);
+    points.push_back(HwImplementation{
+        static_cast<std::int32_t>(std::lround(area)), time});
+    area *= ratio;
+  }
+  return ImplementationSet::pareto(std::move(points));
+}
+
+}  // namespace rdse

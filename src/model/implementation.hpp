@@ -1,0 +1,72 @@
+#pragma once
+/// \file implementation.hpp
+/// \brief Hardware implementation variants of a task function.
+///
+/// §5 of the paper: "several estimates are provided for each task on the
+/// FPGA, thus allowing exploration of the trade-off between number of CLBs
+/// and execution time... The node implementations considered form a set of
+/// dominant solutions in the area-time domain" (5 or 6 synthesized solutions
+/// per function). During annealing, a dedicated move picks one implementation
+/// per hardware-mapped node.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace rdse {
+
+/// One synthesized area/time point for a function.
+struct HwImplementation {
+  std::int32_t clbs = 0;  ///< combinational logic blocks occupied
+  TimeNs time = 0;        ///< execution time on the reconfigurable circuit
+};
+
+/// A Pareto-dominant set of implementations, sorted by increasing area
+/// (hence strictly decreasing execution time).
+class ImplementationSet {
+ public:
+  ImplementationSet() = default;
+
+  /// Build from arbitrary points: dominated and duplicate points are
+  /// removed, the rest sorted by area. Throws if any point is non-positive.
+  static ImplementationSet pareto(std::vector<HwImplementation> points);
+
+  [[nodiscard]] bool empty() const { return impls_.empty(); }
+  [[nodiscard]] std::size_t size() const { return impls_.size(); }
+  [[nodiscard]] const HwImplementation& at(std::size_t i) const;
+  [[nodiscard]] std::span<const HwImplementation> all() const {
+    return impls_;
+  }
+
+  /// Index of the fastest implementation with clbs <= max_clbs
+  /// (i.e. the largest fitting one), or nullopt if none fits.
+  [[nodiscard]] std::optional<std::size_t> best_under_area(
+      std::int32_t max_clbs) const;
+
+  /// Smallest-area implementation index (0) — only valid when non-empty.
+  [[nodiscard]] std::size_t smallest() const;
+  /// Fastest (largest-area) implementation index — only valid if non-empty.
+  [[nodiscard]] std::size_t fastest() const;
+
+  /// Smallest area in the set (INT32_MAX when empty).
+  [[nodiscard]] std::int32_t min_clbs() const;
+
+ private:
+  std::vector<HwImplementation> impls_;
+};
+
+/// Generate a synthetic Pareto set the way the EPICURE estimates behave:
+/// `count` points with areas base_clbs * ratio^i and times
+/// sw_time / (base_speedup * (area/base)^gamma). Used by the calibrated
+/// motion-detection model and the synthetic application generator.
+[[nodiscard]] ImplementationSet make_pareto_impls(TimeNs sw_time,
+                                                  std::int32_t base_clbs,
+                                                  double base_speedup,
+                                                  std::size_t count,
+                                                  double ratio = 1.5,
+                                                  double gamma = 0.6);
+
+}  // namespace rdse

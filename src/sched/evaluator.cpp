@@ -1,0 +1,60 @@
+#include "sched/evaluator.hpp"
+
+#include <algorithm>
+
+#include "graph/topo.hpp"
+
+namespace rdse {
+namespace {
+
+void fill_static_metrics(const TaskGraph& tg, const Architecture& arch,
+                         const Solution& sol, const SearchGraph& sg,
+                         Metrics& m) {
+  m.init_reconfig = sg.init_reconfig;
+  m.dyn_reconfig = sg.dyn_reconfig;
+  m.comm_cross = sg.comm_cross;
+  for (TaskId t = 0; t < tg.task_count(); ++t) {
+    const Placement& p = sol.placement(t);
+    if (arch.resource(p.resource).kind() == ResourceKind::kProcessor) {
+      ++m.sw_tasks;
+      m.sw_busy += sg.node_weight[t];
+    } else {
+      ++m.hw_tasks;
+      m.hw_busy += sg.node_weight[t];
+    }
+  }
+  for (ResourceId rc : arch.reconfigurable_ids()) {
+    const std::size_t n_ctx = sol.context_count(rc);
+    m.n_contexts += static_cast<int>(n_ctx);
+    for (std::size_t c = 0; c < n_ctx; ++c) {
+      const std::int32_t clbs = sol.context_clbs(tg, rc, c);
+      m.clbs_loaded += clbs;
+      m.max_context_clbs = std::max(m.max_context_clbs, clbs);
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<Metrics> Evaluator::evaluate(const Solution& sol) const {
+  auto detail = evaluate_detailed(sol);
+  if (!detail) return std::nullopt;
+  return detail->metrics;
+}
+
+std::optional<EvalDetail> Evaluator::evaluate_detailed(
+    const Solution& sol) const {
+  EvalDetail d;
+  d.search_graph = build_search_graph(*tg_, *arch_, sol);
+  if (!is_acyclic(d.search_graph.graph)) {
+    return std::nullopt;
+  }
+  const WeightedDag dag{&d.search_graph.graph, d.search_graph.node_weight,
+                        d.search_graph.edge_weight, d.search_graph.release};
+  d.lp = longest_path(dag);
+  d.metrics.makespan = d.lp.makespan;
+  fill_static_metrics(*tg_, *arch_, sol, d.search_graph, d.metrics);
+  return d;
+}
+
+}  // namespace rdse

@@ -1,0 +1,67 @@
+#pragma once
+/// \file evaluator.hpp
+/// \brief Solution performance evaluation (§4.4): the cost of a candidate
+/// solution is the longest path of its realized search graph.
+
+#include <optional>
+
+#include "arch/architecture.hpp"
+#include "graph/longest_path.hpp"
+#include "mapping/search_graph.hpp"
+#include "mapping/solution.hpp"
+#include "model/task_graph.hpp"
+
+namespace rdse {
+
+/// Aggregate performance figures of one evaluated solution. The identity
+/// printed beneath Fig. 3 holds by construction:
+///   makespan-relevant execution time = initial + dynamic reconfiguration
+///                                      + computation and communication.
+struct Metrics {
+  TimeNs makespan = 0;
+  TimeNs init_reconfig = 0;   ///< load time of the first context(s)
+  TimeNs dyn_reconfig = 0;    ///< inter-context reconfiguration total
+  TimeNs comm_cross = 0;      ///< bus time of resource-crossing transfers
+  TimeNs sw_busy = 0;         ///< summed software execution time
+  TimeNs hw_busy = 0;         ///< summed hardware execution time
+  int n_contexts = 0;
+  int sw_tasks = 0;
+  int hw_tasks = 0;
+  std::int32_t clbs_loaded = 0;      ///< CLBs summed over all contexts
+  std::int32_t max_context_clbs = 0;
+
+  [[nodiscard]] TimeNs total_reconfig() const {
+    return init_reconfig + dyn_reconfig;
+  }
+};
+
+/// Everything a reporting/timeline consumer needs from one evaluation.
+struct EvalDetail {
+  SearchGraph search_graph;
+  LongestPathResult lp;
+  Metrics metrics;
+};
+
+/// Stateless evaluator bound to one task graph + architecture.
+class Evaluator {
+ public:
+  Evaluator(const TaskGraph& tg, const Architecture& arch)
+      : tg_(&tg), arch_(&arch) {}
+
+  /// Longest-path makespan and statistics; nullopt if the realized search
+  /// graph is cyclic (the solution is infeasible).
+  [[nodiscard]] std::optional<Metrics> evaluate(const Solution& sol) const;
+
+  /// Same, keeping the search graph and node times for timeline/report use.
+  [[nodiscard]] std::optional<EvalDetail> evaluate_detailed(
+      const Solution& sol) const;
+
+  [[nodiscard]] const TaskGraph& task_graph() const { return *tg_; }
+  [[nodiscard]] const Architecture& architecture() const { return *arch_; }
+
+ private:
+  const TaskGraph* tg_;
+  const Architecture* arch_;
+};
+
+}  // namespace rdse

@@ -1,0 +1,133 @@
+#include "sched/incremental.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/topo.hpp"
+#include "util/assert.hpp"
+
+namespace rdse {
+
+IncrementalLongestPath::IncrementalLongestPath(
+    Digraph graph, std::vector<TimeNs> node_weight,
+    std::vector<TimeNs> edge_weight, std::vector<TimeNs> release)
+    : graph_(std::move(graph)),
+      node_weight_(std::move(node_weight)),
+      edge_weight_(std::move(edge_weight)),
+      release_(std::move(release)) {
+  RDSE_REQUIRE(node_weight_.size() == graph_.node_count(),
+               "IncrementalLongestPath: node weight size mismatch");
+  RDSE_REQUIRE(edge_weight_.size() >= graph_.edge_capacity(),
+               "IncrementalLongestPath: edge weight size mismatch");
+  if (release_.empty()) {
+    release_.assign(graph_.node_count(), 0);
+  }
+  rebuild();
+}
+
+bool IncrementalLongestPath::would_create_cycle(NodeId src, NodeId dst) const {
+  return closure_.would_create_cycle(src, dst);
+}
+
+TimeNs IncrementalLongestPath::relax(NodeId v) const {
+  TimeNs s = release_[v];
+  for (EdgeId e : graph_.in_edges(v)) {
+    const NodeId u = graph_.edge(e).src;
+    s = std::max(s, finish_[u] + edge_weight_[e]);
+  }
+  return s;
+}
+
+void IncrementalLongestPath::refresh_ranks() {
+  const auto order = topological_order(graph_);
+  RDSE_REQUIRE(order.has_value(), "IncrementalLongestPath: graph is cyclic");
+  rank_.assign(graph_.node_count(), 0);
+  for (std::size_t i = 0; i < order->size(); ++i) {
+    rank_[(*order)[i]] = static_cast<std::uint32_t>(i);
+  }
+}
+
+void IncrementalLongestPath::propagate_from(NodeId seed) {
+  // Relax dirty nodes in topological-rank order: every node is processed at
+  // most once per update because all its predecessors (lower rank) are
+  // already final when it is popped.
+  using Entry = std::pair<std::uint32_t, NodeId>;  // (rank, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::vector<bool> queued(graph_.node_count(), false);
+  heap.emplace(rank_[seed], seed);
+  queued[seed] = true;
+  while (!heap.empty()) {
+    const NodeId v = heap.top().second;
+    heap.pop();
+    const TimeNs s = relax(v);
+    const TimeNs f = s + node_weight_[v];
+    if (s == start_[v] && f == finish_[v]) {
+      continue;  // unchanged: downstream unaffected through this node
+    }
+    start_[v] = s;
+    finish_[v] = f;
+    for (EdgeId e : graph_.out_edges(v)) {
+      const NodeId w = graph_.edge(e).dst;
+      if (!queued[w]) {
+        queued[w] = true;
+        heap.emplace(rank_[w], w);
+      }
+    }
+  }
+  recompute_makespan();
+}
+
+void IncrementalLongestPath::recompute_makespan() {
+  makespan_ = 0;
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    makespan_ = std::max(makespan_, finish_[v]);
+  }
+}
+
+EdgeId IncrementalLongestPath::add_edge(NodeId src, NodeId dst,
+                                        TimeNs weight) {
+  RDSE_REQUIRE(!would_create_cycle(src, dst),
+               "IncrementalLongestPath::add_edge: would create a cycle");
+  const EdgeId id = graph_.add_edge(src, dst);
+  if (id >= edge_weight_.size()) {
+    edge_weight_.resize(id + 1, 0);
+  }
+  edge_weight_[id] = weight;
+  closure_.add_edge(src, dst);
+  refresh_ranks();  // structure changed
+  propagate_from(dst);
+  return id;
+}
+
+void IncrementalLongestPath::remove_edge(EdgeId edge) {
+  const NodeId dst = graph_.edge(edge).dst;
+  graph_.remove_edge(edge);
+  closure_.build(graph_);  // deletions: rebuild (see header)
+  refresh_ranks();
+  propagate_from(dst);
+}
+
+void IncrementalLongestPath::set_node_weight(NodeId node, TimeNs weight) {
+  RDSE_REQUIRE(node < graph_.node_count(),
+               "set_node_weight: node out of range");
+  node_weight_[node] = weight;
+  propagate_from(node);
+}
+
+void IncrementalLongestPath::set_release(NodeId node, TimeNs release) {
+  RDSE_REQUIRE(node < graph_.node_count(), "set_release: node out of range");
+  release_[node] = release;
+  propagate_from(node);
+}
+
+void IncrementalLongestPath::rebuild() {
+  const WeightedDag dag{&graph_, node_weight_, edge_weight_, release_};
+  const LongestPathResult r = longest_path(dag);
+  start_ = r.start;
+  finish_ = r.finish;
+  makespan_ = r.makespan;
+  closure_.build(graph_);
+  refresh_ranks();
+}
+
+}  // namespace rdse

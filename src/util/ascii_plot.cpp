@@ -1,0 +1,121 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace rdse {
+
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options) {
+  RDSE_REQUIRE(options.width >= 16 && options.height >= 4,
+               "render_plot: plot area too small");
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : series) {
+    RDSE_REQUIRE(s.x.size() == s.y.size(), "render_plot: x/y size mismatch");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+      any = true;
+    }
+  }
+  if (!any) {
+    return "(empty plot)\n";
+  }
+  if (options.y_from_zero) {
+    ymin = std::min(ymin, 0.0);
+  }
+  if (xmax <= xmin) xmax = xmin + 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double fx = (s.x[i] - xmin) / (xmax - xmin);
+      const double fy = (s.y[i] - ymin) / (ymax - ymin);
+      int cx = static_cast<int>(std::lround(fx * (w - 1)));
+      int cy = static_cast<int>(std::lround(fy * (h - 1)));
+      cx = std::clamp(cx, 0, w - 1);
+      cy = std::clamp(cy, 0, h - 1);
+      // Row 0 is the top of the plot.
+      grid[static_cast<std::size_t>(h - 1 - cy)]
+          [static_cast<std::size_t>(cx)] = s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.y_label.empty()) {
+    os << options.y_label << '\n';
+  }
+  const std::string top = format_double(ymax, 2);
+  const std::string bot = format_double(ymin, 2);
+  const std::size_t margin = std::max(top.size(), bot.size());
+  for (int r = 0; r < h; ++r) {
+    std::string label(margin, ' ');
+    if (r == 0) label = std::string(margin - top.size(), ' ') + top;
+    if (r == h - 1) label = std::string(margin - bot.size(), ' ') + bot;
+    os << label << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(margin, ' ') << " +" << std::string(static_cast<std::size_t>(w), '-')
+     << '\n';
+  const std::string xl = format_double(xmin, 1);
+  const std::string xr = format_double(xmax, 1);
+  std::string xaxis(margin + 2, ' ');
+  xaxis += xl;
+  const std::size_t room = static_cast<std::size_t>(w) > xl.size() + xr.size()
+                               ? static_cast<std::size_t>(w) - xl.size() - xr.size()
+                               : 1;
+  xaxis += std::string(room, ' ');
+  xaxis += xr;
+  os << xaxis;
+  if (!options.x_label.empty()) {
+    os << "  (" << options.x_label << ")";
+  }
+  os << '\n';
+  for (const auto& s : series) {
+    os << "  " << s.glyph << " = " << s.name << '\n';
+  }
+  return os.str();
+}
+
+std::string sparkline(const std::vector<double>& values, int width) {
+  if (values.empty() || width <= 0) return "";
+  static const char levels[] = {' ', '.', ':', '-', '=', '#'};
+  constexpr int kLevels = 6;
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  const std::size_t n = values.size();
+  std::string out;
+  out.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    // Average the bucket of samples that maps to this column.
+    const std::size_t b0 = static_cast<std::size_t>(i) * n / static_cast<std::size_t>(width);
+    std::size_t b1 = static_cast<std::size_t>(i + 1) * n / static_cast<std::size_t>(width);
+    b1 = std::max(b1, b0 + 1);
+    double sum = 0.0;
+    for (std::size_t j = b0; j < b1 && j < n; ++j) sum += values[j];
+    const double avg = sum / static_cast<double>(b1 - b0);
+    int level = 0;
+    if (hi > lo) {
+      level = static_cast<int>((avg - lo) / (hi - lo) * (kLevels - 1) + 0.5);
+      level = std::clamp(level, 0, kLevels - 1);
+    }
+    out.push_back(levels[level]);
+  }
+  return out;
+}
+
+}  // namespace rdse

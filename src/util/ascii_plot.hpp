@@ -1,0 +1,41 @@
+#pragma once
+/// \file ascii_plot.hpp
+/// \brief Terminal line plots for the figure-reproduction benches.
+///
+/// The paper's evaluation consists of two figures (execution-time traces and
+/// a device-size sweep). The bench binaries print the underlying data as
+/// tables *and* as ASCII plots so the curve shapes can be eyeballed directly
+/// in CI logs without a plotting stack.
+
+#include <string>
+#include <vector>
+
+namespace rdse {
+
+/// One named series of (x, y) points; x must be non-decreasing.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char glyph = '*';
+};
+
+/// Plot configuration.
+struct PlotOptions {
+  int width = 72;    ///< plot area width in characters (>= 16)
+  int height = 18;   ///< plot area height in characters (>= 4)
+  std::string x_label;
+  std::string y_label;
+  bool y_from_zero = false;  ///< force the y axis to start at zero
+};
+
+/// Render one or more series into a character grid with axes and a legend.
+[[nodiscard]] std::string render_plot(const std::vector<Series>& series,
+                                      const PlotOptions& options);
+
+/// Compact single-line sparkline of a series (levels rendered with '.',
+/// ':', '-', '=', '#'); used in iteration-trace summaries.
+[[nodiscard]] std::string sparkline(const std::vector<double>& values,
+                                    int width = 64);
+
+}  // namespace rdse

@@ -1,0 +1,54 @@
+#pragma once
+/// \file assert.hpp
+/// \brief Internal invariant checking and user-facing error reporting.
+///
+/// Two distinct mechanisms, per the C++ Core Guidelines (I.6 / E.x):
+///  - RDSE_ASSERT checks *internal* invariants; violations indicate a bug in
+///    rdse itself and abort with a diagnostic. Enabled in all build types
+///    (the checks in hot paths are cheap at paper scale).
+///  - rdse::Error is thrown for *precondition* violations by callers
+///    (malformed graphs, out-of-range ids, infeasible configurations).
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace rdse {
+
+/// Exception type for all user-facing precondition and validation failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "rdse: assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace rdse
+
+#define RDSE_ASSERT(expr)                                          \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::rdse::assert_fail(#expr, __FILE__, __LINE__, nullptr);     \
+    }                                                              \
+  } while (false)
+
+#define RDSE_ASSERT_MSG(expr, msg)                                 \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::rdse::assert_fail(#expr, __FILE__, __LINE__, (msg));       \
+    }                                                              \
+  } while (false)
+
+/// Throw rdse::Error with a message when a caller-visible precondition fails.
+#define RDSE_REQUIRE(expr, msg)              \
+  do {                                       \
+    if (!(expr)) {                           \
+      throw ::rdse::Error(msg);              \
+    }                                        \
+  } while (false)

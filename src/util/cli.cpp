@@ -1,0 +1,82 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+Options Options::parse(int argc, const char* const* argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      opts.positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      opts.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself an option, else a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      opts.values_[arg] = argv[++i];
+    } else {
+      opts.values_[arg] = "1";
+    }
+  }
+  return opts;
+}
+
+std::optional<std::string> Options::get(const std::string& name,
+                                        const std::string& env_name) const {
+  if (const auto it = values_.find(name); it != values_.end()) {
+    return it->second;
+  }
+  if (!env_name.empty()) {
+    if (const char* env = std::getenv(env_name.c_str());
+        env != nullptr && env[0] != '\0') {
+      return std::string(env);
+    }
+  }
+  return std::nullopt;
+}
+
+std::int64_t Options::get_int(const std::string& name, std::int64_t def,
+                              const std::string& env_name) const {
+  const auto v = get(name, env_name);
+  if (!v) return def;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw Error("option --" + name + ": expected integer, got '" + *v + "'");
+  }
+}
+
+double Options::get_double(const std::string& name, double def,
+                           const std::string& env_name) const {
+  const auto v = get(name, env_name);
+  if (!v) return def;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw Error("option --" + name + ": expected number, got '" + *v + "'");
+  }
+}
+
+std::string Options::get_string(const std::string& name, std::string def,
+                                const std::string& env_name) const {
+  const auto v = get(name, env_name);
+  return v ? *v : def;
+}
+
+bool Options::get_flag(const std::string& name,
+                       const std::string& env_name) const {
+  const auto v = get(name, env_name);
+  if (!v) return false;
+  return *v != "0" && *v != "false" && *v != "off" && !v->empty();
+}
+
+}  // namespace rdse

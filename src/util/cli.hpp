@@ -1,0 +1,46 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Minimal command-line / environment option parsing for the example
+/// and bench binaries (`--key=value`, `--flag`; environment fallback so the
+/// bench harness can be scaled via RDSE_* variables without editing code).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rdse {
+
+class Options {
+ public:
+  /// Parse argv; unrecognized positional arguments are kept in order.
+  /// Accepts "--key=value", "--key value" and boolean "--flag".
+  static Options parse(int argc, const char* const* argv);
+
+  /// Look up --name, else environment variable env_name (if non-empty),
+  /// else nothing.
+  [[nodiscard]] std::optional<std::string> get(
+      const std::string& name, const std::string& env_name = "") const;
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def,
+                                     const std::string& env_name = "") const;
+  [[nodiscard]] double get_double(const std::string& name, double def,
+                                  const std::string& env_name = "") const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string def,
+                                       const std::string& env_name = "") const;
+  [[nodiscard]] bool get_flag(const std::string& name,
+                              const std::string& env_name = "") const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rdse

@@ -1,0 +1,75 @@
+#include "util/combinatorics.hpp"
+
+#include <algorithm>
+
+namespace rdse {
+
+std::string u128_to_string(U128 v) {
+  if (v == 0) return "0";
+  std::string out;
+  while (v > 0) {
+    out.push_back(static_cast<char>('0' + static_cast<int>(v % 10)));
+    v /= 10;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string u128_to_string_grouped(U128 v) {
+  const std::string plain = u128_to_string(v);
+  std::string out;
+  out.reserve(plain.size() + plain.size() / 3);
+  const std::size_t n = plain.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(plain[i]);
+  }
+  return out;
+}
+
+U128 checked_mul(U128 a, U128 b) {
+  if (a != 0 && b > static_cast<U128>(-1) / a) {
+    throw Error("combinatorics: 128-bit multiplication overflow");
+  }
+  return a * b;
+}
+
+U128 checked_add(U128 a, U128 b) {
+  if (a > static_cast<U128>(-1) - b) {
+    throw Error("combinatorics: 128-bit addition overflow");
+  }
+  return a + b;
+}
+
+U128 binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  k = std::min<std::uint64_t>(k, n - k);
+  U128 result = 1;
+  // Multiply/divide alternately; result stays integral because every prefix
+  // C(n-k+i, i) is itself a binomial coefficient.
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    result = checked_mul(result, n - k + i);
+    result /= i;
+  }
+  return result;
+}
+
+U128 factorial(std::uint64_t n) {
+  U128 result = 1;
+  for (std::uint64_t i = 2; i <= n; ++i) {
+    result = checked_mul(result, i);
+  }
+  return result;
+}
+
+U128 interleavings(std::uint64_t a, std::uint64_t b) {
+  return binomial(a + b, a);
+}
+
+U128 context_change_combinations(std::uint64_t n, std::uint64_t changes) {
+  return binomial(n, changes);
+}
+
+}  // namespace rdse

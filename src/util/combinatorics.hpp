@@ -1,0 +1,50 @@
+#pragma once
+/// \file combinatorics.hpp
+/// \brief Exact counting utilities for the solution-space analysis of §5.
+///
+/// The paper sizes the design space by counting (a) the linear extensions of
+/// the application precedence graph (number of admissible total orders) and
+/// (b) the ways of splitting an execution order into run-time contexts.
+/// These are binomial-coefficient computations; we carry them out in 128-bit
+/// arithmetic with explicit overflow detection so that a count is either
+/// exact or an error — never silently wrapped.
+
+#include <cstdint>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+/// Unsigned 128-bit integer used for exact combinatorial counts.
+using U128 = unsigned __int128;
+
+/// Render a U128 in decimal (no locale, no separators).
+[[nodiscard]] std::string u128_to_string(U128 v);
+
+/// Render a U128 in decimal with thousands separators ("7,142,499,000").
+[[nodiscard]] std::string u128_to_string_grouped(U128 v);
+
+/// a * b with overflow check; throws rdse::Error on overflow.
+[[nodiscard]] U128 checked_mul(U128 a, U128 b);
+
+/// a + b with overflow check; throws rdse::Error on overflow.
+[[nodiscard]] U128 checked_add(U128 a, U128 b);
+
+/// Exact binomial coefficient C(n, k); throws on 128-bit overflow.
+[[nodiscard]] U128 binomial(std::uint64_t n, std::uint64_t k);
+
+/// Exact factorial n!; throws on 128-bit overflow (n <= 33 fits).
+[[nodiscard]] U128 factorial(std::uint64_t n);
+
+/// Number of interleavings of two sequences of lengths a and b that preserve
+/// the internal order of each: C(a + b, a).
+[[nodiscard]] U128 interleavings(std::uint64_t a, std::uint64_t b);
+
+/// Number of ways to choose `changes` context-change positions among `n`
+/// slots: the paper's "k changes of context" count for an n-node chain,
+/// C(n, changes) (§5 uses C(28,2) = 378 and C(28,6) = 376,740).
+[[nodiscard]] U128 context_change_combinations(std::uint64_t n,
+                                               std::uint64_t changes);
+
+}  // namespace rdse

@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace rdse {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn ";
+    case LogLevel::kInfo: return "info ";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) {
+    return;
+  }
+  std::fprintf(stderr, "[rdse %s] %s\n", level_tag(level), message.c_str());
+}
+
+}  // namespace rdse

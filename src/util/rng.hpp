@@ -1,0 +1,86 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic pseudo-random number generation.
+///
+/// rdse implements its own generator (xoshiro256**) and its own bounded /
+/// real / normal draws instead of <random> distributions, because the
+/// standard distributions are implementation-defined: identical seeds would
+/// give different experiment results on different standard libraries. Every
+/// stochastic component in the library takes an explicit Rng, so runs are
+/// reproducible from a single 64-bit seed.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation), seeded through SplitMix64 as its authors recommend.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-seed the full 256-bit state from one 64-bit value.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) for bound >= 1 (Lemire's method,
+  /// bias-free).
+  std::uint64_t uniform_u64(std::uint64_t bound);
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// True with probability p (p outside [0,1] is clamped).
+  bool bernoulli(double p);
+
+  /// Standard normal draw (Box-Muller; one value cached).
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Random index into a non-empty container of size n.
+  std::size_t index(std::size_t n);
+
+  /// Pick a random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    RDSE_ASSERT(!items.empty());
+    return items[index(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Draw an index according to non-negative weights (sum must be > 0).
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Derive an independent child generator (for per-run seeding).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4] = {};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace rdse

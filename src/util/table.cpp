@@ -1,0 +1,125 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+std::string format_double(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  RDSE_REQUIRE(!columns_.empty(), "Table: need at least one column");
+}
+
+Table& Table::row() {
+  RDSE_REQUIRE(rows_.empty() || rows_.back().size() == columns_.size(),
+               "Table: previous row is incomplete");
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  RDSE_REQUIRE(!rows_.empty(), "Table: call row() before cell()");
+  RDSE_REQUIRE(rows_.back().size() < columns_.size(),
+               "Table: too many cells in row");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int decimals) {
+  return cell(format_double(value, decimals));
+}
+
+const std::string& Table::at(std::size_t row, std::size_t col) const {
+  RDSE_REQUIRE(row < rows_.size() && col < columns_.size(),
+               "Table::at out of range");
+  return rows_[row][col];
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << "  " << v << std::string(width[c] - v.size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  std::size_t rule = 0;
+  for (std::size_t w : width) rule += w + 2;
+  os << std::string(rule, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream os;
+  os << '|';
+  for (const auto& c : columns_) os << ' ' << c << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& r : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << ' ' << (c < r.size() ? r[c] : std::string{}) << " |";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out.push_back(ch);
+    }
+    out.push_back('"');
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c ? "," : "") << escape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << (c ? "," : "") << (c < r.size() ? escape(r[c]) : std::string{});
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  os << "\n== " << title << " ==\n" << to_text();
+}
+
+}  // namespace rdse

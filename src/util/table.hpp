@@ -1,0 +1,53 @@
+#pragma once
+/// \file table.hpp
+/// \brief Column-oriented result tables with aligned-text, Markdown and CSV
+/// rendering. Every bench binary prints its paper table/figure through this.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rdse {
+
+/// A simple rectangular table: named columns, string cells, numeric helpers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Start a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+
+  /// Append a preformatted cell to the current row.
+  Table& cell(std::string value);
+  /// Append an integral cell.
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+  /// Append a floating-point cell with `decimals` fraction digits.
+  Table& cell(double value, int decimals = 2);
+
+  [[nodiscard]] std::size_t column_count() const { return columns_.size(); }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::string& at(std::size_t row, std::size_t col) const;
+
+  /// Render with aligned columns and a header rule.
+  [[nodiscard]] std::string to_text() const;
+  /// Render as GitHub-flavored Markdown.
+  [[nodiscard]] std::string to_markdown() const;
+  /// Render as RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write to_text() to a stream with a title line.
+  void print(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals (helper shared with reports).
+[[nodiscard]] std::string format_double(double value, int decimals);
+
+}  // namespace rdse

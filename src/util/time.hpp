@@ -1,0 +1,50 @@
+#pragma once
+/// \file time.hpp
+/// \brief Integral time arithmetic for deterministic evaluation.
+///
+/// All performance estimates, schedules and longest-path computations use
+/// whole nanoseconds. Integral arithmetic makes every experiment bit-exact
+/// across platforms and optimization levels; `double` appears only in the
+/// annealer's acceptance test and in report formatting.
+
+#include <cstdint>
+#include <string>
+
+namespace rdse {
+
+/// Time duration / instant in nanoseconds. 2^63 ns ≈ 292 years: no overflow
+/// risk for schedule arithmetic at embedded-application scale.
+using TimeNs = std::int64_t;
+
+constexpr TimeNs kNsPerUs = 1'000;
+constexpr TimeNs kNsPerMs = 1'000'000;
+constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+/// Construct a TimeNs from a value expressed in milliseconds.
+constexpr TimeNs from_ms(double ms) {
+  return static_cast<TimeNs>(ms * static_cast<double>(kNsPerMs) + (ms >= 0 ? 0.5 : -0.5));
+}
+
+/// Construct a TimeNs from a value expressed in microseconds.
+constexpr TimeNs from_us(double us) {
+  return static_cast<TimeNs>(us * static_cast<double>(kNsPerUs) + (us >= 0 ? 0.5 : -0.5));
+}
+
+/// Convert to milliseconds (for reporting only).
+constexpr double to_ms(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerMs);
+}
+
+/// Convert to microseconds (for reporting only).
+constexpr double to_us(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerUs);
+}
+
+/// Render a duration as a human-readable string, e.g. "18.10 ms".
+inline std::string format_ms(TimeNs t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f ms", to_ms(t));
+  return buf;
+}
+
+}  // namespace rdse

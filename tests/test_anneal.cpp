@@ -1,0 +1,237 @@
+/// Tests for the annealing engine and the cooling schedules.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anneal/annealer.hpp"
+#include "anneal/move_control.hpp"
+#include "anneal/schedule.hpp"
+
+namespace rdse {
+namespace {
+
+/// A trivially optimizable problem: cost = |x - 37|, moves x +- 1.
+class LineProblem final : public AnnealProblem {
+ public:
+  explicit LineProblem(int start) : x_(start) {}
+  [[nodiscard]] double cost() const override { return std::abs(x_ - 37.0); }
+  bool propose(Rng& rng) override {
+    cand_ = x_ + (rng.bernoulli(0.5) ? 1 : -1);
+    return true;
+  }
+  [[nodiscard]] double candidate_cost() const override {
+    return std::abs(cand_ - 37.0);
+  }
+  void accept() override { x_ = cand_; }
+  void reject() override {}
+  void snapshot_best() override { best_ = x_; }
+  int best_ = 0;
+
+ private:
+  int x_;
+  int cand_ = 0;
+};
+
+TEST(Annealer, SolvesLineProblemWithEverySchedule) {
+  for (const ScheduleKind kind :
+       {ScheduleKind::kModifiedLam, ScheduleKind::kLamDelosme,
+        ScheduleKind::kGeometric, ScheduleKind::kGreedy}) {
+    LineProblem p(500);
+    AnnealConfig config;
+    config.seed = 7;
+    config.warmup_iterations = 100;
+    config.iterations = 20'000;
+    config.schedule = kind;
+    const AnnealResult r = anneal(p, config);
+    EXPECT_EQ(r.best_cost, 0.0) << to_string(kind);
+    EXPECT_EQ(p.best_, 37) << to_string(kind);
+    EXPECT_EQ(r.schedule_name, to_string(kind));
+  }
+}
+
+TEST(Annealer, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    LineProblem p(200);
+    AnnealConfig config;
+    config.seed = seed;
+    config.warmup_iterations = 50;
+    config.iterations = 500;
+    return anneal(p, config);
+  };
+  const AnnealResult a = run(5), b = run(5), c = run(6);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.final_cost, b.final_cost);
+  // Different seed should (generically) differ somewhere.
+  EXPECT_TRUE(a.accepted != c.accepted || a.final_cost != c.final_cost);
+}
+
+TEST(Annealer, WarmupAcceptsEverything) {
+  LineProblem p(100);
+  AnnealConfig config;
+  config.seed = 1;
+  config.warmup_iterations = 300;
+  config.iterations = 0;
+  const AnnealResult r = anneal(p, config);
+  EXPECT_EQ(r.accepted, 300);
+  EXPECT_EQ(r.rejected, 0);
+}
+
+TEST(Annealer, TraceCallbackSeesAllIterations) {
+  LineProblem p(50);
+  AnnealConfig config;
+  config.seed = 2;
+  config.warmup_iterations = 10;
+  config.iterations = 20;
+  std::int64_t calls = 0;
+  std::int64_t warmups = 0;
+  config.on_iteration = [&](const IterationStat& s) {
+    ++calls;
+    warmups += s.warmup ? 1 : 0;
+    EXPECT_EQ(s.iteration, calls - 1);
+  };
+  (void)anneal(p, config);
+  EXPECT_EQ(calls, 30);
+  EXPECT_EQ(warmups, 10);
+}
+
+TEST(Annealer, FreezeStopsEarly) {
+  LineProblem p(40);  // three steps from the optimum
+  AnnealConfig config;
+  config.seed = 3;
+  config.warmup_iterations = 0;
+  config.iterations = 100'000;
+  config.schedule = ScheduleKind::kGreedy;
+  config.freeze_after = 200;
+  const AnnealResult r = anneal(p, config);
+  EXPECT_EQ(r.best_cost, 0.0);
+  EXPECT_LT(r.iterations_run, 5'000);
+}
+
+TEST(Annealer, GreedyNeverAcceptsUphill) {
+  LineProblem p(0);
+  AnnealConfig config;
+  config.seed = 4;
+  config.warmup_iterations = 0;
+  config.iterations = 2'000;
+  config.schedule = ScheduleKind::kGreedy;
+  const AnnealResult r = anneal(p, config);
+  EXPECT_EQ(r.best_cost, 0.0);
+  EXPECT_EQ(r.final_cost, 0.0);  // greedy can never walk away from 37
+}
+
+TEST(ModifiedLam, TargetRateTrajectory) {
+  // Start near 1, plateau at 0.44 in the mid phase, decay at the end.
+  EXPECT_NEAR(ModifiedLamSchedule::target_rate(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(ModifiedLamSchedule::target_rate(0.3), 0.44, 1e-9);
+  EXPECT_NEAR(ModifiedLamSchedule::target_rate(0.64), 0.44, 1e-9);
+  EXPECT_LT(ModifiedLamSchedule::target_rate(0.9), 0.1);
+  EXPECT_GT(ModifiedLamSchedule::target_rate(0.9), 0.0);
+}
+
+TEST(ModifiedLam, CoolsUnderFullAcceptanceHeatsUnderNone) {
+  ModifiedLamSchedule s;
+  s.initialize(0.0, 10.0, 100'000);
+  const double t0 = s.temperature();
+  for (int i = 0; i < 500; ++i) s.update(0.0, true, true);
+  EXPECT_LT(s.temperature(), t0);  // rate 1.0 > target: cooling
+  // Starve acceptance until the smoothed rate falls below the 0.44 target:
+  // the controller must then reheat.
+  for (int i = 0; i < 2'000; ++i) s.update(0.0, false, true);
+  const double cold = s.temperature();
+  EXPECT_LT(s.accept_rate(), 0.44);
+  for (int i = 0; i < 500; ++i) s.update(0.0, false, true);
+  EXPECT_GT(s.temperature(), cold);
+}
+
+TEST(ModifiedLam, NullDrawsDoNotPoisonAcceptance) {
+  ModifiedLamSchedule s;
+  s.initialize(0.0, 10.0, 1'000'000);
+  // 80% null draws, evaluated proposals always accepted: the measured rate
+  // must stay ~1.0, so the schedule should cool (rate > target).
+  for (int i = 0; i < 5'000; ++i) {
+    const bool evaluated = i % 5 == 0;
+    s.update(0.0, evaluated, evaluated);
+  }
+  EXPECT_NEAR(s.accept_rate(), 1.0, 0.01);
+}
+
+TEST(LamDelosme, RhoShape) {
+  EXPECT_DOUBLE_EQ(LamDelosmeSchedule::rho(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(LamDelosmeSchedule::rho(1.0), 0.0);
+  // Maximal cooling speed at moderate acceptance.
+  const double peak = LamDelosmeSchedule::rho(1.0 / 3.0);
+  EXPECT_GT(peak, LamDelosmeSchedule::rho(0.1));
+  EXPECT_GT(peak, LamDelosmeSchedule::rho(0.9));
+}
+
+TEST(LamDelosme, InverseTemperatureGrowsMonotonically) {
+  LamDelosmeSchedule s(1.0);
+  s.initialize(100.0, 10.0, 1000);
+  double prev = s.temperature();
+  Rng rng(5);
+  for (int i = 0; i < 2'000; ++i) {
+    s.update(rng.normal(100.0, 10.0), rng.bernoulli(0.5), true);
+    EXPECT_LE(s.temperature(), prev + 1e-9);
+    prev = s.temperature();
+  }
+  EXPECT_LT(s.temperature(), 200.0);
+}
+
+TEST(Geometric, CoolsByAlphaEveryPlateau) {
+  GeometricSchedule s(0.5, 10);
+  s.initialize(0.0, 1.0, 1000);
+  const double t0 = s.temperature();
+  for (int i = 0; i < 10; ++i) s.update(0.0, true, true);
+  EXPECT_DOUBLE_EQ(s.temperature(), t0 * 0.5);
+  for (int i = 0; i < 20; ++i) s.update(0.0, true, true);
+  EXPECT_DOUBLE_EQ(s.temperature(), t0 * 0.125);
+}
+
+TEST(Schedules, FactoryProducesRequestedKind) {
+  for (const ScheduleKind kind :
+       {ScheduleKind::kModifiedLam, ScheduleKind::kLamDelosme,
+        ScheduleKind::kGeometric, ScheduleKind::kGreedy}) {
+    const auto s = make_schedule(kind);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), to_string(kind));
+  }
+}
+
+TEST(MoveMix, FloorKeepsAllClassesAlive) {
+  MoveMixController mix({"a", "b", "c"}, 0.05);
+  // Class 0 always rejected, others at target.
+  Rng rng(6);
+  for (int i = 0; i < 2'000; ++i) {
+    mix.report(0, false);
+    mix.report(1, rng.bernoulli(0.44));
+    mix.report(2, rng.bernoulli(0.44));
+  }
+  EXPECT_GE(mix.weight(0), 0.04);
+  EXPECT_GT(mix.weight(1), mix.weight(0));
+  int picked0 = 0;
+  for (int i = 0; i < 5'000; ++i) picked0 += mix.pick(rng) == 0 ? 1 : 0;
+  EXPECT_GT(picked0, 50);  // still explored
+  EXPECT_LT(picked0, 1'500);
+}
+
+TEST(MoveMix, PrefersTargetAcceptanceClasses) {
+  MoveMixController mix({"always", "target"}, 0.05);
+  Rng rng(7);
+  for (int i = 0; i < 3'000; ++i) {
+    mix.report(0, true);                  // acceptance 1.0 (too easy)
+    mix.report(1, rng.bernoulli(0.44));   // at Lam's optimum
+  }
+  EXPECT_GT(mix.weight(1), mix.weight(0));
+  EXPECT_NEAR(mix.acceptance(0), 1.0, 0.05);
+  EXPECT_NEAR(mix.acceptance(1), 0.44, 0.1);
+}
+
+TEST(MoveMix, RejectsBadConstruction) {
+  EXPECT_THROW(MoveMixController({}, 0.05), Error);
+  EXPECT_THROW(MoveMixController({"a", "b"}, 0.6), Error);
+}
+
+}  // namespace
+}  // namespace rdse

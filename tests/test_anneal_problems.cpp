@@ -1,0 +1,151 @@
+/// Tests for the §4.1 validation problems: graph bipartitioning and
+/// continuous function minimization.
+
+#include <gtest/gtest.h>
+
+#include "anneal/problems/bipartition.hpp"
+#include "anneal/problems/continuous.hpp"
+#include "graph/generators.hpp"
+
+namespace rdse {
+namespace {
+
+TEST(Bipartition, DeltaCostMatchesRecompute) {
+  Rng rng(3);
+  const Digraph g = random_order_dag(20, 0.3, rng);
+  BipartitionProblem p(g, 0.5, 7);
+  Rng move_rng(9);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(p.propose(move_rng));
+    const double cand = p.candidate_cost();
+    if (move_rng.bernoulli(0.5)) {
+      p.accept();
+      // After accepting, the current cost equals the staged cost.
+      EXPECT_DOUBLE_EQ(p.cost(), cand);
+      // And equals a from-scratch recomputation through the public API.
+      BipartitionProblem fresh(g, 0.5, 1);
+      // (fresh has a different assignment; instead verify internal
+      // consistency: recompute cut from sides.)
+      int cut = 0;
+      for (EdgeId e = 0; e < g.edge_capacity(); ++e) {
+        if (!g.edge_alive(e)) continue;
+        const auto& ed = g.edge(e);
+        cut += (p.sides()[ed.src] != p.sides()[ed.dst]) ? 1 : 0;
+      }
+      EXPECT_EQ(cut, p.cut_edges());
+    } else {
+      p.reject();
+    }
+  }
+}
+
+TEST(Bipartition, AnnealingReducesCutOnLayeredGraph) {
+  Rng gen(11);
+  LayeredDagParams params;
+  params.node_count = 80;
+  params.max_width = 4;
+  params.edge_probability = 0.5;
+  const Digraph g = random_layered_dag(params, gen);
+
+  BipartitionProblem p(g, 1.0, 13);
+  const double initial = p.cost();
+  AnnealConfig config;
+  config.seed = 17;
+  config.warmup_iterations = 300;
+  config.iterations = 15'000;
+  const AnnealResult r = anneal(p, config);
+  EXPECT_LT(r.best_cost, initial * 0.7);
+  // The balance penalty keeps the partition near even.
+  EXPECT_LE(p.imbalance(), 8);
+}
+
+TEST(Bipartition, BeatsRandomAssignmentsOnAverage) {
+  Rng gen(19);
+  const Digraph g = random_order_dag(60, 0.15, gen);
+  BipartitionProblem p(g, 1.0, 23);
+  AnnealConfig config;
+  config.seed = 29;
+  config.warmup_iterations = 200;
+  config.iterations = 10'000;
+  const AnnealResult annealed = anneal(p, config);
+  double random_best = 1e100;
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    BipartitionProblem q(g, 1.0, 100 + s);
+    random_best = std::min(random_best, q.cost());
+  }
+  EXPECT_LT(annealed.best_cost, random_best);
+}
+
+TEST(Bipartition, RejectsDegenerateGraphs) {
+  EXPECT_THROW(BipartitionProblem(Digraph(1), 1.0, 1), Error);
+}
+
+TEST(Continuous, ObjectivesEvaluateKnownPoints) {
+  const auto sphere = sphere_objective();
+  const std::vector<double> origin{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(sphere.f(origin), 0.0);
+
+  const auto rosen = rosenbrock_objective();
+  const std::vector<double> ones{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(rosen.f(ones), 0.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(rosen.f(zeros), 1.0);
+
+  const auto rast = rastrigin_objective();
+  const std::vector<double> o2{0.0, 0.0};
+  EXPECT_NEAR(rast.f(o2), 0.0, 1e-9);
+}
+
+TEST(Continuous, AnnealingMinimizesSphere) {
+  ContinuousProblem p(sphere_objective(), 6, 31);
+  AnnealConfig config;
+  config.seed = 37;
+  config.warmup_iterations = 500;
+  config.iterations = 40'000;
+  const AnnealResult r = anneal(p, config);
+  EXPECT_LT(r.best_cost, 0.01);
+}
+
+TEST(Continuous, AnnealingMakesProgressOnRastrigin) {
+  ContinuousProblem p(rastrigin_objective(), 4, 41);
+  const double initial = p.cost();
+  AnnealConfig config;
+  config.seed = 43;
+  config.warmup_iterations = 500;
+  config.iterations = 60'000;
+  const AnnealResult r = anneal(p, config);
+  EXPECT_LT(r.best_cost, initial * 0.25);
+  EXPECT_LT(r.best_cost, 15.0);
+}
+
+TEST(Continuous, MovesStayInDomain) {
+  ContinuousProblem p(sphere_objective(), 3, 47);
+  Rng rng(53);
+  for (int i = 0; i < 2'000; ++i) {
+    ASSERT_TRUE(p.propose(rng));
+    if (rng.bernoulli(0.5)) p.accept(); else p.reject();
+  }
+  for (double v : p.best_point()) {
+    EXPECT_GE(v, -5.0);
+    EXPECT_LE(v, 5.0);
+  }
+}
+
+TEST(Continuous, StepSizeAdapts) {
+  ContinuousProblem p(sphere_objective(), 2, 59);
+  const double step0 = p.step_size();
+  // Repeated rejections shrink the step.
+  Rng rng(61);
+  for (int i = 0; i < 500; ++i) {
+    (void)p.propose(rng);
+    p.reject();
+  }
+  EXPECT_LT(p.step_size(), step0);
+}
+
+TEST(Continuous, RejectsZeroDimension) {
+  EXPECT_THROW(ContinuousProblem(sphere_objective(), 0, 1), Error);
+}
+
+}  // namespace
+}  // namespace rdse

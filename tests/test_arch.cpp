@@ -1,0 +1,124 @@
+/// Tests for the architecture model (resources, bus, container).
+
+#include <gtest/gtest.h>
+
+#include "arch/architecture.hpp"
+
+namespace rdse {
+namespace {
+
+TEST(Bus, TransferTimeRoundsUp) {
+  const Bus bus(1'000'000);  // 1 MB/s = 1 byte per microsecond
+  EXPECT_EQ(bus.transfer_time(0), 0);
+  EXPECT_EQ(bus.transfer_time(1), 1'000);       // 1 us
+  EXPECT_EQ(bus.transfer_time(1'000'000), kNsPerSec);
+}
+
+TEST(Bus, RoundUpOnNonDivisible) {
+  const Bus bus(3);  // 3 bytes/s
+  // 1 byte = 1/3 s -> ceil = 333333334 ns
+  EXPECT_EQ(bus.transfer_time(1), 333'333'334);
+}
+
+TEST(Bus, RejectsBadInput) {
+  EXPECT_THROW(Bus(0), Error);
+  const Bus bus(100);
+  EXPECT_THROW((void)bus.transfer_time(-1), Error);
+}
+
+TEST(Resource, KindsAndOrders) {
+  const Processor p("cpu");
+  const Asic a("asic");
+  const ReconfigurableCircuit rc("fpga", 1000, from_us(22.5));
+  EXPECT_EQ(p.kind(), ResourceKind::kProcessor);
+  EXPECT_EQ(p.order_kind(), OrderKind::kTotal);
+  EXPECT_EQ(a.order_kind(), OrderKind::kPartial);
+  EXPECT_EQ(rc.order_kind(), OrderKind::kGtlp);
+  EXPECT_STREQ(to_string(rc.kind()), "reconfigurable");
+  EXPECT_STREQ(to_string(OrderKind::kGtlp), "gtlp");
+}
+
+TEST(Resource, ReconfigurationTimeIsLinear) {
+  const ReconfigurableCircuit rc("fpga", 2000, from_us(22.5));
+  EXPECT_EQ(rc.reconfiguration_time(0), 0);
+  EXPECT_EQ(rc.reconfiguration_time(1000), from_us(22'500.0));
+  EXPECT_EQ(rc.reconfiguration_time(995), 995 * from_us(22.5));
+  EXPECT_THROW((void)rc.reconfiguration_time(-1), Error);
+}
+
+TEST(Resource, RcRejectsBadGeometry) {
+  EXPECT_THROW(ReconfigurableCircuit("x", 0, 10), Error);
+  EXPECT_THROW(ReconfigurableCircuit("x", 100, -1), Error);
+}
+
+TEST(Resource, CloneIsPolymorphicDeepCopy) {
+  const ReconfigurableCircuit rc("fpga", 500, from_us(10));
+  const auto copy = rc.clone();
+  const auto* rc2 = dynamic_cast<const ReconfigurableCircuit*>(copy.get());
+  ASSERT_NE(rc2, nullptr);
+  EXPECT_EQ(rc2->n_clbs(), 500);
+  EXPECT_EQ(rc2->name(), "fpga");
+}
+
+TEST(Architecture, FactoryLayout) {
+  const Architecture arch =
+      make_cpu_fpga_architecture(2000, from_us(22.5), 50'000'000);
+  EXPECT_EQ(arch.resource_count(), 2u);
+  EXPECT_EQ(arch.processor_ids(), (std::vector<ResourceId>{0}));
+  EXPECT_EQ(arch.reconfigurable_ids(), (std::vector<ResourceId>{1}));
+  EXPECT_EQ(arch.reconfigurable(1).n_clbs(), 2000);
+  EXPECT_EQ(arch.bus().bytes_per_second(), 50'000'000);
+}
+
+TEST(Architecture, AddRemoveKeepsIdsStable) {
+  Architecture arch{Bus(1'000)};
+  const ResourceId cpu = arch.add_processor("cpu0");
+  const ResourceId fpga = arch.add_reconfigurable("fpga0", 100, 10);
+  const ResourceId asic = arch.add_asic("asic0");
+  EXPECT_EQ(arch.slot_count(), 3u);
+  arch.remove(fpga);
+  EXPECT_FALSE(arch.alive(fpga));
+  EXPECT_TRUE(arch.alive(cpu));
+  EXPECT_TRUE(arch.alive(asic));
+  EXPECT_EQ(arch.resource_count(), 2u);
+  EXPECT_EQ(arch.live_ids(), (std::vector<ResourceId>{cpu, asic}));
+  // Slot ids never shift.
+  EXPECT_EQ(arch.resource(asic).name(), "asic0");
+  EXPECT_THROW(arch.remove(fpga), Error);  // double remove
+  EXPECT_THROW((void)arch.resource(fpga), Error);
+}
+
+TEST(Architecture, WrongKindAccessThrows) {
+  Architecture arch{Bus(1'000)};
+  const ResourceId cpu = arch.add_processor("cpu0");
+  EXPECT_THROW((void)arch.reconfigurable(cpu), Error);
+}
+
+TEST(Architecture, DeepCopyIsIndependent) {
+  Architecture a{Bus(1'000)};
+  a.add_processor("cpu0");
+  const ResourceId rc = a.add_reconfigurable("fpga0", 100, 10);
+  Architecture b = a;
+  b.remove(rc);
+  EXPECT_TRUE(a.alive(rc));
+  EXPECT_FALSE(b.alive(rc));
+  EXPECT_EQ(a.reconfigurable(rc).n_clbs(), 100);
+}
+
+TEST(Architecture, TotalPriceSumsLiveOnly) {
+  Architecture arch{Bus(1'000)};
+  arch.add_processor("cpu0", 100.0);
+  const ResourceId asic = arch.add_asic("asic0", 400.0);
+  EXPECT_DOUBLE_EQ(arch.total_price(), 500.0);
+  arch.remove(asic);
+  EXPECT_DOUBLE_EQ(arch.total_price(), 100.0);
+}
+
+TEST(Architecture, RcPriceScalesWithArea) {
+  const ReconfigurableCircuit small("s", 100, 10);
+  const ReconfigurableCircuit big("b", 10'000, 10);
+  EXPECT_LT(small.price(), big.price());
+}
+
+}  // namespace
+}  // namespace rdse

@@ -1,0 +1,291 @@
+/// Tests for the §4.2 move classes: realization semantics, §4.3 spawn rule,
+/// null-move cases, and a fuzz property — no move sequence may ever corrupt
+/// the solution (cyclic realizations are legal and rejected by evaluation).
+
+#include <gtest/gtest.h>
+
+#include "core/moves.hpp"
+#include "mapping/validation.hpp"
+#include "model/motion_detection.hpp"
+#include "sched/evaluator.hpp"
+
+namespace rdse {
+namespace {
+
+Task hw_task(const std::string& name, double ms, std::int32_t clbs) {
+  Task t;
+  t.name = name;
+  t.functionality = "F";
+  t.sw_time = from_ms(ms);
+  t.hw = make_pareto_impls(t.sw_time, clbs, 4.0, 3);
+  return t;
+}
+
+/// 4 independent tasks + CPU + 150-CLB FPGA.
+class MovesFixture : public ::testing::Test {
+ protected:
+  MovesFixture()
+      : arch(make_cpu_fpga_architecture(150, from_us(10), 1'000'000)) {
+    for (int i = 0; i < 4; ++i) {
+      tg.add_task(hw_task("t" + std::to_string(i), 1.0 + i, 60));
+    }
+    tg.add_comm(0, 1, 100);
+    tg.add_comm(2, 3, 100);
+  }
+  TaskGraph tg;
+  Architecture arch;
+  Rng rng{99};
+};
+
+TEST_F(MovesFixture, ReorderSwMovesTaskNextToDestination) {
+  Solution sol = Solution::all_software(tg, 0);  // order 0,1,2,3
+  // Move 2 before 1 (2 is independent of 0 and 1).
+  EXPECT_TRUE(apply_reorder_sw(tg, arch, sol, 2, 1, /*after=*/false, rng));
+  EXPECT_EQ(sol.order_position(2), 1u);
+  EXPECT_EQ(sol.order_position(1), 2u);
+  require_valid(tg, arch, sol);
+}
+
+TEST_F(MovesFixture, ReorderSwClampsToPrecedenceWindow) {
+  Solution sol = Solution::all_software(tg, 0);
+  // 0 -> 1: requesting "1 before 0" clamps into the feasible window; the
+  // clamped target equals 1's current slot, so the draw is a null move and
+  // the order is untouched.
+  EXPECT_FALSE(apply_reorder_sw(tg, arch, sol, 1, 0, /*after=*/false, rng));
+  EXPECT_EQ(sol.order_position(1), 1u);
+  // Moving 1 to the tail is feasible (no same-processor successors).
+  EXPECT_TRUE(apply_reorder_sw(tg, arch, sol, 1, 3, /*after=*/true, rng));
+  EXPECT_EQ(sol.order_position(1), 3u);
+  require_valid(tg, arch, sol);
+}
+
+TEST_F(MovesFixture, ReorderSwNullWhenNoSlot) {
+  TaskGraph chain;
+  chain.add_task(hw_task("a", 1.0, 10));
+  chain.add_task(hw_task("b", 1.0, 10));
+  chain.add_comm(0, 1, 10);
+  Solution sol = Solution::all_software(chain, 0);
+  // Both orders of a 2-chain other than a,b are precedence-infeasible.
+  EXPECT_FALSE(apply_reorder_sw(chain, arch, sol, 1, 0, false, rng));
+  EXPECT_FALSE(apply_reorder_sw(chain, arch, sol, 0, 1, true, rng));
+}
+
+TEST_F(MovesFixture, ReorderSwNullOnNonProcessor) {
+  Solution sol = Solution::all_software(tg, 0);
+  sol.remove_task(0);
+  sol.remove_task(1);
+  const std::size_t ctx = sol.spawn_context_after(1, Solution::kFront);
+  sol.insert_in_context(0, 1, ctx, 0);
+  sol.insert_in_context(1, 1, ctx, 0);
+  // §4.2: same-resource draw on an RC context performs no move.
+  EXPECT_FALSE(apply_reorder_sw(tg, arch, sol, 0, 1, false, rng));
+}
+
+TEST_F(MovesFixture, ReassignToContextJoinsDestination) {
+  Solution sol = Solution::all_software(tg, 0);
+  sol.remove_task(2);
+  const std::size_t ctx = sol.spawn_context_after(1, Solution::kFront);
+  sol.insert_in_context(2, 1, ctx, 0);  // 60 CLBs
+  // Move task 3 to task 2's context (60 + 60 <= 150: fits).
+  EXPECT_TRUE(apply_reassign(tg, arch, sol, 3, 2, rng));
+  EXPECT_EQ(sol.placement(3).resource, 1u);
+  EXPECT_EQ(sol.placement(3).context, sol.placement(2).context);
+  EXPECT_EQ(sol.context_count(1), 1u);
+  require_valid(tg, arch, sol);
+}
+
+TEST_F(MovesFixture, ReassignSpawnsOnCapacityOverflow) {
+  Solution sol = Solution::all_software(tg, 0);
+  sol.remove_task(0);
+  sol.remove_task(1);
+  const std::size_t ctx = sol.spawn_context_after(1, Solution::kFront);
+  sol.insert_in_context(0, 1, ctx, 1);  // 90 CLBs (impl1 = 60 * 1.5)
+  sol.insert_in_context(1, 1, ctx, 0);  // +60 = 150 CLBs, full
+  // Moving task 2 (>= 60 CLBs) to 0's context must spawn a new context
+  // right after it (§4.3).
+  EXPECT_TRUE(apply_reassign(tg, arch, sol, 2, 0, rng));
+  EXPECT_EQ(sol.context_count(1), 2u);
+  EXPECT_EQ(sol.placement(2).context, 1);
+  require_valid(tg, arch, sol);
+}
+
+TEST_F(MovesFixture, ReassignToProcessorInsertsAdjacent) {
+  // Independent tasks: every insertion position is precedence-feasible.
+  TaskGraph indep;
+  for (int i = 0; i < 4; ++i) {
+    indep.add_task(hw_task("i" + std::to_string(i), 1.0, 60));
+  }
+  Solution sol = Solution::all_software(indep, 0);
+  sol.remove_task(0);
+  const std::size_t ctx = sol.spawn_context_after(1, Solution::kFront);
+  sol.insert_in_context(0, 1, ctx, 0);
+  EXPECT_TRUE(apply_reassign(indep, arch, sol, 0, 2, rng));
+  EXPECT_EQ(sol.placement(0).resource, 0u);
+  const std::size_t p0 = sol.order_position(0);
+  const std::size_t p2 = sol.order_position(2);
+  EXPECT_LE(p0 > p2 ? p0 - p2 : p2 - p0, 1u);
+  EXPECT_EQ(sol.context_count(1), 0u);  // emptied context collapsed
+  require_valid(indep, arch, sol);
+}
+
+TEST_F(MovesFixture, ReassignNullCases) {
+  Solution sol = Solution::all_software(tg, 0);
+  EXPECT_FALSE(apply_reassign(tg, arch, sol, 1, 1, rng));  // vs == vd
+  EXPECT_FALSE(apply_reassign(tg, arch, sol, 0, 1, rng));  // same processor
+}
+
+TEST_F(MovesFixture, ReassignRejectsNonFittingTask) {
+  TaskGraph big;
+  big.add_task(hw_task("big", 1.0, 500));  // min impl 500 > 150 device
+  big.add_task(hw_task("small", 1.0, 10));
+  Solution sol = Solution::all_software(big, 0);
+  sol.remove_task(1);
+  const std::size_t ctx = sol.spawn_context_after(1, Solution::kFront);
+  sol.insert_in_context(1, 1, ctx, 0);
+  EXPECT_FALSE(apply_reassign(big, arch, sol, 0, 1, rng));
+  EXPECT_EQ(sol.placement(0).resource, 0u);  // untouched
+}
+
+TEST_F(MovesFixture, ChangeImplRespectsCapacity) {
+  Solution sol = Solution::all_software(tg, 0);
+  sol.remove_task(0);
+  sol.remove_task(1);
+  const std::size_t ctx = sol.spawn_context_after(1, Solution::kFront);
+  sol.insert_in_context(0, 1, ctx, 0);  // 60
+  sol.insert_in_context(1, 1, ctx, 0);  // 60 -> 120/150 used
+  // Task 0's alternatives: impl1 = 90 (would make 150... exactly fits),
+  // impl2 = 135 (overflow). Try many draws; impl2 must never be chosen.
+  for (int i = 0; i < 100; ++i) {
+    (void)apply_change_impl(tg, arch, sol, 0, rng);
+    const std::int32_t used = sol.context_clbs(tg, 1, ctx);
+    EXPECT_LE(used, 150);
+  }
+  require_valid(tg, arch, sol);
+}
+
+TEST_F(MovesFixture, ChangeImplNullOnProcessorTask) {
+  Solution sol = Solution::all_software(tg, 0);
+  EXPECT_FALSE(apply_change_impl(tg, arch, sol, 0, rng));
+}
+
+TEST_F(MovesFixture, ReorderContextsSwapsAdjacent) {
+  Solution sol = Solution::all_software(tg, 0);
+  sol.remove_task(0);
+  sol.remove_task(2);
+  const std::size_t c0 = sol.spawn_context_after(1, Solution::kFront);
+  sol.insert_in_context(0, 1, c0, 0);
+  const std::size_t c1 = sol.spawn_context_after(1, c0);
+  sol.insert_in_context(2, 1, c1, 0);
+  EXPECT_TRUE(apply_reorder_contexts(arch, sol, rng));
+  EXPECT_EQ(sol.context_tasks(1, 0)[0], 2u);
+  sol.check_mirrors();
+}
+
+TEST_F(MovesFixture, ReorderContextsNullWithoutTwoContexts) {
+  Solution sol = Solution::all_software(tg, 0);
+  EXPECT_FALSE(apply_reorder_contexts(arch, sol, rng));
+}
+
+TEST_F(MovesFixture, ResourceTargetReachesEmptyRc) {
+  Solution sol = Solution::all_software(tg, 0);
+  EXPECT_TRUE(apply_reassign_to_resource(tg, arch, sol, 0, 1, rng));
+  EXPECT_EQ(sol.placement(0).resource, 1u);
+  EXPECT_EQ(sol.context_count(1), 1u);
+  require_valid(tg, arch, sol);
+}
+
+TEST_F(MovesFixture, CreateResourceMovesTask) {
+  Architecture arch2 = arch;
+  Solution sol = Solution::all_software(tg, 0);
+  const std::size_t before = arch2.resource_count();
+  EXPECT_TRUE(apply_create_resource(tg, arch2, sol, 2, rng));
+  EXPECT_EQ(arch2.resource_count(), before + 1);
+  EXPECT_NE(sol.placement(2).resource, 0u);
+  require_valid(tg, arch2, sol);
+}
+
+TEST_F(MovesFixture, RemoveResourceRequiresLoneTask) {
+  // Independent tasks: the refugee can land anywhere in the order.
+  TaskGraph indep;
+  for (int i = 0; i < 4; ++i) {
+    indep.add_task(hw_task("i" + std::to_string(i), 1.0, 60));
+  }
+  Architecture arch2 = arch;
+  Solution sol = Solution::all_software(indep, 0);
+  // No lone resource exists (all four tasks on the CPU; FPGA empty but
+  // holds zero tasks, not one).
+  EXPECT_FALSE(apply_remove_resource(indep, arch2, sol, 1, rng));
+  // Put one task alone on an ASIC; then it can be removed.
+  const ResourceId asic = arch2.add_asic("asic0");
+  sol.remove_task(3);
+  sol.insert_on_asic(3, asic, 0);
+  EXPECT_TRUE(apply_remove_resource(indep, arch2, sol, 0, rng));
+  EXPECT_FALSE(arch2.alive(asic));
+  EXPECT_EQ(sol.placement(3).resource, 0u);
+  require_valid(indep, arch2, sol);
+}
+
+TEST_F(MovesFixture, RemoveResourceNeverKillsLastProcessor) {
+  Architecture arch2{Bus(1'000'000)};
+  arch2.add_processor("cpu0");
+  const ResourceId rc = arch2.add_reconfigurable("fpga0", 150, from_us(10));
+  (void)rc;
+  TaskGraph one;
+  one.add_task(hw_task("only", 1.0, 10));
+  Solution sol = Solution::all_software(one, 0);
+  // cpu0 holds exactly one task but is the last processor.
+  EXPECT_FALSE(apply_remove_resource(one, arch2, sol, 0, rng));
+  EXPECT_TRUE(arch2.alive(0));
+}
+
+// ---- fuzz property ---------------------------------------------------------
+
+class MoveFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MoveFuzz, NoMoveSequenceCorruptsTheSolution) {
+  const Application app = make_motion_detection_app();
+  Architecture arch = make_cpu_fpga_architecture(
+      600, kMotionDetectionTrPerClb, kMotionDetectionBusRate);
+  const Evaluator ev(app.graph, arch);
+  Rng rng(GetParam());
+  Solution sol = Solution::random_partition(app.graph, arch, 0, 1, rng);
+  MoveConfig config;
+  config.p_zero = 0.0;
+  int applied = 0;
+  for (int i = 0; i < 4'000; ++i) {
+    Architecture cand_arch = arch;
+    Solution cand = sol;
+    const MoveOutcome out =
+        generate_move(app.graph, cand_arch, cand, config, rng);
+    if (!out.applied) {
+      ASSERT_EQ(cand, sol) << "null move must leave the candidate untouched";
+      continue;
+    }
+    ++applied;
+    cand.check_mirrors();
+    const auto bad = validate_solution(app.graph, cand_arch, cand);
+    // The only admissible violation is a cyclic realization (§4.3), which
+    // evaluation rejects.
+    for (const auto& b : bad) {
+      ASSERT_NE(b.find("cycle"), std::string::npos) << b;
+    }
+    const auto m = ev.evaluate(cand);
+    ASSERT_EQ(m.has_value(), bad.empty());
+    if (m.has_value() && rng.bernoulli(0.7)) {
+      sol = std::move(cand);
+    }
+  }
+  EXPECT_GT(applied, 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MoveFuzz,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+TEST(MoveNames, AllKindsHaveNames) {
+  for (std::size_t k = 0; k < kMoveKindCount; ++k) {
+    EXPECT_STRNE(to_string(static_cast<MoveKind>(k)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace rdse

@@ -1,0 +1,119 @@
+/// Tests for the transitive-closure bit matrix — the paper's O(1) cycle
+/// detector (§4.3). The key property: the incremental insertion update is
+/// bit-identical to a from-scratch rebuild.
+
+#include <gtest/gtest.h>
+
+#include "graph/closure.hpp"
+#include "graph/generators.hpp"
+#include "graph/topo.hpp"
+#include "util/rng.hpp"
+
+namespace rdse {
+namespace {
+
+TEST(BitMatrix, SetGetClear) {
+  BitMatrix m(70);  // spans multiple 64-bit words
+  EXPECT_FALSE(m.get(3, 65));
+  m.set(3, 65);
+  EXPECT_TRUE(m.get(3, 65));
+  EXPECT_FALSE(m.get(65, 3));
+  m.clear(3, 65);
+  EXPECT_FALSE(m.get(3, 65));
+}
+
+TEST(BitMatrix, OrRow) {
+  BitMatrix m(8);
+  m.set(1, 3);
+  m.set(1, 7);
+  m.or_row(0, 1);
+  EXPECT_TRUE(m.get(0, 3));
+  EXPECT_TRUE(m.get(0, 7));
+  EXPECT_FALSE(m.get(0, 1));
+}
+
+TEST(BitMatrix, Equality) {
+  BitMatrix a(5), b(5);
+  EXPECT_TRUE(a == b);
+  a.set(2, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(TransitiveClosure, ChainReachability) {
+  const Digraph g = chain_graph(6);
+  TransitiveClosure tc;
+  tc.build(g);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = 0; v < 6; ++v) {
+      EXPECT_EQ(tc.reaches(u, v), u <= v) << u << "->" << v;
+    }
+  }
+}
+
+TEST(TransitiveClosure, MatchesDfsOnRandomDags) {
+  Rng rng(17);
+  for (int rep = 0; rep < 15; ++rep) {
+    const Digraph g = random_order_dag(25, 0.15, rng);
+    TransitiveClosure tc;
+    tc.build(g);
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        EXPECT_EQ(tc.reaches(u, v), reaches(g, u, v));
+      }
+    }
+  }
+}
+
+TEST(TransitiveClosure, BuildRejectsCycles) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  TransitiveClosure tc;
+  EXPECT_THROW(tc.build(g), Error);
+}
+
+TEST(TransitiveClosure, CycleProbe) {
+  const Digraph g = chain_graph(4);
+  TransitiveClosure tc;
+  tc.build(g);
+  EXPECT_TRUE(tc.would_create_cycle(3, 0));   // back edge
+  EXPECT_TRUE(tc.would_create_cycle(1, 1));   // self loop
+  EXPECT_FALSE(tc.would_create_cycle(0, 3));  // forward shortcut
+}
+
+class ClosureIncremental : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClosureIncremental, InsertionUpdateEqualsRebuild) {
+  Rng rng(GetParam());
+  Digraph g(30);
+  TransitiveClosure inc;
+  inc.build(g);
+  int added = 0;
+  while (added < 120) {
+    const NodeId u = static_cast<NodeId>(rng.index(30));
+    const NodeId v = static_cast<NodeId>(rng.index(30));
+    if (u == v || inc.would_create_cycle(u, v)) continue;
+    g.add_edge(u, v);
+    inc.add_edge(u, v);
+    ++added;
+    if (added % 20 == 0) {
+      TransitiveClosure fresh;
+      fresh.build(g);
+      ASSERT_TRUE(fresh.matrix() == inc.matrix()) << "after " << added;
+    }
+  }
+  EXPECT_TRUE(is_acyclic(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosureIncremental,
+                         ::testing::Values(3, 5, 7, 9, 11, 13));
+
+TEST(TransitiveClosure, AddEdgeRejectsCycleCreation) {
+  const Digraph g = chain_graph(3);
+  TransitiveClosure tc;
+  tc.build(g);
+  EXPECT_THROW(tc.add_edge(2, 0), Error);
+}
+
+}  // namespace
+}  // namespace rdse

@@ -1,0 +1,143 @@
+/// Tests for the §4.4 longest-path evaluator.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/longest_path.hpp"
+#include "util/rng.hpp"
+
+namespace rdse {
+namespace {
+
+WeightedDag make_dag(const Digraph& g, const std::vector<TimeNs>& nw,
+                     const std::vector<TimeNs>& ew,
+                     const std::vector<TimeNs>& rel) {
+  return WeightedDag{&g, nw, ew, rel};
+}
+
+TEST(LongestPath, SingleNode) {
+  Digraph g(1);
+  const std::vector<TimeNs> nw{5};
+  const std::vector<TimeNs> ew;
+  const LongestPathResult r = longest_path(make_dag(g, nw, ew, {}));
+  EXPECT_EQ(r.makespan, 5);
+  EXPECT_EQ(r.critical_sink, 0u);
+}
+
+TEST(LongestPath, ChainSumsWeights) {
+  Digraph g = chain_graph(4);
+  const std::vector<TimeNs> nw{1, 2, 3, 4};
+  const std::vector<TimeNs> ew{10, 20, 30};
+  const LongestPathResult r = longest_path(make_dag(g, nw, ew, {}));
+  EXPECT_EQ(r.makespan, 1 + 10 + 2 + 20 + 3 + 30 + 4);
+  EXPECT_EQ(r.critical_sink, 3u);
+  EXPECT_EQ(r.start[0], 0);
+  EXPECT_EQ(r.start[1], 11);
+}
+
+TEST(LongestPath, DiamondTakesHeavierBranch) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const std::vector<TimeNs> nw{1, 100, 5, 1};
+  const std::vector<TimeNs> ew{0, 0, 0, 0};
+  const LongestPathResult r = longest_path(make_dag(g, nw, ew, {}));
+  EXPECT_EQ(r.makespan, 102);
+  const auto path = critical_path(make_dag(g, nw, ew, {}), r);
+  EXPECT_EQ(path, (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(LongestPath, ReleaseTimeDelaysStart) {
+  Digraph g = chain_graph(2);
+  const std::vector<TimeNs> nw{2, 3};
+  const std::vector<TimeNs> ew{0};
+  const std::vector<TimeNs> rel{50, 0};
+  const LongestPathResult r = longest_path(make_dag(g, nw, ew, rel));
+  EXPECT_EQ(r.start[0], 50);
+  EXPECT_EQ(r.makespan, 55);
+}
+
+TEST(LongestPath, ReleaseOnLaterNodeDominates) {
+  Digraph g = chain_graph(2);
+  const std::vector<TimeNs> nw{2, 3};
+  const std::vector<TimeNs> ew{0};
+  const std::vector<TimeNs> rel{0, 100};
+  const LongestPathResult r = longest_path(make_dag(g, nw, ew, rel));
+  EXPECT_EQ(r.start[1], 100);
+  EXPECT_EQ(r.makespan, 103);
+}
+
+TEST(LongestPath, ParallelBranchesIndependent) {
+  const Digraph g = fork_join_graph(3);  // 0 -> {1,2,3} -> 4
+  const std::vector<TimeNs> nw{1, 10, 20, 30, 1};
+  const std::vector<TimeNs> ew(6, 0);
+  const LongestPathResult r = longest_path(WeightedDag{&g, nw, ew, {}});
+  EXPECT_EQ(r.makespan, 1 + 30 + 1);
+  EXPECT_EQ(r.finish[1], 11);
+  EXPECT_EQ(r.finish[2], 21);
+}
+
+TEST(LongestPath, CyclicGraphThrows) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const std::vector<TimeNs> nw{1, 1};
+  const std::vector<TimeNs> ew{0, 0};
+  EXPECT_THROW((void)longest_path(WeightedDag{&g, nw, ew, {}}), Error);
+}
+
+TEST(LongestPath, SizeMismatchThrows) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  const std::vector<TimeNs> nw{1};  // too short
+  const std::vector<TimeNs> ew{0};
+  EXPECT_THROW((void)longest_path(WeightedDag{&g, nw, ew, {}}), Error);
+}
+
+TEST(LongestPath, CriticalSinkPrefersSmallestId) {
+  Digraph g(3);  // three isolated nodes, equal weight
+  const std::vector<TimeNs> nw{7, 7, 7};
+  const std::vector<TimeNs> ew;
+  const LongestPathResult r = longest_path(WeightedDag{&g, nw, ew, {}});
+  EXPECT_EQ(r.critical_sink, 0u);
+}
+
+TEST(LongestPath, CriticalPathEndsAtSinkAndIsMonotone) {
+  Rng rng(23);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Digraph g = random_order_dag(20, 0.2, rng);
+    std::vector<TimeNs> nw(20);
+    for (auto& w : nw) w = rng.uniform_int(1, 50);
+    std::vector<TimeNs> ew(g.edge_capacity());
+    for (auto& w : ew) w = rng.uniform_int(0, 10);
+    const WeightedDag dag{&g, nw, ew, {}};
+    const LongestPathResult r = longest_path(dag);
+    const auto path = critical_path(dag, r);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.back(), r.critical_sink);
+    // The path length equals the makespan.
+    EXPECT_EQ(r.finish[path.back()], r.makespan);
+    // Path edges exist and tightly chain.
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+    }
+  }
+}
+
+TEST(LongestPath, MakespanLowerBoundedByEveryNodeFinish) {
+  Rng rng(29);
+  const Digraph g = random_order_dag(40, 0.1, rng);
+  std::vector<TimeNs> nw(40);
+  for (auto& w : nw) w = rng.uniform_int(1, 100);
+  std::vector<TimeNs> ew(g.edge_capacity(), 0);
+  const LongestPathResult r = longest_path(WeightedDag{&g, nw, ew, {}});
+  for (NodeId v = 0; v < 40; ++v) {
+    EXPECT_LE(r.finish[v], r.makespan);
+    EXPECT_EQ(r.finish[v], r.start[v] + nw[v]);
+  }
+}
+
+}  // namespace
+}  // namespace rdse

@@ -1,0 +1,98 @@
+/// Tests for series-parallel structures and linear-extension counting,
+/// anchored on the §5 numbers.
+
+#include <gtest/gtest.h>
+
+#include "graph/series_parallel.hpp"
+#include "graph/topo.hpp"
+
+namespace rdse {
+namespace {
+
+TEST(SpExpr, ChainBasics) {
+  const SpExpr c = SpExpr::chain(5);
+  EXPECT_EQ(c.node_count(), 5u);
+  EXPECT_EQ(c.linear_extensions(), 1u);
+  EXPECT_THROW((void)SpExpr::chain(0), Error);
+}
+
+TEST(SpExpr, ParallelChains) {
+  const SpExpr e = SpExpr::parallel(SpExpr::chain(2), SpExpr::chain(3));
+  EXPECT_EQ(e.node_count(), 5u);
+  EXPECT_EQ(e.linear_extensions(), binomial(5, 2));
+}
+
+TEST(SpExpr, SeriesMultiplies) {
+  const SpExpr par = SpExpr::parallel(SpExpr::chain(2), SpExpr::chain(2));
+  const SpExpr e = SpExpr::series(par, SpExpr::chain(3));
+  EXPECT_EQ(e.node_count(), 7u);
+  EXPECT_EQ(e.linear_extensions(), binomial(4, 2));  // 6
+}
+
+TEST(SpExpr, MaterializedGraphIsAcyclicWithRightCounts) {
+  const SpExpr e = SpExpr::series(
+      SpExpr::chain(3), SpExpr::parallel(SpExpr::chain(2), SpExpr::chain(2)));
+  const Digraph g = e.to_digraph();
+  EXPECT_EQ(g.node_count(), 7u);
+  EXPECT_TRUE(is_acyclic(g));
+  // chain edges: 2 + 1 + 1, series join: sink of chain(3) to both sources.
+  EXPECT_EQ(g.edge_count(), 2u + 1u + 1u + 2u);
+}
+
+TEST(SpExpr, BruteForceAgreesOnSmallStructures) {
+  const SpExpr exprs[] = {
+      SpExpr::chain(4),
+      SpExpr::parallel(SpExpr::chain(2), SpExpr::chain(3)),
+      SpExpr::series(SpExpr::parallel(SpExpr::chain(1), SpExpr::chain(2)),
+                     SpExpr::chain(2)),
+      SpExpr::parallel(SpExpr::parallel(SpExpr::chain(2), SpExpr::chain(2)),
+                       SpExpr::chain(2)),
+      SpExpr::series(SpExpr::chain(2),
+                     SpExpr::parallel(SpExpr::chain(3), SpExpr::chain(2))),
+  };
+  for (const SpExpr& e : exprs) {
+    const Digraph g = e.to_digraph();
+    EXPECT_EQ(e.linear_extensions(), count_linear_extensions_bruteforce(g));
+  }
+}
+
+TEST(SpExpr, BruteForceRejectsLargeGraphs) {
+  const Digraph g = SpExpr::chain(13).to_digraph();
+  EXPECT_THROW((void)count_linear_extensions_bruteforce(g), Error);
+}
+
+// ---- §5 anchors ------------------------------------------------------------
+
+TEST(MotionStructure, HasTwentyEightNodes) {
+  const SpExpr e = motion_detection_structure();
+  EXPECT_EQ(e.node_count(), 28u);
+}
+
+TEST(MotionStructure, First20NodesHave1716Orders) {
+  // The paper counts the first 20 nodes: 7-chain, then 7-chain || 6-chain.
+  const SpExpr first20 = SpExpr::series(
+      SpExpr::chain(7), SpExpr::parallel(SpExpr::chain(7), SpExpr::chain(6)));
+  EXPECT_EQ(first20.node_count(), 20u);
+  EXPECT_EQ(first20.linear_extensions(), 1716u);
+}
+
+TEST(MotionStructure, TotalOrdersMatchPaper) {
+  // 3 * C(21, 7) = 348,840: the 14-node tail decomposes into 3 chains
+  // (the (2-chain || 1-node) segment has 3 internal orders).
+  const SpExpr e = motion_detection_structure();
+  EXPECT_EQ(e.linear_extensions(), 348'840u);
+}
+
+TEST(MotionStructure, TailSegmentHasThreeOrders) {
+  const SpExpr tail = SpExpr::parallel(SpExpr::chain(2), SpExpr::chain(1));
+  EXPECT_EQ(tail.linear_extensions(), 3u);
+}
+
+TEST(MotionStructure, MaterializesAcyclic) {
+  const Digraph g = motion_detection_structure().to_digraph();
+  EXPECT_EQ(g.node_count(), 28u);
+  EXPECT_TRUE(is_acyclic(g));
+}
+
+}  // namespace
+}  // namespace rdse

@@ -1,0 +1,101 @@
+/// Tests for topological analysis.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/topo.hpp"
+#include "util/rng.hpp"
+
+namespace rdse {
+namespace {
+
+TEST(Topo, ChainOrder) {
+  const Digraph g = chain_graph(4);
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(Topo, DetectsCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_FALSE(topological_order(g).has_value());
+  EXPECT_FALSE(is_acyclic(g));
+}
+
+TEST(Topo, TwoCycleDetected) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_FALSE(is_acyclic(g));
+}
+
+TEST(Topo, DeterministicTieBreak) {
+  Digraph g(4);
+  g.add_edge(3, 1);  // sources: 0, 2, 3 -> smallest id first
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ((*order)[0], 0u);
+  EXPECT_EQ((*order)[1], 2u);
+  EXPECT_EQ((*order)[2], 3u);
+  EXPECT_EQ((*order)[3], 1u);
+}
+
+TEST(Topo, OrderRespectsEdgesOnRandomDags) {
+  Rng rng(5);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Digraph g = random_order_dag(30, 0.2, rng);
+    const auto order = topological_order(g);
+    ASSERT_TRUE(order.has_value());
+    std::vector<std::size_t> pos(g.node_count());
+    for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+    for (EdgeId e = 0; e < g.edge_capacity(); ++e) {
+      if (!g.edge_alive(e)) continue;
+      EXPECT_LT(pos[g.edge(e).src], pos[g.edge(e).dst]);
+    }
+  }
+}
+
+TEST(Topo, AsapLevelsChain) {
+  const Digraph g = chain_graph(5);
+  const auto level = asap_levels(g);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(level[v], v);
+  }
+}
+
+TEST(Topo, AsapLevelsForkJoin) {
+  const Digraph g = fork_join_graph(3);
+  const auto level = asap_levels(g);
+  EXPECT_EQ(level[0], 0u);
+  EXPECT_EQ(level[1], 1u);
+  EXPECT_EQ(level[2], 1u);
+  EXPECT_EQ(level[3], 1u);
+  EXPECT_EQ(level[4], 2u);
+}
+
+TEST(Topo, AsapLevelsThrowOnCycle) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW((void)asap_levels(g), Error);
+}
+
+TEST(Topo, SourcesAndSinks) {
+  const Digraph g = fork_join_graph(2);
+  EXPECT_EQ(source_nodes(g), (std::vector<NodeId>{0}));
+  EXPECT_EQ(sink_nodes(g), (std::vector<NodeId>{3}));
+}
+
+TEST(Topo, Reachability) {
+  const Digraph g = chain_graph(6);
+  EXPECT_TRUE(reaches(g, 0, 5));
+  EXPECT_TRUE(reaches(g, 2, 2));
+  EXPECT_FALSE(reaches(g, 5, 0));
+  EXPECT_FALSE(reaches(g, 3, 1));
+}
+
+}  // namespace
+}  // namespace rdse

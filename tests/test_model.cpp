@@ -1,0 +1,197 @@
+/// Tests for the application model: implementations, tasks, task graphs,
+/// synthetic generators.
+
+#include <gtest/gtest.h>
+
+#include "model/generators.hpp"
+#include "model/task_graph.hpp"
+
+namespace rdse {
+namespace {
+
+TEST(ImplementationSet, ParetoFiltersDominated) {
+  auto set = ImplementationSet::pareto({
+      {100, from_ms(1.0)},
+      {50, from_ms(2.0)},
+      {150, from_ms(1.5)},  // dominated by (100, 1.0)
+      {200, from_ms(0.5)},
+  });
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.at(0).clbs, 50);
+  EXPECT_EQ(set.at(1).clbs, 100);
+  EXPECT_EQ(set.at(2).clbs, 200);
+}
+
+TEST(ImplementationSet, SameAreaKeepsFaster) {
+  auto set = ImplementationSet::pareto({
+      {50, from_ms(2.0)},
+      {50, from_ms(1.0)},
+  });
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.at(0).time, from_ms(1.0));
+}
+
+TEST(ImplementationSet, SortedAndStrictlyImproving) {
+  auto set = ImplementationSet::pareto({
+      {10, 1000}, {20, 900}, {40, 500}, {80, 100},
+  });
+  for (std::size_t i = 1; i < set.size(); ++i) {
+    EXPECT_GT(set.at(i).clbs, set.at(i - 1).clbs);
+    EXPECT_LT(set.at(i).time, set.at(i - 1).time);
+  }
+}
+
+TEST(ImplementationSet, BestUnderArea) {
+  auto set = ImplementationSet::pareto({{10, 1000}, {40, 500}, {80, 100}});
+  EXPECT_EQ(set.best_under_area(5), std::nullopt);
+  EXPECT_EQ(set.best_under_area(10), std::size_t{0});
+  EXPECT_EQ(set.best_under_area(79), std::size_t{1});
+  EXPECT_EQ(set.best_under_area(1000), std::size_t{2});
+  EXPECT_EQ(set.smallest(), 0u);
+  EXPECT_EQ(set.fastest(), 2u);
+  EXPECT_EQ(set.min_clbs(), 10);
+}
+
+TEST(ImplementationSet, RejectsNonPositive) {
+  EXPECT_THROW((void)ImplementationSet::pareto({{0, 100}}), Error);
+  EXPECT_THROW((void)ImplementationSet::pareto({{10, 0}}), Error);
+}
+
+TEST(ImplementationSet, EmptyBehaviour) {
+  ImplementationSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.min_clbs(), INT32_MAX);
+  EXPECT_THROW((void)set.smallest(), Error);
+  EXPECT_THROW((void)set.at(0), Error);
+}
+
+TEST(MakeParetoImpls, GeneratesRequestedCount) {
+  const auto set = make_pareto_impls(from_ms(5.0), 40, 8.0, 6);
+  EXPECT_EQ(set.size(), 6u);
+  EXPECT_EQ(set.at(0).clbs, 40);
+  // Speedup of smallest implementation is the base speedup.
+  EXPECT_NEAR(to_ms(set.at(0).time), 5.0 / 8.0, 1e-6);
+}
+
+TEST(MakeParetoImpls, LargerIsFaster) {
+  const auto set = make_pareto_impls(from_ms(5.0), 40, 8.0, 5, 1.7, 0.55);
+  for (std::size_t i = 1; i < set.size(); ++i) {
+    EXPECT_GT(set.at(i).clbs, set.at(i - 1).clbs);
+    EXPECT_LT(set.at(i).time, set.at(i - 1).time);
+  }
+}
+
+TEST(MakeParetoImpls, RejectsBadParameters) {
+  EXPECT_THROW((void)make_pareto_impls(0, 40, 8.0, 5), Error);
+  EXPECT_THROW((void)make_pareto_impls(from_ms(1), 0, 8.0, 5), Error);
+  EXPECT_THROW((void)make_pareto_impls(from_ms(1), 40, 0.5, 5), Error);
+  EXPECT_THROW((void)make_pareto_impls(from_ms(1), 40, 8.0, 0), Error);
+  EXPECT_THROW((void)make_pareto_impls(from_ms(1), 40, 8.0, 5, 1.0), Error);
+}
+
+Task simple_task(const std::string& name, double ms) {
+  Task t;
+  t.name = name;
+  t.functionality = "F";
+  t.sw_time = from_ms(ms);
+  return t;
+}
+
+TEST(TaskGraph, BuildAndQuery) {
+  TaskGraph g;
+  const TaskId a = g.add_task(simple_task("a", 1.0));
+  const TaskId b = g.add_task(simple_task("b", 2.0));
+  const EdgeId e = g.add_comm(a, b, 512);
+  EXPECT_EQ(g.task_count(), 2u);
+  EXPECT_EQ(g.comm_count(), 1u);
+  EXPECT_EQ(g.comm(e).bytes, 512);
+  EXPECT_EQ(g.total_sw_time(), from_ms(3.0));
+  EXPECT_EQ(g.hw_capable_count(), 0u);
+  g.validate();
+}
+
+TEST(TaskGraph, CommEdgeIdsMatchDigraph) {
+  TaskGraph g;
+  const TaskId a = g.add_task(simple_task("a", 1.0));
+  const TaskId b = g.add_task(simple_task("b", 1.0));
+  const TaskId c = g.add_task(simple_task("c", 1.0));
+  EXPECT_EQ(g.add_comm(a, b, 1), 0u);
+  EXPECT_EQ(g.add_comm(b, c, 1), 1u);
+  EXPECT_TRUE(g.digraph().has_edge(a, b));
+}
+
+TEST(TaskGraph, RejectsCycleAndDuplicates) {
+  TaskGraph g;
+  const TaskId a = g.add_task(simple_task("a", 1.0));
+  const TaskId b = g.add_task(simple_task("b", 1.0));
+  g.add_comm(a, b, 1);
+  EXPECT_THROW((void)g.add_comm(b, a, 1), Error);  // cycle
+  EXPECT_THROW((void)g.add_comm(a, b, 1), Error);  // duplicate
+  EXPECT_THROW((void)g.add_comm(a, 9, 1), Error);  // dangling
+  EXPECT_THROW((void)g.add_comm(a, b, -1), Error); // negative size
+}
+
+TEST(TaskGraph, RejectsBadTasks) {
+  TaskGraph g;
+  EXPECT_THROW((void)g.add_task(simple_task("zero", 0.0)), Error);
+}
+
+TEST(TaskGraph, ValidateCatchesDuplicateNames) {
+  TaskGraph g;
+  g.add_task(simple_task("same", 1.0));
+  g.add_task(simple_task("same", 1.0));
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(TaskGraph, ValidateCatchesEmpty) {
+  TaskGraph g;
+  EXPECT_THROW(g.validate(), Error);
+}
+
+class RandomAppGen : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomAppGen, ProducesValidApplications) {
+  Rng rng(GetParam());
+  AppGenParams params;
+  params.dag.node_count = 40;
+  params.dag.max_width = 5;
+  params.hw_capable_fraction = 0.8;
+  const Application app = random_application(params, rng);
+  app.graph.validate();
+  EXPECT_EQ(app.graph.task_count(), 40u);
+  EXPECT_GT(app.deadline, 0);
+  // Deadline is half the software time by default.
+  EXPECT_NEAR(to_ms(app.deadline), to_ms(app.graph.total_sw_time()) * 0.5,
+              1e-6);
+  // Roughly the requested fraction of tasks is hardware-capable.
+  const auto hw = app.graph.hw_capable_count();
+  EXPECT_GT(hw, 20u);
+  EXPECT_LE(hw, 40u);
+  // Every Pareto set has 5 or 6 points.
+  for (TaskId t = 0; t < app.graph.task_count(); ++t) {
+    const auto& impls = app.graph.task(t).hw;
+    if (!impls.empty()) {
+      EXPECT_GE(impls.size(), 5u);
+      EXPECT_LE(impls.size(), 6u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAppGen,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(RandomAppGen, Deterministic) {
+  AppGenParams params;
+  params.dag.node_count = 15;
+  Rng r1(9), r2(9);
+  const Application a = random_application(params, r1);
+  const Application b = random_application(params, r2);
+  ASSERT_EQ(a.graph.task_count(), b.graph.task_count());
+  for (TaskId t = 0; t < a.graph.task_count(); ++t) {
+    EXPECT_EQ(a.graph.task(t).sw_time, b.graph.task(t).sw_time);
+  }
+  EXPECT_EQ(a.deadline, b.deadline);
+}
+
+}  // namespace
+}  // namespace rdse

@@ -1,0 +1,153 @@
+/// Tests pinning the motion-detection reconstruction to every aggregate the
+/// paper publishes about the benchmark (§5).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/series_parallel.hpp"
+#include "graph/topo.hpp"
+#include "model/motion_detection.hpp"
+
+namespace rdse {
+namespace {
+
+class MotionApp : public ::testing::Test {
+ protected:
+  Application app = make_motion_detection_app();
+};
+
+TEST_F(MotionApp, TwentyEightTasks) {
+  EXPECT_EQ(app.graph.task_count(), 28u);
+}
+
+TEST_F(MotionApp, SoftwareOnlyTimeIsExactly76_4ms) {
+  EXPECT_EQ(app.graph.total_sw_time(), from_ms(76.4));
+}
+
+TEST_F(MotionApp, DeadlineIs40ms) { EXPECT_EQ(app.deadline, from_ms(40.0)); }
+
+TEST_F(MotionApp, ReconfigurationConstantsMatchPaper) {
+  EXPECT_EQ(kMotionDetectionTrPerClb, from_us(22.5));
+}
+
+TEST_F(MotionApp, EveryFunctionHasFiveOrSixImplementations) {
+  for (TaskId t = 0; t < app.graph.task_count(); ++t) {
+    const auto& impls = app.graph.task(t).hw;
+    EXPECT_GE(impls.size(), 5u) << app.graph.task(t).name;
+    EXPECT_LE(impls.size(), 6u) << app.graph.task(t).name;
+  }
+}
+
+TEST_F(MotionApp, ImplementationsAreParetoDominant) {
+  for (TaskId t = 0; t < app.graph.task_count(); ++t) {
+    const auto& impls = app.graph.task(t).hw;
+    for (std::size_t i = 1; i < impls.size(); ++i) {
+      EXPECT_GT(impls.at(i).clbs, impls.at(i - 1).clbs);
+      EXPECT_LT(impls.at(i).time, impls.at(i - 1).time);
+    }
+  }
+}
+
+TEST_F(MotionApp, GraphIsValidAndAcyclic) {
+  app.graph.validate();
+  EXPECT_TRUE(is_acyclic(app.graph.digraph()));
+}
+
+TEST_F(MotionApp, TopologyMatchesPaperStructure) {
+  // §5: a 7-node chain, then a 7-node chain in parallel with
+  // [6-chain -> (2-chain || 1 node) -> 5-chain].
+  const auto level = asap_levels(app.graph.digraph());
+  // Head chain: tasks 0..6 at levels 0..6.
+  for (TaskId t = 0; t < 7; ++t) {
+    EXPECT_EQ(level[t], t) << "head chain";
+  }
+  // Branch A (7..13): levels 7..13.
+  for (TaskId t = 7; t <= 13; ++t) {
+    EXPECT_EQ(level[t], t) << "branch A";
+  }
+  // Branch B (14..19): levels 7..12.
+  for (TaskId t = 14; t <= 19; ++t) {
+    EXPECT_EQ(level[t], t - 7) << "branch B";
+  }
+  // P chain 20, 21 at 13, 14; Q node 22 at 13; T chain 23..27 at 15..19.
+  EXPECT_EQ(level[20], 13u);
+  EXPECT_EQ(level[21], 14u);
+  EXPECT_EQ(level[22], 13u);
+  for (TaskId t = 23; t <= 27; ++t) {
+    EXPECT_EQ(level[t], t - 8u);
+  }
+}
+
+TEST_F(MotionApp, LinearExtensionCountMatchesPaper) {
+  // The precedence graph admits exactly 3 * C(21,7) = 348,840 total orders.
+  // Verified structurally through the series-parallel expression, whose
+  // node count and shape this graph mirrors.
+  const SpExpr structure = motion_detection_structure();
+  EXPECT_EQ(structure.node_count(), app.graph.task_count());
+  EXPECT_EQ(structure.linear_extensions(), 348'840u);
+}
+
+TEST_F(MotionApp, SingleSourceSingleForkShape) {
+  const auto& g = app.graph.digraph();
+  EXPECT_EQ(source_nodes(g), (std::vector<NodeId>{0}));
+  // Two sinks: end of branch A (13) and end of T chain (27).
+  EXPECT_EQ(sink_nodes(g), (std::vector<NodeId>{13, 27}));
+  // The fork is at the end of the head chain.
+  EXPECT_EQ(g.out_degree(6), 2u);
+}
+
+TEST_F(MotionApp, UniqueTaskNames) {
+  std::set<std::string> names;
+  for (TaskId t = 0; t < app.graph.task_count(); ++t) {
+    EXPECT_TRUE(names.insert(app.graph.task(t).name).second);
+  }
+}
+
+TEST_F(MotionApp, AllTasksHardwareCapable) {
+  // The EPICURE estimates provide FPGA implementations for every function.
+  EXPECT_EQ(app.graph.hw_capable_count(), 28u);
+}
+
+TEST_F(MotionApp, TransferSizesPositiveOnAllEdges) {
+  for (EdgeId e = 0; e < app.graph.comm_count(); ++e) {
+    EXPECT_GT(app.graph.comm(e).bytes, 0);
+  }
+}
+
+TEST_F(MotionApp, DeterministicConstruction) {
+  const Application again = make_motion_detection_app();
+  ASSERT_EQ(again.graph.task_count(), app.graph.task_count());
+  for (TaskId t = 0; t < app.graph.task_count(); ++t) {
+    EXPECT_EQ(again.graph.task(t).name, app.graph.task(t).name);
+    EXPECT_EQ(again.graph.task(t).sw_time, app.graph.task(t).sw_time);
+    ASSERT_EQ(again.graph.task(t).hw.size(), app.graph.task(t).hw.size());
+    for (std::size_t k = 0; k < app.graph.task(t).hw.size(); ++k) {
+      EXPECT_EQ(again.graph.task(t).hw.at(k).clbs,
+                app.graph.task(t).hw.at(k).clbs);
+      EXPECT_EQ(again.graph.task(t).hw.at(k).time,
+                app.graph.task(t).hw.at(k).time);
+    }
+  }
+}
+
+TEST_F(MotionApp, RandomNineTaskPartitionNearThousandClbs) {
+  // §5 anecdote: a random initial partition put 9 tasks in hardware using
+  // 995 CLBs. Check the expected area of 9 random tasks with random
+  // implementations is in that neighbourhood (within a generous band).
+  double total = 0.0;
+  int count = 0;
+  for (TaskId t = 0; t < app.graph.task_count(); ++t) {
+    const auto& impls = app.graph.task(t).hw;
+    for (std::size_t k = 0; k < impls.size(); ++k) {
+      total += impls.at(k).clbs;
+      ++count;
+    }
+  }
+  const double expected9 = 9.0 * total / count;
+  EXPECT_GT(expected9, 600.0);
+  EXPECT_LT(expected9, 1500.0);
+}
+
+}  // namespace
+}  // namespace rdse

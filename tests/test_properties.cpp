@@ -1,0 +1,164 @@
+/// Cross-module property tests: invariants that must hold for *any*
+/// application, architecture and (feasible) solution, exercised over random
+/// synthetic instances driven through random accepted move sequences.
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.hpp"
+#include "core/moves.hpp"
+#include "graph/dot.hpp"
+#include "mapping/validation.hpp"
+#include "model/generators.hpp"
+#include "sched/timeline.hpp"
+
+namespace rdse {
+namespace {
+
+Application make_app(std::uint64_t seed, std::size_t n) {
+  AppGenParams params;
+  params.dag.node_count = n;
+  params.dag.max_width = 4;
+  params.hw_capable_fraction = 0.85;
+  Rng rng(seed);
+  return random_application(params, rng);
+}
+
+class RandomInstance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomInstance, EvaluatorInvariantsUnderMoveChurn) {
+  const Application app = make_app(GetParam(), 24);
+  Architecture arch =
+      make_cpu_fpga_architecture(800, from_us(15.0), 20'000'000);
+  const Evaluator ev(app.graph, arch);
+  const auto& dev = arch.reconfigurable(1);
+
+  Rng rng(GetParam() ^ 0xABCDEF);
+  Solution sol = Solution::random_partition(app.graph, arch, 0, 1, rng);
+  MoveConfig config;
+
+  int checked = 0;
+  for (int i = 0; i < 1'500 && checked < 120; ++i) {
+    Architecture cand_arch = arch;
+    Solution cand = sol;
+    const MoveOutcome out =
+        generate_move(app.graph, cand_arch, cand, config, rng);
+    if (!out.applied) continue;
+    const auto m = ev.evaluate(cand);
+    if (!m) continue;  // cyclic realization: rejected
+    ++checked;
+    sol = std::move(cand);
+
+    // (1) Reconfiguration accounting: total = tR * all loaded CLBs.
+    ASSERT_EQ(m->total_reconfig(), dev.reconfiguration_time(m->clbs_loaded));
+    // (2) Task partition counts.
+    ASSERT_EQ(m->sw_tasks + m->hw_tasks,
+              static_cast<int>(app.graph.task_count()));
+    // (3) The single CPU executes serially: makespan bounds its busy time.
+    ASSERT_GE(m->makespan, m->sw_busy);
+    // (4) The RC serializes context loads: makespan bounds reconfiguration.
+    ASSERT_GE(m->makespan, m->total_reconfig());
+    // (5) Capacity holds for every context.
+    ASSERT_LE(m->max_context_clbs, dev.n_clbs());
+    // (6) The structural validator agrees.
+    ASSERT_TRUE(validate_solution(app.graph, arch, sol).empty());
+  }
+  EXPECT_GE(checked, 60);
+}
+
+TEST_P(RandomInstance, TimelineDominatesLongestPathEverywhere) {
+  const Application app = make_app(GetParam() + 77, 18);
+  Architecture arch =
+      make_cpu_fpga_architecture(600, from_us(10.0), 5'000'000);
+  const Evaluator ev(app.graph, arch);
+  Rng rng(GetParam());
+  for (int i = 0; i < 10; ++i) {
+    const Solution sol =
+        Solution::random_partition(app.graph, arch, 0, 1, rng);
+    const auto m = ev.evaluate(sol);
+    ASSERT_TRUE(m.has_value());
+    const Timeline tl = build_timeline(app.graph, arch, sol);
+    // Serialization can only delay; and every slot ends within makespan.
+    ASSERT_GE(tl.makespan, m->makespan);
+    for (const TimelineSlot& s : tl.slots) {
+      ASSERT_LE(s.start, s.end);
+      ASSERT_LE(s.end, tl.makespan);
+    }
+  }
+}
+
+TEST_P(RandomInstance, BestTraceIsMonotoneNonIncreasing) {
+  const Application app = make_app(GetParam() + 123, 20);
+  Architecture arch =
+      make_cpu_fpga_architecture(500, from_us(20.0), 20'000'000);
+  Explorer explorer(app.graph, arch);
+  ExplorerConfig config;
+  config.seed = GetParam();
+  config.iterations = 1'500;
+  config.warmup_iterations = 200;
+  const RunResult r = explorer.run(config);
+  double best = std::numeric_limits<double>::infinity();
+  for (const TraceRow& row : r.trace.rows()) {
+    ASSERT_LE(row.best, best + 1e-12);
+    best = row.best;
+    // Best never exceeds current cost at the same instant.
+    ASSERT_LE(row.best, row.cost + 1e-12);
+  }
+  // The reported best metrics match the last traced best.
+  EXPECT_NEAR(to_ms(r.best_metrics.makespan), best, 1e-9);
+}
+
+TEST_P(RandomInstance, ExplorationNeverReturnsWorseThanInitial) {
+  const Application app = make_app(GetParam() + 321, 16);
+  Architecture arch =
+      make_cpu_fpga_architecture(400, from_us(25.0), 10'000'000);
+  Explorer explorer(app.graph, arch);
+  ExplorerConfig config;
+  config.seed = GetParam() * 3 + 1;
+  config.iterations = 800;
+  config.warmup_iterations = 100;
+  config.record_trace = false;
+  const RunResult r = explorer.run(config);
+  EXPECT_LE(r.best_metrics.makespan, r.initial_metrics.makespan);
+  require_valid(app.graph, r.best_architecture, r.best_solution);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstance,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(DotExport, PlainGraphAndStyles) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  const EdgeId dashed = g.add_edge(1, 2);
+  DotStyle style;
+  style.node_label = {"alpha", "beta", "gamma"};
+  style.node_group = {"", "G1", "G1"};
+  style.edge_style.resize(g.edge_capacity());
+  style.edge_style[dashed] = "dashed";
+  const std::string dot = to_dot(g, style);
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"G1\""), std::string::npos);
+  EXPECT_NE(dot.find("[style=dashed]"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(DotExport, SizeMismatchThrows) {
+  Digraph g(2);
+  DotStyle style;
+  style.node_label = {"only-one"};
+  EXPECT_THROW((void)to_dot(g, style), Error);
+}
+
+TEST(HeterogeneousProcessors, SpeedFactorScalesNodeWeights) {
+  Application app = make_app(5, 10);
+  Architecture arch{Bus(10'000'000)};
+  arch.add_processor("slow", 50.0, 0.5);  // half speed
+  const Evaluator ev(app.graph, arch);
+  const Solution sol = Solution::all_software(app.graph, 0);
+  const auto m = ev.evaluate(sol);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->makespan, 2 * app.graph.total_sw_time());
+  EXPECT_THROW(Processor("bad", 1.0, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace rdse

@@ -1,0 +1,173 @@
+/// Property tests: the incremental longest-path engine (the paper's
+/// Woodbury-style update, §4.4) is bit-identical to full recomputation
+/// under random edit sequences, and its O(1) cycle probe matches DFS.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/topo.hpp"
+#include "sched/incremental.hpp"
+#include "util/rng.hpp"
+
+namespace rdse {
+namespace {
+
+struct Mirror {
+  Digraph graph;
+  std::vector<TimeNs> node_weight;
+  std::vector<TimeNs> edge_weight;
+  std::vector<TimeNs> release;
+
+  TimeNs full_makespan() const {
+    return longest_path(WeightedDag{&graph, node_weight, edge_weight, release})
+        .makespan;
+  }
+};
+
+TEST(Incremental, MatchesFullOnStaticGraph) {
+  Rng rng(3);
+  const Digraph g = random_order_dag(25, 0.15, rng);
+  std::vector<TimeNs> nw(25);
+  for (auto& w : nw) w = rng.uniform_int(1, 100);
+  std::vector<TimeNs> ew(g.edge_capacity());
+  for (auto& w : ew) w = rng.uniform_int(0, 20);
+  const std::vector<TimeNs> rel(25, 0);
+
+  IncrementalLongestPath inc(g, nw, ew, rel);
+  const auto full = longest_path(WeightedDag{&g, nw, ew, rel});
+  EXPECT_EQ(inc.makespan(), full.makespan);
+  for (NodeId v = 0; v < 25; ++v) {
+    EXPECT_EQ(inc.start_of(v), full.start[v]);
+    EXPECT_EQ(inc.finish_of(v), full.finish[v]);
+  }
+}
+
+TEST(Incremental, NodeWeightIncreasePropagates) {
+  Digraph g = chain_graph(4);
+  IncrementalLongestPath inc(g, {1, 1, 1, 1},
+                             std::vector<TimeNs>(g.edge_capacity(), 0),
+                             {});
+  EXPECT_EQ(inc.makespan(), 4);
+  inc.set_node_weight(1, 10);
+  EXPECT_EQ(inc.makespan(), 13);
+  EXPECT_EQ(inc.start_of(2), 11);
+}
+
+TEST(Incremental, NodeWeightDecreasePropagates) {
+  Digraph g = chain_graph(3);
+  IncrementalLongestPath inc(g, {5, 5, 5},
+                             std::vector<TimeNs>(g.edge_capacity(), 0),
+                             {});
+  EXPECT_EQ(inc.makespan(), 15);
+  inc.set_node_weight(0, 1);
+  EXPECT_EQ(inc.makespan(), 11);
+}
+
+TEST(Incremental, EdgeInsertAndRemove) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  IncrementalLongestPath inc(g, {1, 1, 1},
+                             std::vector<TimeNs>(g.edge_capacity(), 0),
+                             {});
+  EXPECT_EQ(inc.makespan(), 2);
+  const EdgeId e = inc.add_edge(1, 2, 7);
+  EXPECT_EQ(inc.makespan(), 1 + 1 + 7 + 1);
+  inc.remove_edge(e);
+  EXPECT_EQ(inc.makespan(), 2);
+}
+
+TEST(Incremental, ReleaseUpdate) {
+  Digraph g = chain_graph(2);
+  IncrementalLongestPath inc(g, {1, 1},
+                             std::vector<TimeNs>(g.edge_capacity(), 0),
+                             {0, 0});
+  inc.set_release(0, 100);
+  EXPECT_EQ(inc.makespan(), 102);
+  inc.set_release(0, 0);
+  EXPECT_EQ(inc.makespan(), 2);
+}
+
+TEST(Incremental, CycleProbeMatchesReachability) {
+  Rng rng(11);
+  const Digraph g = random_order_dag(20, 0.2, rng);
+  IncrementalLongestPath inc(g, std::vector<TimeNs>(20, 1),
+                             std::vector<TimeNs>(g.edge_capacity(), 0),
+                             {});
+  for (NodeId u = 0; u < 20; ++u) {
+    for (NodeId v = 0; v < 20; ++v) {
+      if (u == v) continue;
+      EXPECT_EQ(inc.would_create_cycle(u, v), reaches(g, v, u));
+    }
+  }
+}
+
+TEST(Incremental, AddCycleEdgeThrows) {
+  Digraph g = chain_graph(3);
+  IncrementalLongestPath inc(g, {1, 1, 1},
+                             std::vector<TimeNs>(g.edge_capacity(), 0),
+                             {});
+  EXPECT_THROW((void)inc.add_edge(2, 0, 0), Error);
+}
+
+class IncrementalFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalFuzz, RandomEditSequenceMatchesFullRecompute) {
+  Rng rng(GetParam());
+  const std::size_t n = 24;
+  Mirror m;
+  m.graph = Digraph(n);
+  m.node_weight.resize(n);
+  for (auto& w : m.node_weight) w = rng.uniform_int(1, 50);
+  m.release.assign(n, 0);
+  m.edge_weight.clear();
+
+  IncrementalLongestPath inc(m.graph, m.node_weight, m.edge_weight,
+                             m.release);
+  std::vector<EdgeId> live;
+
+  for (int step = 0; step < 400; ++step) {
+    const double dice = rng.uniform01();
+    if (dice < 0.4) {  // insert edge
+      const NodeId u = static_cast<NodeId>(rng.index(n));
+      const NodeId v = static_cast<NodeId>(rng.index(n));
+      if (u == v || inc.would_create_cycle(u, v)) continue;
+      const TimeNs w = rng.uniform_int(0, 30);
+      const EdgeId id = inc.add_edge(u, v, w);
+      const EdgeId mirror_id = m.graph.add_edge(u, v);
+      ASSERT_EQ(id, mirror_id);
+      if (id >= m.edge_weight.size()) m.edge_weight.resize(id + 1, 0);
+      m.edge_weight[id] = w;
+      live.push_back(id);
+    } else if (dice < 0.6 && !live.empty()) {  // remove edge
+      const std::size_t k = rng.index(live.size());
+      inc.remove_edge(live[k]);
+      m.graph.remove_edge(live[k]);
+      live[k] = live.back();
+      live.pop_back();
+    } else if (dice < 0.8) {  // node weight change
+      const NodeId v = static_cast<NodeId>(rng.index(n));
+      const TimeNs w = rng.uniform_int(1, 50);
+      inc.set_node_weight(v, w);
+      m.node_weight[v] = w;
+    } else {  // release change
+      const NodeId v = static_cast<NodeId>(rng.index(n));
+      const TimeNs r = rng.uniform_int(0, 200);
+      inc.set_release(v, r);
+      m.release[v] = r;
+    }
+    ASSERT_EQ(inc.makespan(), m.full_makespan()) << "step " << step;
+  }
+  // Final deep check of all node values.
+  const auto full = longest_path(
+      WeightedDag{&m.graph, m.node_weight, m.edge_weight, m.release});
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(inc.start_of(v), full.start[v]);
+    EXPECT_EQ(inc.finish_of(v), full.finish[v]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace rdse

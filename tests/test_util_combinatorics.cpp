@@ -1,0 +1,125 @@
+/// Tests for exact counting — including every solution-space number the
+/// paper reports in §5.
+
+#include <gtest/gtest.h>
+
+#include "util/combinatorics.hpp"
+
+namespace rdse {
+namespace {
+
+TEST(U128String, SmallValues) {
+  EXPECT_EQ(u128_to_string(0), "0");
+  EXPECT_EQ(u128_to_string(7), "7");
+  EXPECT_EQ(u128_to_string(1234567890ULL), "1234567890");
+}
+
+TEST(U128String, Grouped) {
+  EXPECT_EQ(u128_to_string_grouped(0), "0");
+  EXPECT_EQ(u128_to_string_grouped(999), "999");
+  EXPECT_EQ(u128_to_string_grouped(1000), "1,000");
+  EXPECT_EQ(u128_to_string_grouped(7142499000ULL), "7,142,499,000");
+}
+
+TEST(U128String, VeryLarge) {
+  // 2^100 = 1267650600228229401496703205376
+  U128 v = 1;
+  for (int i = 0; i < 100; ++i) v *= 2;
+  EXPECT_EQ(u128_to_string(v), "1267650600228229401496703205376");
+}
+
+TEST(CheckedArithmetic, MulOverflowThrows) {
+  const U128 big = static_cast<U128>(-1) / 2 + 1;
+  EXPECT_THROW((void)checked_mul(big, 2), Error);
+  EXPECT_EQ(checked_mul(3, 5), 15u);
+}
+
+TEST(CheckedArithmetic, AddOverflowThrows) {
+  const U128 max = static_cast<U128>(-1);
+  EXPECT_THROW((void)checked_add(max, 1), Error);
+  EXPECT_EQ(checked_add(max - 1, 1), max);
+}
+
+TEST(Binomial, BaseCases) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 6), 0u);
+}
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 5), 252u);
+  EXPECT_EQ(binomial(52, 5), 2'598'960u);
+}
+
+TEST(Binomial, PascalIdentityProperty) {
+  for (std::uint64_t n = 1; n <= 40; ++n) {
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k),
+                checked_add(binomial(n - 1, k - 1), binomial(n - 1, k)))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Binomial, SymmetryProperty) {
+  for (std::uint64_t n = 0; n <= 60; n += 3) {
+    for (std::uint64_t k = 0; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n, n - k));
+    }
+  }
+}
+
+TEST(Factorial, KnownValues) {
+  EXPECT_EQ(factorial(0), 1u);
+  EXPECT_EQ(factorial(1), 1u);
+  EXPECT_EQ(factorial(10), 3'628'800u);
+}
+
+TEST(Factorial, OverflowThrows) {
+  EXPECT_NO_THROW((void)factorial(33));
+  EXPECT_THROW((void)factorial(35), Error);
+}
+
+TEST(Interleavings, MatchesBinomial) {
+  EXPECT_EQ(interleavings(7, 6), binomial(13, 7));
+  EXPECT_EQ(interleavings(0, 5), 1u);
+  EXPECT_EQ(interleavings(1, 1), 2u);
+}
+
+// ---- §5 anchors ------------------------------------------------------------
+
+TEST(PaperCounts, TwoContextChangesOn28Chain) {
+  // "for 28 nodes, 2 changes of context would give 378 combinations"
+  EXPECT_EQ(context_change_combinations(28, 2), 378u);
+}
+
+TEST(PaperCounts, SixContextChangesOn28Chain) {
+  // "... and 6 changes 376,740 combinations"
+  EXPECT_EQ(context_change_combinations(28, 6), 376'740u);
+}
+
+TEST(PaperCounts, First20NodesTotalOrders) {
+  // "a 7-node chain followed by a 7-node chain in parallel with a 6-node
+  // chain: there are 1716 total orders" = C(13, 6)
+  EXPECT_EQ(interleavings(7, 6), 1716u);
+}
+
+TEST(PaperCounts, AllTotalOrders) {
+  // "there are 3 * C(21, 7) total orders for the example, i.e. 348,840"
+  EXPECT_EQ(checked_mul(3, binomial(21, 7)), 348'840u);
+}
+
+TEST(PaperCounts, CombinationsWithContextChanges) {
+  // "for 2 changes of context there are 131,861,520 combinations and for,
+  // say, 4 changes of context there are 7,142,499,000 combinations"
+  const U128 orders = checked_mul(3, binomial(21, 7));
+  EXPECT_EQ(checked_mul(orders, context_change_combinations(28, 2)),
+            131'861'520u);
+  EXPECT_EQ(checked_mul(orders, context_change_combinations(28, 4)),
+            7'142'499'000u);
+}
+
+}  // namespace
+}  // namespace rdse

@@ -1,0 +1,161 @@
+/// Tests for online statistics (annealing-schedule inputs).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+namespace rdse {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchOnRandomData) {
+  Rng rng(7);
+  RunningStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), mean_of(xs), 1e-9);
+  EXPECT_NEAR(s.stddev(), stddev_of(xs), 1e-9);
+}
+
+TEST(Ewma, FirstSampleSetsValue) {
+  Ewma e(0.1);
+  e.add(5.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.2);
+  for (int i = 0; i < 200; ++i) e.add(3.0);
+  EXPECT_NEAR(e.value(), 3.0, 1e-12);
+}
+
+TEST(Ewma, TracksStepChange) {
+  Ewma e(0.5);
+  for (int i = 0; i < 10; ++i) e.add(0.0);
+  for (int i = 0; i < 20; ++i) e.add(1.0);
+  EXPECT_GT(e.value(), 0.99);
+}
+
+TEST(Ewma, SeedCountsAsSample) {
+  Ewma e(0.5);
+  e.seed(4.0);
+  EXPECT_FALSE(e.empty());
+  EXPECT_DOUBLE_EQ(e.value(), 4.0);
+}
+
+TEST(EwmaStats, VarianceOfConstantIsZero) {
+  EwmaStats s(0.05);
+  for (int i = 0; i < 500; ++i) s.add(2.5);
+  EXPECT_NEAR(s.variance(), 0.0, 1e-12);
+}
+
+TEST(EwmaStats, VarianceApproximatesIid) {
+  Rng rng(11);
+  EwmaStats s(0.01);
+  for (int i = 0; i < 20'000; ++i) s.add(rng.normal(0.0, 2.0));
+  EXPECT_NEAR(s.stddev(), 2.0, 0.3);
+}
+
+TEST(EwmaStats, AutocorrOfIidNearZero) {
+  Rng rng(13);
+  EwmaStats s(0.01);
+  for (int i = 0; i < 20'000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.autocorr1(), 0.0, 0.1);
+}
+
+TEST(EwmaStats, AutocorrOfPersistentProcessIsHigh) {
+  Rng rng(17);
+  EwmaStats s(0.01);
+  double x = 0.0;
+  for (int i = 0; i < 20'000; ++i) {
+    x = 0.95 * x + rng.normal(0.0, 0.1);
+    s.add(x);
+  }
+  EXPECT_GT(s.autocorr1(), 0.5);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 4
+  h.add(-3.0);   // clamped to bin 0
+  h.add(42.0);   // clamped to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, RejectsBadRange) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(BatchStats, QuantileInterpolation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 0.5), 2.5);
+}
+
+TEST(BatchStats, QuantileRejectsBadInput) {
+  EXPECT_THROW((void)quantile_of({}, 0.5), Error);
+  EXPECT_THROW((void)quantile_of({1.0}, 1.5), Error);
+}
+
+TEST(BatchStats, MinMaxMean) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 3.0);
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.0);
+}
+
+}  // namespace
+}  // namespace rdse

@@ -4,112 +4,166 @@
 #include <limits>
 
 #include "util/assert.hpp"
-#include "util/statistics.hpp"
 
 namespace rdse {
 
-AnnealResult anneal(AnnealProblem& problem, const AnnealConfig& config) {
-  RDSE_REQUIRE(config.iterations >= 0 && config.warmup_iterations >= 0,
+AnnealEngine::AnnealEngine(AnnealProblem& problem, AnnealConfig config)
+    : problem_(&problem),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      schedule_(make_schedule(config_.schedule)) {
+  RDSE_REQUIRE(config_.iterations >= 0 && config_.warmup_iterations >= 0,
                "anneal: negative iteration counts");
-  Rng rng(config.seed);
-  const auto schedule = make_schedule(config.schedule);
+  result_.schedule_name = schedule_->name();
+  current_ = problem_->cost();
+  best_ = current_;
+  result_.initial_cost = current_;
+  problem_->snapshot_best();
+  warm_stats_.add(current_);
+}
 
-  AnnealResult result;
-  result.schedule_name = schedule->name();
+bool AnnealEngine::finished() const {
+  return frozen_ || (global_iter_ >= config_.warmup_iterations &&
+                     cooling_iter_ >= config_.iterations);
+}
 
-  double current = problem.cost();
-  double best = current;
-  result.initial_cost = current;
-  problem.snapshot_best();
+double AnnealEngine::temperature() const {
+  if (!schedule_initialized_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return schedule_->temperature();
+}
 
-  std::int64_t global_iter = 0;
-  auto emit = [&](bool proposed, bool accepted, bool warmup, double temp) {
-    if (config.on_iteration) {
-      IterationStat stat;
-      stat.iteration = global_iter;
-      stat.cost = current;
-      stat.best = best;
-      stat.temperature = temp;
-      stat.proposed = proposed;
-      stat.accepted = accepted;
-      stat.warmup = warmup;
-      config.on_iteration(stat);
-    }
-    ++global_iter;
-  };
+AnnealResult AnnealEngine::result() const {
+  AnnealResult r = result_;
+  r.best_cost = best_;
+  r.final_cost = current_;
+  r.iterations_run = global_iter_;
+  return r;
+}
 
-  auto note_best = [&]() {
-    if (current < best) {
-      best = current;
-      result.best_iteration = global_iter;
-      problem.snapshot_best();
-    }
-  };
+void AnnealEngine::note_best() {
+  if (current_ < best_) {
+    best_ = current_;
+    result_.best_iteration = global_iter_;
+    problem_->snapshot_best();
+  }
+}
 
-  // ---- warm-up: infinite temperature, gather statistics -----------------
-  RunningStats warm_stats;
-  warm_stats.add(current);
-  const double inf = std::numeric_limits<double>::infinity();
-  for (std::int64_t i = 0; i < config.warmup_iterations; ++i) {
-    bool accepted = false;
-    const bool proposed = problem.propose(rng);
-    if (proposed) {
-      current = problem.candidate_cost();
-      problem.accept();  // infinite temperature accepts every feasible move
+void AnnealEngine::emit(bool proposed, bool accepted, bool warmup,
+                        double temperature) {
+  if (config_.on_iteration) {
+    IterationStat stat;
+    stat.iteration = global_iter_;
+    stat.cost = current_;
+    stat.best = best_;
+    stat.temperature = temperature;
+    stat.proposed = proposed;
+    stat.accepted = accepted;
+    stat.warmup = warmup;
+    config_.on_iteration(stat);
+  }
+  ++global_iter_;
+}
+
+void AnnealEngine::step_warmup() {
+  bool accepted = false;
+  const bool proposed = problem_->propose(rng_);
+  if (proposed) {
+    current_ = problem_->candidate_cost();
+    problem_->accept();  // infinite temperature accepts every feasible move
+    accepted = true;
+    ++result_.accepted;
+    note_best();
+  } else {
+    ++result_.infeasible;
+  }
+  warm_stats_.add(current_);
+  emit(proposed, accepted, /*warmup=*/true,
+       std::numeric_limits<double>::infinity());
+}
+
+void AnnealEngine::initialize_schedule() {
+  const double sigma0 =
+      warm_stats_.stddev() > 0 ? warm_stats_.stddev() : std::abs(current_) + 1.0;
+  schedule_->initialize(warm_stats_.mean(), sigma0,
+                        std::max<std::int64_t>(config_.iterations, 1));
+  schedule_initialized_ = true;
+}
+
+void AnnealEngine::step_cooling() {
+  const std::int64_t i = cooling_iter_;
+  bool accepted = false;
+  const bool proposed = problem_->propose(rng_);
+  if (proposed) {
+    const double cand = problem_->candidate_cost();
+    const double delta = cand - current_;
+    const double temp = schedule_->temperature();
+    if (delta <= 0.0 ||
+        (temp > 0.0 && rng_.uniform01() < std::exp(-delta / temp))) {
+      problem_->accept();
+      current_ = cand;
       accepted = true;
-      ++result.accepted;
+      ++result_.accepted;
+      if (current_ < best_) {
+        last_improvement_ = i;
+      }
       note_best();
     } else {
-      ++result.infeasible;
+      problem_->reject();
+      ++result_.rejected;
     }
-    warm_stats.add(current);
-    emit(proposed, accepted, /*warmup=*/true, inf);
+  } else {
+    ++result_.infeasible;
   }
+  schedule_->update(current_, accepted, proposed);
+  emit(proposed, accepted, /*warmup=*/false, schedule_->temperature());
+  ++cooling_iter_;
 
-  // ---- cooling ------------------------------------------------------------
-  const double sigma0 =
-      warm_stats.stddev() > 0 ? warm_stats.stddev() : std::abs(current) + 1.0;
-  schedule->initialize(warm_stats.mean(), sigma0,
-                       std::max<std::int64_t>(config.iterations, 1));
+  if (config_.freeze_after > 0 &&
+      i - last_improvement_ >= config_.freeze_after) {
+    frozen_ = true;  // no best-improvement for freeze_after iterations
+  }
+}
 
-  std::int64_t last_improvement = 0;
-  for (std::int64_t i = 0; i < config.iterations; ++i) {
-    bool accepted = false;
-    const bool proposed = problem.propose(rng);
-    if (proposed) {
-      const double cand = problem.candidate_cost();
-      const double delta = cand - current;
-      const double temp = schedule->temperature();
-      if (delta <= 0.0 ||
-          (temp > 0.0 && rng.uniform01() < std::exp(-delta / temp))) {
-        problem.accept();
-        current = cand;
-        accepted = true;
-        ++result.accepted;
-        if (current < best) {
-          last_improvement = i;
-        }
-        note_best();
-      } else {
-        problem.reject();
-        ++result.rejected;
-      }
+std::int64_t AnnealEngine::run(std::int64_t max_iterations) {
+  std::int64_t executed = 0;
+  while (executed < max_iterations && !finished()) {
+    if (global_iter_ < config_.warmup_iterations) {
+      step_warmup();
     } else {
-      ++result.infeasible;
+      if (!schedule_initialized_) initialize_schedule();
+      step_cooling();
     }
-    schedule->update(current, accepted, proposed);
-    emit(proposed, accepted, /*warmup=*/false, schedule->temperature());
-
-    if (config.freeze_after > 0 &&
-        i - last_improvement >= config.freeze_after) {
-      break;  // frozen: no best-improvement for freeze_after iterations
-    }
+    ++executed;
   }
+  // Make temperature() meaningful at a barrier that lands exactly on the
+  // warm-up/cooling boundary (and when iterations == 0).
+  if (!schedule_initialized_ && global_iter_ >= config_.warmup_iterations) {
+    initialize_schedule();
+  }
+  return executed;
+}
 
-  result.best_cost = best;
-  result.final_cost = current;
-  result.iterations_run = global_iter;
-  return result;
+AnnealResult AnnealEngine::run_to_completion() {
+  while (!finished()) {
+    (void)run(std::numeric_limits<std::int64_t>::max());
+  }
+  return result();
+}
+
+void AnnealEngine::notify_state_replaced() {
+  current_ = problem_->cost();
+  if (current_ < best_) {
+    // An injected improvement is progress for the freeze criterion too.
+    last_improvement_ = cooling_iter_;
+  }
+  note_best();
+}
+
+AnnealResult anneal(AnnealProblem& problem, const AnnealConfig& config) {
+  AnnealEngine engine(problem, config);
+  return engine.run_to_completion();
 }
 
 }  // namespace rdse

@@ -12,10 +12,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "anneal/schedule.hpp"
 #include "util/rng.hpp"
+#include "util/statistics.hpp"
 
 namespace rdse {
 
@@ -81,6 +83,63 @@ struct AnnealResult {
   std::int64_t infeasible = 0;       ///< proposals rejected before evaluation
   std::int64_t best_iteration = 0;   ///< global index of the last improvement
   std::string schedule_name;
+};
+
+/// Resumable annealing engine: the same warm-up + adaptive-cooling loop as
+/// the anneal() convenience wrapper, but executed in caller-controlled
+/// segments. Segmenting is behavior-preserving — running the horizon in one
+/// call or in many produces bit-identical results — which is what lets the
+/// replica-exchange explorer stop all replicas at fixed iteration barriers,
+/// swap solutions, and resume.
+class AnnealEngine {
+ public:
+  /// The problem must outlive the engine. Reads the initial cost and takes
+  /// the first best-snapshot immediately.
+  AnnealEngine(AnnealProblem& problem, AnnealConfig config);
+
+  /// Execute at most `max_iterations` further iterations (warm-up first,
+  /// then cooling). Returns the number actually executed; 0 iff finished().
+  std::int64_t run(std::int64_t max_iterations);
+
+  /// Drive the loop to its horizon (or freeze) and return the result.
+  AnnealResult run_to_completion();
+
+  /// True once the horizon is exhausted or the search froze.
+  [[nodiscard]] bool finished() const;
+
+  /// Tell the engine its problem's *current* state was replaced externally
+  /// (replica exchange). Re-reads the cost and refreshes best-tracking; an
+  /// injected improvement counts as progress for the freeze criterion.
+  void notify_state_replaced();
+
+  [[nodiscard]] double current_cost() const { return current_; }
+  [[nodiscard]] double best_cost() const { return best_; }
+  /// +inf while still in warm-up.
+  [[nodiscard]] double temperature() const;
+  /// Snapshot of the running totals (valid at any point, not just at the
+  /// end).
+  [[nodiscard]] AnnealResult result() const;
+
+ private:
+  void step_warmup();
+  void step_cooling();
+  void initialize_schedule();
+  void note_best();
+  void emit(bool proposed, bool accepted, bool warmup, double temperature);
+
+  AnnealProblem* problem_;
+  AnnealConfig config_;
+  Rng rng_;
+  std::unique_ptr<CoolingSchedule> schedule_;
+  RunningStats warm_stats_;
+  AnnealResult result_;
+  double current_ = 0.0;
+  double best_ = 0.0;
+  std::int64_t global_iter_ = 0;   ///< warm-up + cooling iterations executed
+  std::int64_t cooling_iter_ = 0;  ///< cooling iterations executed
+  std::int64_t last_improvement_ = 0;  ///< cooling-local, for freeze_after
+  bool schedule_initialized_ = false;
+  bool frozen_ = false;
 };
 
 /// Run the annealing loop on a problem. The problem object ends in its

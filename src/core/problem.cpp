@@ -48,6 +48,17 @@ double DseProblem::cost_of(const Metrics& m, const Architecture& arch) const {
   return c;
 }
 
+void DseProblem::reset_state(Architecture arch, Solution sol) {
+  require_valid(*tg_, arch, sol);
+  const Evaluator ev(*tg_, arch);
+  const auto m = ev.evaluate(sol);
+  RDSE_REQUIRE(m.has_value(), "reset_state: injected solution is infeasible");
+  arch_ = std::move(arch);
+  sol_ = std::move(sol);
+  metrics_ = *m;
+  cost_ = cost_of(metrics_, arch_);
+}
+
 bool DseProblem::propose(Rng& rng) {
   cand_arch_ = arch_;
   cand_sol_ = sol_;

@@ -71,6 +71,12 @@ class DseProblem final : public AnnealProblem {
   [[nodiscard]] double cost_of(const Metrics& m,
                                const Architecture& arch) const;
 
+  /// Replace the *current* state with an externally supplied one (replica
+  /// exchange): validates, re-evaluates, and updates the current cost. The
+  /// best-so-far snapshot and move statistics are left untouched; callers
+  /// driving an AnnealEngine must follow up with notify_state_replaced().
+  void reset_state(Architecture arch, Solution sol);
+
  private:
   bool propose_with_controller(Rng& rng);
 

@@ -120,4 +120,30 @@ void print_run_report(std::ostream& os, const TaskGraph& tg,
      << '\n';
 }
 
+void print_parallel_report(std::ostream& os, const TaskGraph& tg,
+                           const ParallelRunResult& result) {
+  os << "=== parallel exploration report ===\n"
+     << result.replicas.size() << " replica(s), " << result.exchange_rounds
+     << " exchange round(s), " << result.adoptions << " adoption(s), "
+     << format_double(result.wall_seconds * 1000.0, 1) << " ms wall clock\n";
+
+  Table table({"replica", "schedule", "best makespan", "best cost", "accepted",
+               "rejected", "adoptions"});
+  for (const ReplicaOutcome& rep : result.replicas) {
+    std::string name(to_string(rep.schedule));
+    if (rep.replica == result.best_replica) name += " *";
+    table.row()
+        .cell(rep.replica)
+        .cell(std::move(name))
+        .cell(format_ms(rep.best_metrics.makespan))
+        .cell(rep.best_cost, 3)
+        .cell(rep.anneal.accepted)
+        .cell(rep.anneal.rejected)
+        .cell(rep.adoptions);
+  }
+  os << table.to_text() << '\n';
+
+  print_run_report(os, tg, result.best);
+}
+
 }  // namespace rdse

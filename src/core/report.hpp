@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/explorer.hpp"
+#include "core/parallel_explorer.hpp"
 #include "sched/timeline.hpp"
 
 namespace rdse {
@@ -28,5 +29,11 @@ namespace rdse {
 /// timeline), and annealing summary.
 void print_run_report(std::ostream& os, const TaskGraph& tg,
                       const RunResult& result);
+
+/// Replica-exchange run report: per-replica table (schedule, best makespan,
+/// acceptance counts, adoptions), exchange summary, then the winning
+/// replica's full run report.
+void print_parallel_report(std::ostream& os, const TaskGraph& tg,
+                           const ParallelRunResult& result);
 
 }  // namespace rdse

@@ -18,6 +18,11 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 
 }  // namespace
 
+std::uint64_t split_stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t state = seed + 0x9E3779B97F4A7C15ULL * stream;
+  return splitmix64(state);
+}
+
 void Rng::reseed(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) {

@@ -17,6 +17,12 @@
 
 namespace rdse {
 
+/// Derive the seed of independent stream `stream` from one master seed
+/// (SplitMix64 over golden-ratio-spaced stream indices): the canonical way
+/// to give each parallel replica / run its own decorrelated Rng.
+[[nodiscard]] std::uint64_t split_stream_seed(std::uint64_t seed,
+                                              std::uint64_t stream);
+
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
 /// implementation), seeded through SplitMix64 as its authors recommend.
 class Rng {

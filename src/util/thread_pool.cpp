@@ -1,0 +1,105 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace rdse {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  RDSE_REQUIRE(job != nullptr, "ThreadPool: null job");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RDSE_REQUIRE(!stopping_, "ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ with a drained queue
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      job();
+    } catch (const std::exception& e) {
+      // A raw submit() job has nowhere to deliver its exception; losing the
+      // worker (std::terminate) would be worse. parallel_for_index() jobs
+      // never reach this: they catch and rethrow on the caller's thread.
+      log_error("ThreadPool: uncaught exception in job: ", e.what());
+    } catch (...) {
+      log_error("ThreadPool: uncaught non-standard exception in job");
+    }
+  }
+}
+
+void ThreadPool::parallel_for_index(
+    std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+
+  struct Barrier {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr first_error;
+  };
+  auto barrier = std::make_shared<Barrier>();
+  barrier->remaining = count;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    submit([barrier, &fn, i] {
+      std::exception_ptr error;
+      try {
+        fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(barrier->mutex);
+      if (error && !barrier->first_error) {
+        barrier->first_error = error;
+      }
+      if (--barrier->remaining == 0) {
+        barrier->done.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(barrier->mutex);
+  barrier->done.wait(lock, [&] { return barrier->remaining == 0; });
+  if (barrier->first_error) {
+    std::rethrow_exception(barrier->first_error);
+  }
+}
+
+}  // namespace rdse

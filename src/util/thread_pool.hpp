@@ -1,0 +1,59 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Minimal fixed-size worker pool for embarrassingly parallel design-
+/// space sweeps (replica annealing, repeated-run aggregation, device sweeps).
+///
+/// The pool is deliberately tiny: a locked deque of std::function jobs and a
+/// blocking fan-out helper. Exploration workloads are coarse-grained (one job
+/// runs thousands of schedule evaluations), so queue contention is
+/// irrelevant; what matters is that parallel_for_index() is a barrier — it
+/// returns only when every index has been processed — because the replica-
+/// exchange explorer exchanges solutions at deterministic iteration
+/// boundaries, never mid-flight.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rdse {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains outstanding jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue one job. Jobs must not themselves block on the pool.
+  void submit(std::function<void()> job);
+
+  /// Run fn(0), fn(1), ..., fn(count - 1) on the pool and block until every
+  /// call returned (barrier). If any call throws, the first exception (in
+  /// completion order) is rethrown here after the barrier.
+  void parallel_for_index(std::size_t count,
+                          const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stopping_ = false;
+};
+
+}  // namespace rdse

@@ -26,6 +26,8 @@ class LineProblem final : public AnnealProblem {
   void accept() override { x_ = cand_; }
   void reject() override {}
   void snapshot_best() override { best_ = x_; }
+  /// External state replacement (simulating replica exchange).
+  void jump_to(int x) { x_ = x; }
   int best_ = 0;
 
  private:
@@ -231,6 +233,87 @@ TEST(MoveMix, PrefersTargetAcceptanceClasses) {
 TEST(MoveMix, RejectsBadConstruction) {
   EXPECT_THROW(MoveMixController({}, 0.05), Error);
   EXPECT_THROW(MoveMixController({"a", "b"}, 0.6), Error);
+}
+
+TEST(AnnealEngine, SegmentedRunMatchesOneShot) {
+  AnnealConfig config;
+  config.seed = 13;
+  config.warmup_iterations = 120;
+  config.iterations = 2'000;
+  for (const std::int64_t segment : {1, 7, 97, 500, 5'000}) {
+    LineProblem one_shot(300);
+    const AnnealResult expected = anneal(one_shot, config);
+
+    LineProblem segmented(300);
+    AnnealEngine engine(segmented, config);
+    while (!engine.finished()) {
+      const std::int64_t executed = engine.run(segment);
+      EXPECT_GT(executed, 0);
+    }
+    EXPECT_EQ(engine.run(segment), 0);  // no-op once finished
+    const AnnealResult got = engine.result();
+
+    EXPECT_EQ(got.best_cost, expected.best_cost) << "segment " << segment;
+    EXPECT_EQ(got.final_cost, expected.final_cost) << "segment " << segment;
+    EXPECT_EQ(got.accepted, expected.accepted) << "segment " << segment;
+    EXPECT_EQ(got.rejected, expected.rejected) << "segment " << segment;
+    EXPECT_EQ(got.iterations_run, expected.iterations_run);
+    EXPECT_EQ(got.best_iteration, expected.best_iteration);
+    EXPECT_EQ(segmented.best_, one_shot.best_) << "segment " << segment;
+  }
+}
+
+TEST(AnnealEngine, SegmentedFreezeMatchesOneShot) {
+  AnnealConfig config;
+  config.seed = 5;
+  config.warmup_iterations = 50;
+  config.iterations = 50'000;
+  config.freeze_after = 400;
+
+  LineProblem one_shot(90);
+  const AnnealResult expected = anneal(one_shot, config);
+  ASSERT_LT(expected.iterations_run, 50'050);  // it actually froze
+
+  LineProblem segmented(90);
+  AnnealEngine engine(segmented, config);
+  while (!engine.finished()) {
+    (void)engine.run(33);
+  }
+  EXPECT_EQ(engine.result().iterations_run, expected.iterations_run);
+  EXPECT_EQ(engine.result().best_cost, expected.best_cost);
+}
+
+TEST(AnnealEngine, TemperatureInfiniteDuringWarmup) {
+  LineProblem p(100);
+  AnnealConfig config;
+  config.seed = 3;
+  config.warmup_iterations = 40;
+  config.iterations = 100;
+  AnnealEngine engine(p, config);
+  EXPECT_TRUE(std::isinf(engine.temperature()));
+  (void)engine.run(20);
+  EXPECT_TRUE(std::isinf(engine.temperature()));
+  (void)engine.run(20);  // warm-up boundary: schedule now initialized
+  EXPECT_FALSE(std::isinf(engine.temperature()));
+  EXPECT_FALSE(engine.finished());
+  (void)engine.run(1'000);
+  EXPECT_TRUE(engine.finished());
+}
+
+TEST(AnnealEngine, NotifyStateReplacedTracksInjectedImprovement) {
+  LineProblem p(100);
+  AnnealConfig config;
+  config.seed = 9;
+  config.warmup_iterations = 0;
+  config.iterations = 10;
+  AnnealEngine engine(p, config);
+  const double before = engine.best_cost();
+  p.jump_to(37);  // externally replace the current state with the optimum
+  engine.notify_state_replaced();
+  EXPECT_EQ(engine.current_cost(), 0.0);
+  EXPECT_EQ(engine.best_cost(), 0.0);
+  EXPECT_LT(engine.best_cost(), before);
+  EXPECT_EQ(p.best_, 37);  // snapshot_best was taken on injection
 }
 
 }  // namespace

@@ -6,6 +6,9 @@
 
 #include "graph/generators.hpp"
 #include "graph/topo.hpp"
+#include "mapping/search_graph.hpp"
+#include "model/generators.hpp"
+#include "sched/evaluator.hpp"
 #include "sched/incremental.hpp"
 #include "util/rng.hpp"
 
@@ -168,6 +171,71 @@ TEST_P(IncrementalFuzz, RandomEditSequenceMatchesFullRecompute) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalFuzz,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// Cross-check against the full evaluator on randomly generated task graphs:
+// for every random application + random solution, the incremental engine fed
+// with the realized search graph must report exactly the makespan the full
+// Evaluator computes, and must stay bit-identical to full recomputation
+// under subsequent local edits (the annealer's workload).
+TEST(Incremental, MatchesEvaluatorOnRandomTaskGraphs) {
+  constexpr int kCases = 100;
+  Rng rng(2026);
+  int cases = 0;
+  int attempts = 0;
+  while (cases < kCases) {
+    ASSERT_LT(attempts++, kCases * 3) << "too many infeasible random cases";
+
+    AppGenParams params;
+    params.dag.node_count = 8 + rng.index(18);  // 8..25 tasks
+    params.dag.max_width = 2 + rng.index(4);
+    params.dag.edge_probability = rng.uniform_real(0.2, 0.6);
+    params.hw_capable_fraction = rng.uniform_real(0.4, 1.0);
+    const Application app = random_application(params, rng);
+
+    const Architecture arch = make_cpu_fpga_architecture(
+        static_cast<std::int32_t>(500 + rng.index(3000)),
+        /*tr_per_clb=*/from_us(0.4), /*bus_bytes_per_second=*/100'000'000);
+    const ResourceId cpu = arch.processor_ids().front();
+    const ResourceId rc = arch.reconfigurable_ids().front();
+
+    const Solution sol = rng.bernoulli(0.3)
+                             ? Solution::all_software(app.graph, cpu)
+                             : Solution::random_partition(app.graph, arch,
+                                                          cpu, rc, rng);
+
+    const Evaluator ev(app.graph, arch);
+    const auto metrics = ev.evaluate(sol);
+    if (!metrics.has_value()) continue;  // cyclic realization: not a case
+
+    SearchGraph sg = build_search_graph(app.graph, arch, sol);
+    IncrementalLongestPath inc(sg.graph, sg.node_weight, sg.edge_weight,
+                               sg.release);
+    ASSERT_EQ(inc.makespan(), metrics->makespan) << "case " << cases;
+
+    // Local edits of the kind annealing moves produce: re-weigh nodes
+    // (implementation change), re-weigh releases, then compare against a
+    // full recomputation every time.
+    for (int edit = 0; edit < 8; ++edit) {
+      const auto v =
+          static_cast<NodeId>(rng.index(app.graph.task_count()));
+      if (rng.bernoulli(0.7)) {
+        const TimeNs w = rng.uniform_int(1, 5'000'000);
+        inc.set_node_weight(v, w);
+        sg.node_weight[v] = w;
+      } else {
+        const TimeNs r = rng.uniform_int(0, 2'000'000);
+        inc.set_release(v, r);
+        sg.release[v] = r;
+      }
+      const auto full = longest_path(WeightedDag{
+          &sg.graph, sg.node_weight, sg.edge_weight, sg.release});
+      ASSERT_EQ(inc.makespan(), full.makespan)
+          << "case " << cases << " edit " << edit;
+    }
+    ++cases;
+  }
+  EXPECT_EQ(cases, kCases);
+}
 
 }  // namespace
 }  // namespace rdse

@@ -1,0 +1,89 @@
+/// Tests for the worker pool behind the replica-exchange explorer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rdse {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+  ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4u);
+}
+
+TEST(ThreadPool, RunsSubmittedJobs) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForIndexCoversEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for_index(hits.size(), [&hits](std::size_t i) {
+      hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) {
+      EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForIndexIsABarrier) {
+  ThreadPool pool(4);
+  std::vector<int> out(64, 0);
+  pool.parallel_for_index(out.size(), [&out](std::size_t i) {
+    out[i] = static_cast<int>(i) + 1;
+  });
+  // Every write must be visible after the call returns.
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 64 * 65 / 2);
+}
+
+TEST(ThreadPool, ParallelForIndexZeroCountIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for_index(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForIndexRethrowsWorkerException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for_index(16,
+                              [&completed](std::size_t i) {
+                                if (i == 7) {
+                                  throw std::runtime_error("boom");
+                                }
+                                completed.fetch_add(1);
+                              }),
+      std::runtime_error);
+  // The barrier still waited for the healthy jobs.
+  EXPECT_EQ(completed.load(), 15);
+  // The pool stays usable after a failed batch.
+  std::atomic<int> again{0};
+  pool.parallel_for_index(8, [&again](std::size_t) { again.fetch_add(1); });
+  EXPECT_EQ(again.load(), 8);
+}
+
+TEST(ThreadPool, RejectsNullJob) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), Error);
+}
+
+}  // namespace
+}  // namespace rdse

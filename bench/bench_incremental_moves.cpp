@@ -1,0 +1,233 @@
+/// \file bench_incremental_moves.cpp
+/// \brief EXP-M1 — per-move evaluation cost, full re-evaluation vs the
+/// incremental delta path wired into DseProblem::propose.
+///
+/// Drives the same move sequence (bit-identical decisions) through a
+/// full_eval problem and an incremental one and reports per-move wall time,
+/// the number of re-relaxed nodes per evaluated candidate, and the
+/// realization-cache hit rate. Self-contained (no Google Benchmark) so the
+/// CI bench-smoke stage can always build and run it; --json writes the
+/// results as a machine-readable artifact.
+///
+/// Knobs: --moves N (default 20000), --seed S, --json PATH.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "model/generators.hpp"
+#include "model/motion_detection.hpp"
+#include "util/cli.hpp"
+
+using namespace rdse;
+
+namespace {
+
+struct DriveResult {
+  double ns_per_move = 0.0;       ///< whole loop / all proposals
+  double ns_per_evaluated = 0.0;  ///< propose() time of evaluated proposals
+  std::int64_t evaluated = 0;
+  double final_cost = 0.0;
+};
+
+/// Propose/accept/reject loop with a deterministic decision policy. Both
+/// problems see identical rng streams and (costs being bit-identical)
+/// identical decisions, so the two timed loops do the same logical work.
+/// Every propose() is timed individually so the cost of *evaluated*
+/// proposals (the paper's move-evaluation cost) can be separated from null
+/// draws, which skip evaluation on both paths.
+DriveResult drive(DseProblem& problem, std::uint64_t seed,
+                  std::int64_t moves) {
+  Rng rng(seed);
+  Rng coin(seed ^ 0xACCE97u);
+  double eval_ns = 0.0;
+  std::int64_t eval_calls = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < moves; ++i) {
+    const auto p0 = std::chrono::steady_clock::now();
+    const bool proposed = problem.propose(rng);
+    const auto p1 = std::chrono::steady_clock::now();
+    if (!proposed) continue;
+    eval_ns += std::chrono::duration<double, std::nano>(p1 - p0).count();
+    ++eval_calls;
+    const bool improving = problem.candidate_cost() <= problem.cost();
+    if (improving || coin.bernoulli(0.4)) {
+      problem.accept();
+    } else {
+      problem.reject();
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  DriveResult r;
+  r.ns_per_move =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      static_cast<double>(moves);
+  r.ns_per_evaluated =
+      eval_calls > 0 ? eval_ns / static_cast<double>(eval_calls) : 0.0;
+  std::int64_t evaluated = 0;
+  for (const MoveClassStats& s : problem.move_stats()) {
+    evaluated += s.evaluated;
+  }
+  r.evaluated = evaluated;
+  r.final_cost = problem.cost();
+  return r;
+}
+
+struct ModelReport {
+  std::string model;
+  std::size_t tasks = 0;
+  std::int64_t moves = 0;
+  double full_ns_per_move = 0.0;
+  double inc_ns_per_move = 0.0;
+  double speedup = 0.0;
+  double full_ns_per_eval = 0.0;
+  double inc_ns_per_eval = 0.0;
+  double eval_speedup = 0.0;  ///< per evaluated proposal (the §4.4 cost)
+  double relaxed_per_probe = 0.0;
+  double relax_reduction = 0.0;  ///< nodes / relaxed-per-probe
+  double bounds_reuse_rate = 0.0;
+  double rank_refresh_rate = 0.0;
+};
+
+ModelReport compare(const std::string& name, const TaskGraph& tg,
+                    const Architecture& arch, const Solution& initial,
+                    std::uint64_t seed, std::int64_t moves) {
+  ModelReport rep;
+  rep.model = name;
+  rep.tasks = tg.task_count();
+  rep.moves = moves;
+
+  DseProblem full(tg, arch, initial, {}, {}, false, /*full_eval=*/true);
+  DseProblem inc(tg, arch, initial, {}, {}, false, /*full_eval=*/false);
+
+  // Both loops run cold from a fresh problem; first-build allocations
+  // amortize over the move budget and affect both paths alike.
+  const DriveResult rf = drive(full, seed, moves);
+  const DriveResult ri = drive(inc, seed, moves);
+  // Bit-identity gate: a divergent decision sequence shows up in the
+  // evaluated-proposal count even when the final costs coincide.
+  if (rf.final_cost != ri.final_cost || rf.evaluated != ri.evaluated) {
+    std::cerr << "FATAL: full/incremental diverged on " << name << " (cost "
+              << rf.final_cost << " vs " << ri.final_cost << ", evaluated "
+              << rf.evaluated << " vs " << ri.evaluated << ")\n";
+    std::exit(1);
+  }
+
+  rep.full_ns_per_move = rf.ns_per_move;
+  rep.inc_ns_per_move = ri.ns_per_move;
+  rep.speedup = rf.ns_per_move / ri.ns_per_move;
+  rep.full_ns_per_eval = rf.ns_per_evaluated;
+  rep.inc_ns_per_eval = ri.ns_per_evaluated;
+  rep.eval_speedup = rf.ns_per_evaluated / ri.ns_per_evaluated;
+
+  const auto stats = inc.incremental_stats();
+  if (stats.has_value() && stats->relax.probes > 0) {
+    rep.relaxed_per_probe =
+        static_cast<double>(stats->relax.relaxed_nodes) /
+        static_cast<double>(stats->relax.probes);
+    rep.relax_reduction =
+        static_cast<double>(tg.task_count()) /
+        std::max(rep.relaxed_per_probe, 1e-9);
+    const auto bounds = stats->bounds_reused + stats->bounds_computed;
+    rep.bounds_reuse_rate =
+        bounds > 0 ? static_cast<double>(stats->bounds_reused) /
+                         static_cast<double>(bounds)
+                   : 0.0;
+    rep.rank_refresh_rate =
+        static_cast<double>(stats->relax.rank_refreshes) /
+        static_cast<double>(stats->relax.probes);
+  }
+  return rep;
+}
+
+void print_table(const std::vector<ModelReport>& reports) {
+  std::printf(
+      "\n%-16s %5s | %8s %8s %7s | %9s %9s %7s | %8s %8s %6s\n", "model",
+      "tasks", "full/mv", "inc/mv", "speedup", "full/eval", "inc/eval",
+      "evalspd", "relax/ev", "reduct", "reuse%");
+  for (const ModelReport& r : reports) {
+    std::printf(
+        "%-16s %5zu | %7.0fn %7.0fn %6.2fx | %8.0fn %8.0fn %6.2fx | "
+        "%8.2f %7.1fx %5.1f%%\n",
+        r.model.c_str(), r.tasks, r.full_ns_per_move, r.inc_ns_per_move,
+        r.speedup, r.full_ns_per_eval, r.inc_ns_per_eval, r.eval_speedup,
+        r.relaxed_per_probe, r.relax_reduction,
+        100.0 * r.bounds_reuse_rate);
+  }
+  std::printf("\n");
+}
+
+void write_json(const std::string& path,
+                const std::vector<ModelReport>& reports) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << "{\n  \"benchmark\": \"incremental_moves\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const ModelReport& r = reports[i];
+    out << "    {\"model\": \"" << r.model << "\", \"tasks\": " << r.tasks
+        << ", \"moves\": " << r.moves
+        << ", \"full_ns_per_move\": " << r.full_ns_per_move
+        << ", \"incremental_ns_per_move\": " << r.inc_ns_per_move
+        << ", \"speedup\": " << r.speedup
+        << ", \"full_ns_per_evaluated_move\": " << r.full_ns_per_eval
+        << ", \"incremental_ns_per_evaluated_move\": " << r.inc_ns_per_eval
+        << ", \"evaluated_move_speedup\": " << r.eval_speedup
+        << ", \"relaxed_nodes_per_probe\": " << r.relaxed_per_probe
+        << ", \"relax_reduction\": " << r.relax_reduction
+        << ", \"bounds_reuse_rate\": " << r.bounds_reuse_rate
+        << ", \"rank_refresh_rate\": " << r.rank_refresh_rate << "}"
+        << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  const std::int64_t moves = opts.get_int("moves", 20'000, "RDSE_MOVES");
+  const auto seed =
+      static_cast<std::uint64_t>(opts.get_int("seed", 1, "RDSE_SEED"));
+  const std::string json = opts.get_string("json", "");
+
+  std::vector<ModelReport> reports;
+
+  {
+    const Application app = make_motion_detection_app();
+    const Architecture arch = make_cpu_fpga_architecture(
+        2000, kMotionDetectionTrPerClb, kMotionDetectionBusRate);
+    Rng init(seed ^ 7);
+    const Solution initial =
+        Solution::random_partition(app.graph, arch, 0, 1, init);
+    reports.push_back(compare("motion_detection", app.graph, arch, initial,
+                              seed, moves));
+  }
+
+  {
+    AppGenParams params;
+    params.dag.node_count = 120;
+    params.dag.max_width = 8;
+    params.hw_capable_fraction = 0.8;
+    Rng gen(seed ^ 99);
+    const Application app = random_application(params, gen);
+    const Architecture arch =
+        make_cpu_fpga_architecture(1500, from_us(10.0), 50'000'000);
+    Rng init(seed ^ 13);
+    const Solution initial =
+        Solution::random_partition(app.graph, arch, 0, 1, init);
+    reports.push_back(compare("synthetic_120", app.graph, arch, initial,
+                              seed, moves));
+  }
+
+  print_table(reports);
+  if (!json.empty()) write_json(json, reports);
+  return 0;
+}

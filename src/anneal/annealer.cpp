@@ -84,8 +84,9 @@ void AnnealEngine::step_warmup() {
 }
 
 void AnnealEngine::initialize_schedule() {
-  const double sigma0 =
-      warm_stats_.stddev() > 0 ? warm_stats_.stddev() : std::abs(current_) + 1.0;
+  const double sigma0 = warm_stats_.stddev() > 0
+                            ? warm_stats_.stddev()
+                            : std::abs(current_) + 1.0;
   schedule_->initialize(warm_stats_.mean(), sigma0,
                         std::max<std::int64_t>(config_.iterations, 1));
   schedule_initialized_ = true;

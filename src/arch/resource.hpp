@@ -46,7 +46,8 @@ enum class OrderKind : std::uint8_t {
 /// Abstract processing element.
 class Resource {
  public:
-  Resource(std::string name, double price) : name_(std::move(name)), price_(price) {}
+  Resource(std::string name, double price)
+      : name_(std::move(name)), price_(price) {}
   virtual ~Resource() = default;
 
   Resource(const Resource&) = default;

@@ -38,7 +38,8 @@ RunResult Explorer::run(const ExplorerConfig& config) const {
   Solution initial = initial_solution(config.init, init_rng);
 
   DseProblem problem(*tg_, arch_, std::move(initial), config.moves,
-                     config.cost, config.adaptive_move_mix);
+                     config.cost, config.adaptive_move_mix,
+                     config.full_eval);
 
   RunResult result;
   result.initial_metrics = problem.current_metrics();

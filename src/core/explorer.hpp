@@ -28,6 +28,9 @@ struct ExplorerConfig {
   MoveConfig moves;
   CostWeights cost;
   bool adaptive_move_mix = false;
+  /// A/B escape hatch: evaluate every candidate from scratch instead of
+  /// through the incremental delta path (bit-identical, much slower).
+  bool full_eval = false;
   std::int64_t freeze_after = 0;  ///< 0: fixed horizon as in the paper
   bool record_trace = true;
   std::int64_t trace_stride = 1;  ///< keep every k-th iteration

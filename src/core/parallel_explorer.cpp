@@ -62,7 +62,8 @@ ParallelRunResult ParallelExplorer::run(
     Solution initial = explorer_.initial_solution(config.init, init_rng);
     rep.problem = std::make_unique<DseProblem>(
         explorer_.task_graph(), explorer_.architecture(), std::move(initial),
-        config.moves, config.cost, config.adaptive_move_mix);
+        config.moves, config.cost, config.adaptive_move_mix,
+        config.full_eval);
     rep.initial_metrics = rep.problem->current_metrics();
 
     AnnealConfig ac;

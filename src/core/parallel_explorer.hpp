@@ -42,6 +42,8 @@ struct ParallelExplorerConfig {
   MoveConfig moves;
   CostWeights cost;
   bool adaptive_move_mix = false;
+  /// A/B escape hatch: full re-evaluation per move (see ExplorerConfig).
+  bool full_eval = false;
   std::int64_t freeze_after = 0;
   bool record_trace = false;
   std::int64_t trace_stride = 1;
@@ -81,7 +83,8 @@ class ParallelExplorer {
   ParallelExplorer(const TaskGraph& tg, Architecture arch);
 
   /// Run one replica-exchange exploration.
-  [[nodiscard]] ParallelRunResult run(const ParallelExplorerConfig& config) const;
+  [[nodiscard]] ParallelRunResult run(
+      const ParallelExplorerConfig& config) const;
 
   [[nodiscard]] const TaskGraph& task_graph() const {
     return explorer_.task_graph();

@@ -7,7 +7,8 @@ namespace rdse {
 
 DseProblem::DseProblem(const TaskGraph& tg, Architecture arch,
                        Solution initial, MoveConfig moves,
-                       CostWeights weights, bool adaptive_move_mix)
+                       CostWeights weights, bool adaptive_move_mix,
+                       bool full_eval)
     : tg_(&tg),
       move_config_(moves),
       weights_(weights),
@@ -24,6 +25,11 @@ DseProblem::DseProblem(const TaskGraph& tg, Architecture arch,
   metrics_ = *m;
   cost_ = cost_of(metrics_, arch_);
   best_metrics_ = metrics_;
+
+  if (!full_eval) {
+    inc_ = std::make_unique<IncrementalEvaluator>(*tg_);
+    inc_->reset(arch_, sol_);
+  }
 
   if (adaptive_move_mix) {
     std::vector<std::string> names;
@@ -57,11 +63,23 @@ void DseProblem::reset_state(Architecture arch, Solution sol) {
   sol_ = std::move(sol);
   metrics_ = *m;
   cost_ = cost_of(metrics_, arch_);
+  cand_arch_stale_ = true;
+  cand_sol_stale_ = true;
+  if (inc_) inc_->reset(arch_, sol_);
 }
 
 bool DseProblem::propose(Rng& rng) {
-  cand_arch_ = arch_;
-  cand_sol_ = sol_;
+  // Storage-reusing copy assignments into persistent candidate buffers,
+  // skipped entirely when the previous proposal left them untouched.
+  if (cand_arch_stale_) {
+    cand_arch_ = arch_;
+    cand_arch_stale_ = false;
+  }
+  if (cand_sol_stale_) {
+    cand_sol_ = sol_;
+    cand_sol_stale_ = false;
+  }
+  cand_sol_.clear_touched();
 
   MoveOutcome outcome;
   if (mix_) {
@@ -97,14 +115,34 @@ bool DseProblem::propose(Rng& rng) {
   auto& stats = move_stats_[static_cast<std::size_t>(outcome.kind)];
   ++stats.drawn;
   cand_kind_ = outcome.kind;
+  if (outcome.applied) {
+    cand_sol_stale_ = true;
+  }
+  // m3/m4 mutate the candidate architecture. A failed m4 still leaves a
+  // tombstoned slot behind; a failed m3 returns before mutating anything.
+  if (outcome.kind == MoveKind::kCreateResource ||
+      (outcome.applied && outcome.kind == MoveKind::kRemoveResource)) {
+    cand_arch_stale_ = true;
+  }
   if (!outcome.applied) {
     ++stats.null_draws;
     if (mix_) mix_->report(static_cast<std::size_t>(outcome.kind), false);
     return false;
   }
 
-  const Evaluator ev(*tg_, cand_arch_);
-  const auto m = ev.evaluate(cand_sol_);
+  // Hot path: evaluate the candidate as a delta against the committed
+  // state — only the realizations of the resources the move touched are
+  // recomputed, and only the affected region of G' is re-relaxed. The
+  // full-evaluation path is the A/B reference (bit-identical).
+  std::optional<Metrics> m;
+  if (inc_) {
+    m = inc_->evaluate_candidate(cand_arch_, cand_sol_,
+                                 cand_sol_.touched_resources(),
+                                 cand_sol_.touched_tasks());
+  } else {
+    const Evaluator ev(*tg_, cand_arch_);
+    m = ev.evaluate(cand_sol_);
+  }
   if (!m.has_value()) {
     // §4.3: the realized G' has a cycle — the move "will not be performed".
     ++stats.infeasible;
@@ -118,16 +156,20 @@ bool DseProblem::propose(Rng& rng) {
 }
 
 void DseProblem::accept() {
+  if (inc_) inc_->commit();
   arch_ = cand_arch_;
   sol_ = cand_sol_;
   metrics_ = cand_metrics_;
   cost_ = cand_cost_;
+  cand_arch_stale_ = false;  // current == candidate again
+  cand_sol_stale_ = false;
   auto& stats = move_stats_[static_cast<std::size_t>(cand_kind_)];
   ++stats.accepted;
   if (mix_) mix_->report(static_cast<std::size_t>(cand_kind_), true);
 }
 
 void DseProblem::reject() {
+  if (inc_) inc_->discard();  // rolling back a delta costs nothing
   if (mix_) mix_->report(static_cast<std::size_t>(cand_kind_), false);
 }
 

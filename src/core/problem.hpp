@@ -13,6 +13,7 @@
 #include "anneal/move_control.hpp"
 #include "core/moves.hpp"
 #include "sched/evaluator.hpp"
+#include "sched/incremental_eval.hpp"
 
 namespace rdse {
 
@@ -39,9 +40,13 @@ struct MoveClassStats {
 
 class DseProblem final : public AnnealProblem {
  public:
+  /// `full_eval` switches the hot path back to realizing and relaxing the
+  /// whole search graph per move (the reference path) — the A/B escape
+  /// hatch for the incremental evaluator, which is bit-identical but kept
+  /// verifiable.
   DseProblem(const TaskGraph& tg, Architecture arch, Solution initial,
              MoveConfig moves = {}, CostWeights weights = {},
-             bool adaptive_move_mix = false);
+             bool adaptive_move_mix = false, bool full_eval = false);
 
   // AnnealProblem interface.
   [[nodiscard]] double cost() const override { return cost_; }
@@ -65,6 +70,12 @@ class DseProblem final : public AnnealProblem {
   [[nodiscard]] const std::array<MoveClassStats, kMoveKindCount>&
   move_stats() const {
     return move_stats_;
+  }
+  /// Incremental-evaluation counters; nullopt when running with full_eval.
+  [[nodiscard]] std::optional<IncrementalEvalStats> incremental_stats()
+      const {
+    if (!inc_) return std::nullopt;
+    return inc_->stats();
   }
 
   /// Cost of a (makespan, price) pair under the configured weights.
@@ -101,6 +112,13 @@ class DseProblem final : public AnnealProblem {
 
   std::unique_ptr<MoveMixController> mix_;
   std::array<MoveClassStats, kMoveKindCount> move_stats_{};
+  /// Hot-path evaluator (null when full_eval was requested).
+  std::unique_ptr<IncrementalEvaluator> inc_;
+  /// True when cand_arch_/cand_sol_ may differ from the current state and
+  /// must be re-copied before the next move (skipping the copy after null
+  /// draws and accepted moves keeps the hot path allocation-free).
+  bool cand_arch_stale_ = true;
+  bool cand_sol_stale_ = true;
 };
 
 }  // namespace rdse

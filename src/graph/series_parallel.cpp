@@ -124,8 +124,9 @@ SpExpr motion_detection_structure() {
       SpExpr::chain(6),
       SpExpr::series(SpExpr::parallel(SpExpr::chain(2), SpExpr::chain(1)),
                      SpExpr::chain(5)));
-  return SpExpr::series(SpExpr::chain(7),
-                        SpExpr::parallel(SpExpr::chain(7), std::move(branch_b)));
+  return SpExpr::series(
+      SpExpr::chain(7),
+      SpExpr::parallel(SpExpr::chain(7), std::move(branch_b)));
 }
 
 }  // namespace rdse

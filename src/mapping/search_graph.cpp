@@ -6,9 +6,11 @@
 
 namespace rdse {
 
-ContextBoundary context_boundary(const TaskGraph& tg, const Solution& sol,
-                                 ResourceId rc, std::size_t ctx) {
-  ContextBoundary b;
+void context_boundary_into(const TaskGraph& tg, const Solution& sol,
+                           ResourceId rc, std::size_t ctx,
+                           ContextBoundary& out) {
+  out.initials.clear();
+  out.terminals.clear();
   const auto members = sol.context_tasks(rc, ctx);
   auto in_context = [&](TaskId t) {
     const Placement& p = sol.placement(t);
@@ -23,7 +25,7 @@ ContextBoundary context_boundary(const TaskGraph& tg, const Solution& sol,
         break;
       }
     }
-    if (!has_inner_pred) b.initials.push_back(t);
+    if (!has_inner_pred) out.initials.push_back(t);
 
     bool has_inner_succ = false;
     for (EdgeId e : tg.digraph().out_edges(t)) {
@@ -32,35 +34,189 @@ ContextBoundary context_boundary(const TaskGraph& tg, const Solution& sol,
         break;
       }
     }
-    if (!has_inner_succ) b.terminals.push_back(t);
+    if (!has_inner_succ) out.terminals.push_back(t);
   }
+}
+
+ContextBoundary context_boundary(const TaskGraph& tg, const Solution& sol,
+                                 ResourceId rc, std::size_t ctx) {
+  ContextBoundary b;
+  context_boundary_into(tg, sol, rc, ctx, b);
   return b;
+}
+
+namespace {
+
+void compute_rc_realization(const TaskGraph& tg, const Solution& sol,
+                            ResourceId rc, RcRealization& out,
+                            const RcRealization* hint,
+                            std::int64_t* reused = nullptr,
+                            std::int64_t* computed = nullptr) {
+  const std::size_t n_ctx = sol.context_count(rc);
+  // Shrink/grow without discarding inner vector capacity.
+  if (out.members.size() > n_ctx) out.members.resize(n_ctx);
+  while (out.members.size() < n_ctx) out.members.emplace_back();
+  if (out.bounds.size() > n_ctx) out.bounds.resize(n_ctx);
+  while (out.bounds.size() < n_ctx) out.bounds.emplace_back();
+  out.clbs.resize(n_ctx);
+  for (std::size_t c = 0; c < n_ctx; ++c) {
+    const auto members = sol.context_tasks(rc, c);
+    out.members[c].assign(members.begin(), members.end());
+    // CLB sums always recompute (implementation choices may have changed
+    // without touching membership).
+    out.clbs[c] = sol.context_clbs(tg, rc, c);
+
+    // Boundary: reuse the hint's boundary of any context with an identical
+    // member list — exact, since a boundary depends only on the member set
+    // and the application edges. Try the same index first (the common
+    // case), then search (contexts renumber under collapse/spawn/swap).
+    const ContextBoundary* reuse = nullptr;
+    if (hint != nullptr) {
+      if (c < hint->members.size() && hint->members[c] == out.members[c]) {
+        reuse = &hint->bounds[c];
+      } else {
+        for (std::size_t k = 0; k < hint->members.size(); ++k) {
+          if (hint->members[k] == out.members[c]) {
+            reuse = &hint->bounds[k];
+            break;
+          }
+        }
+      }
+    }
+    if (reuse != nullptr) {
+      if (reused != nullptr) ++*reused;
+      out.bounds[c].initials.assign(reuse->initials.begin(),
+                                    reuse->initials.end());
+      out.bounds[c].terminals.assign(reuse->terminals.begin(),
+                                     reuse->terminals.end());
+    } else {
+      if (computed != nullptr) ++*computed;
+      context_boundary_into(tg, sol, rc, c, out.bounds[c]);
+    }
+  }
+}
+
+}  // namespace
+
+void SearchGraphCache::begin_build(std::span<const ResourceId> dirty) {
+  dirty_.assign(dirty.begin(), dirty.end());
+  staged_live_.clear();
+}
+
+bool SearchGraphCache::is_dirty(ResourceId rc) const {
+  return std::find(dirty_.begin(), dirty_.end(), rc) != dirty_.end();
+}
+
+const RcRealization* SearchGraphCache::committed_entry(ResourceId rc) const {
+  const auto it = committed_.find(rc);
+  return it == committed_.end() ? nullptr : &it->second;
+}
+
+const RcRealization& SearchGraphCache::realize(const TaskGraph& tg,
+                                               const Solution& sol,
+                                               ResourceId rc) {
+  // Already realized during this build (e.g. once for edge surgery, once
+  // for context accounting).
+  if (std::find(staged_live_.begin(), staged_live_.end(), rc) !=
+      staged_live_.end()) {
+    return staged_[rc];
+  }
+  if (!is_dirty(rc)) {
+    const auto it = committed_.find(rc);
+    // Size check: insurance against a stale entry for a reused resource id
+    // (a dirty marking is expected whenever the realization changed).
+    if (it != committed_.end() &&
+        it->second.bounds.size() == sol.context_count(rc)) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  ++misses_;
+  RcRealization& out = staged_[rc];
+  compute_rc_realization(tg, sol, rc, out, committed_entry(rc),
+                         &bounds_reused_, &bounds_computed_);
+  staged_live_.push_back(rc);
+  return out;
+}
+
+void SearchGraphCache::commit() {
+  // Swap rather than move so the displaced committed storage becomes the
+  // next build's staging capacity.
+  for (ResourceId rc : staged_live_) {
+    RcRealization& fresh = staged_[rc];
+    RcRealization& kept = committed_[rc];
+    kept.members.swap(fresh.members);
+    kept.bounds.swap(fresh.bounds);
+    kept.clbs.swap(fresh.clbs);
+  }
+  staged_live_.clear();
+}
+
+void SearchGraphCache::discard() { staged_live_.clear(); }
+
+void SearchGraphCache::erase(ResourceId rc) {
+  committed_.erase(rc);
+  staged_.erase(rc);
+}
+
+void SearchGraphCache::clear() {
+  committed_.clear();
+  staged_.clear();
+  dirty_.clear();
+  staged_live_.clear();
+}
+
+TimeNs assigned_exec_time(const TaskGraph& tg, const Architecture& arch,
+                          const Solution& sol, TaskId t) {
+  const Placement& p = sol.placement(t);
+  RDSE_REQUIRE(p.assigned(), "assigned_exec_time: task '" + tg.task(t).name +
+                                 "' is unassigned");
+  const Resource& res = arch.resource(p.resource);
+  if (res.kind() == ResourceKind::kProcessor) {
+    return static_cast<const Processor&>(res).execution_time(
+        tg.task(t).sw_time);
+  }
+  const auto& impls = tg.task(t).hw;
+  RDSE_REQUIRE(p.impl < impls.size(),
+               "assigned_exec_time: implementation index out of range");
+  return impls.at(p.impl).time;
+}
+
+TimeNs comm_edge_weight(const TaskGraph& tg, const Bus& bus,
+                        const Solution& sol, EdgeId e) {
+  const CommEdge& c = tg.comm(e);
+  const Placement& ps = sol.placement(c.src);
+  const Placement& pd = sol.placement(c.dst);
+  const bool same_place =
+      ps.resource == pd.resource && ps.context == pd.context;
+  return same_place ? 0 : bus.transfer_time(c.bytes);
 }
 
 SearchGraph build_search_graph(const TaskGraph& tg, const Architecture& arch,
                                const Solution& sol) {
+  SearchGraph sg;
+  build_search_graph_into(sg, tg, arch, sol);
+  return sg;
+}
+
+void build_search_graph_into(SearchGraph& sg, const TaskGraph& tg,
+                             const Architecture& arch, const Solution& sol,
+                             SearchGraphCache* cache) {
   RDSE_REQUIRE(sol.task_count() == tg.task_count(),
                "build_search_graph: solution/task-graph size mismatch");
-  SearchGraph sg;
   sg.graph = tg.digraph();  // value copy: application edges keep their ids
   sg.release.assign(tg.task_count(), 0);
+  sg.init_reconfig = 0;
+  sg.dyn_reconfig = 0;
+  sg.comm_cross = 0;
+  sg.n_contexts = 0;
+  sg.clbs_loaded = 0;
+  sg.max_context_clbs = 0;
 
   // --- node weights: execution time on the assigned resource -------------
   sg.node_weight.resize(tg.task_count());
   for (TaskId t = 0; t < tg.task_count(); ++t) {
-    const Placement& p = sol.placement(t);
-    RDSE_REQUIRE(p.assigned(), "build_search_graph: task '" +
-                                   tg.task(t).name + "' is unassigned");
-    const Resource& res = arch.resource(p.resource);
-    if (res.kind() == ResourceKind::kProcessor) {
-      sg.node_weight[t] = static_cast<const Processor&>(res).execution_time(
-          tg.task(t).sw_time);
-    } else {
-      const auto& impls = tg.task(t).hw;
-      RDSE_REQUIRE(p.impl < impls.size(),
-                   "build_search_graph: implementation index out of range");
-      sg.node_weight[t] = impls.at(p.impl).time;
-    }
+    sg.node_weight[t] = assigned_exec_time(tg, arch, sol, t);
   }
 
   // --- application edges: bus time when crossing -------------------------
@@ -68,27 +224,14 @@ SearchGraph build_search_graph(const TaskGraph& tg, const Architecture& arch,
   sg.edge_weight.assign(sg.graph.edge_capacity(), 0);
   sg.edge_kind.assign(sg.graph.edge_capacity(), SearchEdgeKind::kComm);
   for (EdgeId e = 0; e < tg.comm_count(); ++e) {
-    const CommEdge& c = tg.comm(e);
-    const Placement& ps = sol.placement(c.src);
-    const Placement& pd = sol.placement(c.dst);
-    const bool same_place = ps.resource == pd.resource &&
-                            ps.context == pd.context;
-    if (!same_place) {
-      const TimeNs w = bus.transfer_time(c.bytes);
-      sg.edge_weight[e] = w;
-      sg.comm_cross += w;
-    }
+    const TimeNs w = comm_edge_weight(tg, bus, sol, e);
+    sg.edge_weight[e] = w;
+    sg.comm_cross += w;
   }
 
   auto add_edge = [&](TaskId src, TaskId dst, TimeNs weight,
                       SearchEdgeKind kind) {
-    const EdgeId id = sg.graph.add_edge(src, dst);
-    if (id >= sg.edge_weight.size()) {
-      sg.edge_weight.resize(id + 1, 0);
-      sg.edge_kind.resize(id + 1, SearchEdgeKind::kComm);
-    }
-    sg.edge_weight[id] = weight;
-    sg.edge_kind[id] = kind;
+    (void)sg.add_weighted_edge(src, dst, weight, kind);
   };
 
   // --- Esw: processor total orders ----------------------------------------
@@ -100,37 +243,42 @@ SearchGraph build_search_graph(const TaskGraph& tg, const Architecture& arch,
   }
 
   // --- Ehw: context sequentialization + first-context release ------------
+  RcRealization local;  // fallback when no cache is supplied
   for (ResourceId rc : arch.reconfigurable_ids()) {
     const std::size_t n_ctx = sol.context_count(rc);
     if (n_ctx == 0) continue;
     const ReconfigurableCircuit& dev = arch.reconfigurable(rc);
 
-    std::vector<ContextBoundary> bounds;
-    bounds.reserve(n_ctx);
-    for (std::size_t c = 0; c < n_ctx; ++c) {
-      bounds.push_back(context_boundary(tg, sol, rc, c));
+    const RcRealization* real;
+    if (cache != nullptr) {
+      real = &cache->realize(tg, sol, rc);
+    } else {
+      compute_rc_realization(tg, sol, rc, local, nullptr);
+      real = &local;
     }
 
-    const TimeNs first_load =
-        dev.reconfiguration_time(sol.context_clbs(tg, rc, 0));
+    sg.n_contexts += static_cast<int>(n_ctx);
+    for (std::size_t c = 0; c < n_ctx; ++c) {
+      sg.clbs_loaded += real->clbs[c];
+      sg.max_context_clbs = std::max(sg.max_context_clbs, real->clbs[c]);
+    }
+
+    const TimeNs first_load = dev.reconfiguration_time(real->clbs[0]);
     sg.init_reconfig += first_load;
-    for (TaskId t : bounds[0].initials) {
+    for (TaskId t : real->bounds[0].initials) {
       sg.release[t] = std::max(sg.release[t], first_load);
     }
 
     for (std::size_t c = 0; c + 1 < n_ctx; ++c) {
-      const TimeNs reconf =
-          dev.reconfiguration_time(sol.context_clbs(tg, rc, c + 1));
+      const TimeNs reconf = dev.reconfiguration_time(real->clbs[c + 1]);
       sg.dyn_reconfig += reconf;
-      for (TaskId from : bounds[c].terminals) {
-        for (TaskId to : bounds[c + 1].initials) {
+      for (TaskId from : real->bounds[c].terminals) {
+        for (TaskId to : real->bounds[c + 1].initials) {
           add_edge(from, to, reconf, SearchEdgeKind::kHwSeq);
         }
       }
     }
   }
-
-  return sg;
 }
 
 }  // namespace rdse

@@ -23,6 +23,8 @@
 /// move layer treats as infeasible.
 
 #include <cstdint>
+#include <map>
+#include <span>
 #include <vector>
 
 #include "arch/architecture.hpp"
@@ -50,6 +52,28 @@ struct SearchGraph {
   TimeNs init_reconfig = 0;  ///< sum of first-context loads over all RCs
   TimeNs dyn_reconfig = 0;   ///< sum of inter-context reconfigurations
   TimeNs comm_cross = 0;     ///< summed bus time of crossing transfers
+
+  // Context accounting gathered during realization (the builder computes the
+  // per-context CLB sums anyway, so downstream metric fills need not re-walk
+  // the solution).
+  int n_contexts = 0;                ///< total contexts over all RCs
+  std::int32_t clbs_loaded = 0;      ///< CLBs summed over all contexts
+  std::int32_t max_context_clbs = 0;
+
+  /// Insert an edge together with its weight/kind, growing the per-edge
+  /// arrays as needed (shared by the builder, the incremental evaluator's
+  /// surgery and its rollback).
+  EdgeId add_weighted_edge(NodeId src, NodeId dst, TimeNs weight,
+                           SearchEdgeKind kind) {
+    const EdgeId id = graph.add_edge(src, dst);
+    if (id >= edge_weight.size()) {
+      edge_weight.resize(id + 1, 0);
+      edge_kind.resize(id + 1, SearchEdgeKind::kComm);
+    }
+    edge_weight[id] = weight;
+    edge_kind[id] = kind;
+    return id;
+  }
 };
 
 /// Initial/terminal members of one context w.r.t. the application edges
@@ -65,10 +89,91 @@ struct ContextBoundary {
                                                ResourceId rc,
                                                std::size_t ctx);
 
+/// Same, writing into `out` (inner storage is reused across calls).
+void context_boundary_into(const TaskGraph& tg, const Solution& sol,
+                           ResourceId rc, std::size_t ctx,
+                           ContextBoundary& out);
+
+/// Everything the builder derives per reconfigurable circuit: the boundary
+/// and CLB occupancy of each context. Memoized across moves by
+/// SearchGraphCache, since a local move leaves most RCs untouched; the
+/// member lists are kept so a recomputation can reuse the boundary of any
+/// context whose membership is unchanged (boundaries depend only on the
+/// member set and the application graph, not on the context index).
+struct RcRealization {
+  std::vector<std::vector<TaskId>> members;  ///< one per context
+  std::vector<ContextBoundary> bounds;       ///< one per context
+  std::vector<std::int32_t> clbs;            ///< CLBs occupied, per context
+};
+
+/// Double-buffered memo of per-RC realizations for the incremental hot path.
+/// `begin_build(dirty)` opens a candidate build: RCs listed dirty (or absent
+/// from the committed entries) are recomputed into a staging slot, the rest
+/// are served from the committed entries. `commit()` adopts the staged
+/// entries after the candidate is accepted; `discard()` is O(1). Staged
+/// storage is recycled between builds, so steady-state builds allocate
+/// nothing.
+class SearchGraphCache {
+ public:
+  void begin_build(std::span<const ResourceId> dirty);
+  /// Realization of `rc` valid for `sol` (cached or freshly computed).
+  const RcRealization& realize(const TaskGraph& tg, const Solution& sol,
+                               ResourceId rc);
+  /// Committed realization of `rc` (state of the last commit), or nullptr.
+  /// May be stale for an RC whose context count dropped to zero — callers
+  /// use it only to tear down state the RC no longer contributes.
+  [[nodiscard]] const RcRealization* committed_entry(ResourceId rc) const;
+  void commit();
+  void discard();
+  /// Drop all entries for `rc` (a removed resource; ids are never reused).
+  void erase(ResourceId rc);
+  void clear();
+
+  [[nodiscard]] std::int64_t hits() const { return hits_; }
+  [[nodiscard]] std::int64_t misses() const { return misses_; }
+  /// Boundaries copied from a content-matched committed context vs computed
+  /// from scratch during recomputations.
+  [[nodiscard]] std::int64_t bounds_reused() const { return bounds_reused_; }
+  [[nodiscard]] std::int64_t bounds_computed() const {
+    return bounds_computed_;
+  }
+
+ private:
+  [[nodiscard]] bool is_dirty(ResourceId rc) const;
+
+  std::map<ResourceId, RcRealization> committed_;
+  std::map<ResourceId, RcRealization> staged_;
+  std::vector<ResourceId> dirty_;
+  std::vector<ResourceId> staged_live_;  ///< staged keys filled this build
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t bounds_reused_ = 0;
+  std::int64_t bounds_computed_ = 0;
+};
+
+/// Execution time of task `t` on its assigned resource — the single
+/// definition shared by the builder and the incremental evaluator (their
+/// bit-identity depends on it). Requires the task to be assigned.
+[[nodiscard]] TimeNs assigned_exec_time(const TaskGraph& tg,
+                                        const Architecture& arch,
+                                        const Solution& sol, TaskId t);
+
+/// Weight of application edge `e` under `sol`: the bus transfer time iff
+/// the endpoints are not co-located (same resource and context).
+[[nodiscard]] TimeNs comm_edge_weight(const TaskGraph& tg, const Bus& bus,
+                                      const Solution& sol, EdgeId e);
+
 /// Build the weighted search graph for a structurally complete solution
 /// (every task assigned; impl indices valid). Does not check acyclicity.
 [[nodiscard]] SearchGraph build_search_graph(const TaskGraph& tg,
                                              const Architecture& arch,
                                              const Solution& sol);
+
+/// Same, building into `sg` with storage reuse (the hot-path variant: after
+/// warm-up no allocation is needed). When `cache` is non-null it must be
+/// inside a begin_build() window; per-RC realizations are served from it.
+void build_search_graph_into(SearchGraph& sg, const TaskGraph& tg,
+                             const Architecture& arch, const Solution& sol,
+                             SearchGraphCache* cache = nullptr);
 
 }  // namespace rdse

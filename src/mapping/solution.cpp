@@ -14,7 +14,8 @@ Solution Solution::all_software(const TaskGraph& tg, ResourceId processor) {
   const auto order = topological_order(tg.digraph());
   RDSE_REQUIRE(order.has_value(), "all_software: task graph is cyclic");
   for (TaskId t : *order) {
-    sol.insert_on_processor(t, processor, sol.processor_order(processor).size());
+    sol.insert_on_processor(t, processor,
+                            sol.processor_order(processor).size());
   }
   return sol;
 }
@@ -152,10 +153,25 @@ std::size_t Solution::tasks_on(ResourceId id) const {
   return n;
 }
 
+void Solution::touch(ResourceId id) {
+  if (std::find(touched_.begin(), touched_.end(), id) == touched_.end()) {
+    touched_.push_back(id);
+  }
+}
+
+void Solution::touch_task(TaskId id) {
+  if (std::find(touched_tasks_.begin(), touched_tasks_.end(), id) ==
+      touched_tasks_.end()) {
+    touched_tasks_.push_back(id);
+  }
+}
+
 void Solution::remove_task(TaskId task) {
   RDSE_REQUIRE(task < placement_.size(), "Solution: task id out of range");
   Placement& p = placement_[task];
   if (!p.assigned()) return;
+  touch(p.resource);
+  touch_task(task);
 
   if (auto it = proc_order_.find(p.resource); it != proc_order_.end()) {
     auto& order = it->second;
@@ -203,6 +219,8 @@ void Solution::insert_on_processor(TaskId task, ResourceId processor,
   RDSE_REQUIRE(task < placement_.size(), "Solution: task id out of range");
   RDSE_REQUIRE(!placement_[task].assigned(),
                "insert_on_processor: task already assigned");
+  touch(processor);
+  touch_task(task);
   auto& order = proc_order_[processor];
   position = std::min(position, order.size());
   order.insert(order.begin() + static_cast<std::ptrdiff_t>(position), task);
@@ -222,6 +240,8 @@ void Solution::insert_in_context(TaskId task, ResourceId rc, std::size_t ctx,
                                       ? 0
                                       : it->second.size()) +
                    " contexts)");
+  touch(rc);
+  touch_task(task);
   it->second[ctx].push_back(task);
   placement_[task] = Placement{rc, static_cast<std::int32_t>(ctx), impl};
 }
@@ -231,11 +251,14 @@ void Solution::insert_on_asic(TaskId task, ResourceId asic,
   RDSE_REQUIRE(task < placement_.size(), "Solution: task id out of range");
   RDSE_REQUIRE(!placement_[task].assigned(),
                "insert_on_asic: task already assigned");
+  touch(asic);
+  touch_task(task);
   asic_tasks_[asic].push_back(task);
   placement_[task] = Placement{asic, -1, impl};
 }
 
 std::size_t Solution::spawn_context_after(ResourceId rc, std::size_t after) {
+  touch(rc);
   auto& contexts = rc_contexts_[rc];
   std::size_t pos;
   if (after == kFront) {
@@ -262,6 +285,8 @@ void Solution::reposition(TaskId task, std::size_t new_position) {
   auto it = proc_order_.find(p.resource);
   RDSE_REQUIRE(it != proc_order_.end(),
                "reposition: task is not on a processor");
+  touch(p.resource);
+  touch_task(task);
   auto& order = it->second;
   const auto pos = std::find(order.begin(), order.end(), task);
   RDSE_ASSERT(pos != order.end());
@@ -275,6 +300,8 @@ void Solution::set_impl(TaskId task, std::uint32_t impl) {
   RDSE_REQUIRE(task < placement_.size(), "Solution: task id out of range");
   RDSE_REQUIRE(placement_[task].assigned() && placement_[task].context >= 0,
                "set_impl: task is not on a reconfigurable circuit");
+  touch(placement_[task].resource);
+  touch_task(task);
   placement_[task].impl = impl;
 }
 
@@ -284,6 +311,7 @@ void Solution::swap_contexts(ResourceId rc, std::size_t a, std::size_t b) {
                    b < it->second.size(),
                "swap_contexts: context index out of range");
   if (a == b) return;
+  touch(rc);
   std::swap(it->second[a], it->second[b]);
   for (Placement& q : placement_) {
     if (q.resource != rc) continue;

@@ -115,9 +115,40 @@ class Solution {
   /// Internal mirror-consistency check (aborts on violation; tests).
   void check_mirrors() const;
 
-  [[nodiscard]] bool operator==(const Solution&) const = default;
+  // ---- mutation journal ---------------------------------------------------
+
+  /// Resources whose assignment, ordering or implementation content has been
+  /// modified by a mutator since the last clear_touched(). The incremental
+  /// evaluator uses this to scope re-realization of the search graph; the
+  /// journal is copied with the solution and ignored by operator==.
+  [[nodiscard]] std::span<const ResourceId> touched_resources() const {
+    return touched_;
+  }
+  /// Tasks whose own placement (resource, order position, context or
+  /// implementation) was modified since the last clear_touched(). Context
+  /// renumbering of bystander tasks is deliberately not journaled: it never
+  /// changes a node weight, a communication weight (endpoints renumber
+  /// together) or a release (handled per resource).
+  [[nodiscard]] std::span<const TaskId> touched_tasks() const {
+    return touched_tasks_;
+  }
+  void clear_touched() {
+    touched_.clear();
+    touched_tasks_.clear();
+  }
+
+  /// Semantic equality (placements and mirrors; the journal is ignored).
+  [[nodiscard]] bool operator==(const Solution& other) const {
+    return placement_ == other.placement_ &&
+           proc_order_ == other.proc_order_ &&
+           rc_contexts_ == other.rc_contexts_ &&
+           asic_tasks_ == other.asic_tasks_;
+  }
 
  private:
+  void touch(ResourceId id);
+  void touch_task(TaskId id);
+
   std::vector<Placement> placement_;
   /// processor id -> total order
   std::map<ResourceId, std::vector<TaskId>> proc_order_;
@@ -125,6 +156,9 @@ class Solution {
   std::map<ResourceId, std::vector<std::vector<TaskId>>> rc_contexts_;
   /// asic id -> members
   std::map<ResourceId, std::vector<TaskId>> asic_tasks_;
+  /// Resources / tasks modified since clear_touched() (deduplicated, tiny).
+  std::vector<ResourceId> touched_;
+  std::vector<TaskId> touched_tasks_;
 };
 
 }  // namespace rdse

@@ -5,7 +5,6 @@
 #include "graph/topo.hpp"
 
 namespace rdse {
-namespace {
 
 void fill_static_metrics(const TaskGraph& tg, const Architecture& arch,
                          const Solution& sol, const SearchGraph& sg,
@@ -23,18 +22,12 @@ void fill_static_metrics(const TaskGraph& tg, const Architecture& arch,
       m.hw_busy += sg.node_weight[t];
     }
   }
-  for (ResourceId rc : arch.reconfigurable_ids()) {
-    const std::size_t n_ctx = sol.context_count(rc);
-    m.n_contexts += static_cast<int>(n_ctx);
-    for (std::size_t c = 0; c < n_ctx; ++c) {
-      const std::int32_t clbs = sol.context_clbs(tg, rc, c);
-      m.clbs_loaded += clbs;
-      m.max_context_clbs = std::max(m.max_context_clbs, clbs);
-    }
-  }
+  // Context accounting is gathered by the builder (identically on the full
+  // and incremental paths).
+  m.n_contexts = sg.n_contexts;
+  m.clbs_loaded = sg.clbs_loaded;
+  m.max_context_clbs = sg.max_context_clbs;
 }
-
-}  // namespace
 
 std::optional<Metrics> Evaluator::evaluate(const Solution& sol) const {
   auto detail = evaluate_detailed(sol);

@@ -42,6 +42,13 @@ struct EvalDetail {
   Metrics metrics;
 };
 
+/// Fill every Metrics field except `makespan` from a realized search graph.
+/// Shared by the full evaluator and the incremental hot path so both produce
+/// bit-identical figures.
+void fill_static_metrics(const TaskGraph& tg, const Architecture& arch,
+                         const Solution& sol, const SearchGraph& sg,
+                         Metrics& m);
+
 /// Stateless evaluator bound to one task graph + architecture.
 class Evaluator {
  public:

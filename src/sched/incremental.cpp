@@ -1,6 +1,8 @@
 #include "sched/incremental.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <functional>
 #include <queue>
 
 #include "graph/topo.hpp"
@@ -128,6 +130,131 @@ void IncrementalLongestPath::rebuild() {
   makespan_ = r.makespan;
   closure_.build(graph_);
   refresh_ranks();
+}
+
+// ---- DeltaRelaxer ----------------------------------------------------------
+
+void DeltaRelaxer::reset(const WeightedDag& dag) {
+  const LongestPathResult r = longest_path(dag);  // throws if cyclic
+  start_ = r.start;
+  finish_ = r.finish;
+  makespan_ = r.makespan;
+
+  const auto order = topological_order(*dag.graph);
+  RDSE_ASSERT(order.has_value());
+  order_ = *order;
+  rank_.assign(dag.graph->node_count(), 0);
+  for (std::size_t i = 0; i < order->size(); ++i) {
+    rank_[(*order)[i]] = static_cast<std::uint32_t>(i);
+  }
+
+  probe_valid_ = false;
+}
+
+std::optional<TimeNs> DeltaRelaxer::probe(const WeightedDag& dag,
+                                          std::span<const NodeId> seeds,
+                                          std::span<const EdgeId> new_edges) {
+  const Digraph& g = *dag.graph;
+  const std::size_t n = g.node_count();
+  RDSE_REQUIRE(n == rank_.size(), "DeltaRelaxer::probe: node count changed");
+  ++stats_.probes;
+  stats_.total_nodes += static_cast<std::int64_t>(n);
+  probe_valid_ = false;
+
+  // 1. Topological ranks. Deletions and weight changes cannot introduce a
+  // cycle or invalidate the committed ranks — only the inserted edges can.
+  // If every inserted edge ascends, the committed ranks remain a valid
+  // numbering of the edited graph; otherwise sort afresh (which also
+  // decides acyclicity).
+  bool ranks_ok = true;
+  for (EdgeId e : new_edges) {
+    const Digraph::Edge& ed = g.edge(e);
+    if (rank_[ed.src] >= rank_[ed.dst]) {
+      ranks_ok = false;
+      break;
+    }
+  }
+  cand_ranks_fresh_ = !ranks_ok;
+  if (!ranks_ok) {
+    ++stats_.rank_refreshes;
+    const auto order = topological_order(g);
+    if (!order.has_value()) {
+      ++stats_.cyclic;
+      return std::nullopt;
+    }
+    cand_order_ = *order;
+    cand_rank_.assign(n, 0);
+    for (std::size_t i = 0; i < order->size(); ++i) {
+      cand_rank_[(*order)[i]] = static_cast<std::uint32_t>(i);
+    }
+  }
+  const std::vector<std::uint32_t>& rank = ranks_ok ? rank_ : cand_rank_;
+  const std::vector<NodeId>& order = ranks_ok ? order_ : cand_order_;
+  stats_.seed_nodes += static_cast<std::int64_t>(seeds.size());
+
+  // 2. Warm start: inherit the committed fixed point.
+  cand_start_ = start_;
+  cand_finish_ = finish_;
+
+  // 3. Multi-seed dirty propagation in ascending rank order via the
+  // schedule bitmask. Every node is processed at most once: its
+  // predecessors (lower rank) are final when its bit is consumed, because
+  // bits are only ever set above the scan position (edges ascend in rank)
+  // or by the up-front seeding.
+  queued_.assign((n + 63) / 64, 0);
+  for (NodeId v : seeds) {
+    const std::uint32_t r = rank[v];
+    queued_[r >> 6] |= std::uint64_t{1} << (r & 63);
+  }
+
+  std::uint32_t relaxed = 0;
+  for (std::size_t w = 0; w < queued_.size(); ++w) {
+    while (queued_[w] != 0) {
+      const auto bit =
+          static_cast<std::uint32_t>(std::countr_zero(queued_[w]));
+      queued_[w] &= queued_[w] - 1;
+      const NodeId v = order[(w << 6) | bit];
+      ++relaxed;
+      TimeNs s = dag.release.empty() ? 0 : dag.release[v];
+      for (EdgeId e : g.in_edges(v)) {
+        const NodeId u = g.edge(e).src;
+        s = std::max(s, cand_finish_[u] + dag.edge_weight[e]);
+      }
+      const TimeNs f = s + dag.node_weight[v];
+      if (s == cand_start_[v] && f == cand_finish_[v]) {
+        continue;  // unchanged: downstream unaffected through this node
+      }
+      cand_start_[v] = s;
+      cand_finish_[v] = f;
+      for (EdgeId e : g.out_edges(v)) {
+        const std::uint32_t r = rank[g.edge(e).dst];
+        queued_[r >> 6] |= std::uint64_t{1} << (r & 63);
+      }
+    }
+  }
+  last_relaxed_ = relaxed;
+  stats_.relaxed_nodes += relaxed;
+
+  cand_makespan_ = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    cand_makespan_ = std::max(cand_makespan_, cand_finish_[v]);
+  }
+  probe_valid_ = true;
+  return cand_makespan_;
+}
+
+void DeltaRelaxer::commit() {
+  RDSE_REQUIRE(probe_valid_,
+               "DeltaRelaxer::commit: no successful probe staged");
+  start_.swap(cand_start_);
+  finish_.swap(cand_finish_);
+  if (cand_ranks_fresh_) {
+    rank_.swap(cand_rank_);
+    order_.swap(cand_order_);
+  }
+  makespan_ = cand_makespan_;
+  probe_valid_ = false;
+  ++stats_.commits;
 }
 
 }  // namespace rdse

@@ -15,6 +15,7 @@
 /// the §4.3 cycle test ("would this edge close a cycle?") is O(1).
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "graph/closure.hpp"
@@ -76,6 +77,97 @@ class IncrementalLongestPath {
   std::vector<std::uint32_t> rank_;
   TimeNs makespan_ = 0;
   TransitiveClosure closure_;
+};
+
+/// Lifetime counters of a DeltaRelaxer. `relaxed_nodes / probes` against
+/// `total_nodes / probes` is the EXP-M1 saving: a full evaluation relaxes
+/// every node, the delta path only the affected region.
+struct DeltaRelaxStats {
+  std::int64_t probes = 0;          ///< candidate evaluations
+  std::int64_t commits = 0;         ///< probes adopted as the new base
+  std::int64_t cyclic = 0;          ///< probes rejected: candidate was cyclic
+  std::int64_t seed_nodes = 0;      ///< nodes whose local inputs changed
+  std::int64_t relaxed_nodes = 0;   ///< nodes actually re-relaxed
+  std::int64_t total_nodes = 0;     ///< summed node count (full-relax cost)
+  std::int64_t rank_refreshes = 0;  ///< probes that needed a fresh topo sort
+};
+
+/// Warm-start longest-path engine for the annealing hot path (§4.4, EXP-M1).
+///
+/// The annealer stages one candidate search graph per move, derived from the
+/// committed one by a *local* edit (the caller mutates the graph in place
+/// and rolls it back on rejection). The relaxer keeps only the committed
+/// longest-path fixed point (start/finish values and topological ranks), no
+/// graph: probe() is handed the edited graph, the set of *seed* nodes whose
+/// local inputs changed, and the edges the edit inserted. It inherits the
+/// committed values everywhere else and re-relaxes in topological-rank
+/// order only while values keep changing — the same dirty-set propagation
+/// as IncrementalLongestPath, generalized to multi-seed deltas. Results are
+/// bit-identical to a full recomputation (property-tested).
+///
+/// Acyclicity is decided for free in the common case: deletions and weight
+/// changes cannot create a cycle, so only the inserted edges are checked
+/// against the committed ranks. If every inserted edge ascends, the ranks
+/// remain a valid topological numbering and the candidate is acyclic;
+/// otherwise one Kahn sort refreshes the ranks (and detects cycles).
+///
+/// probe() leaves the committed values untouched, so a rejected move is
+/// rolled back for free on the relaxer's side; commit() adopts the probed
+/// values by swapping buffers, O(1) beyond that. All scratch storage is
+/// reused — steady-state probes allocate nothing.
+class DeltaRelaxer {
+ public:
+  /// Bind to the initial committed snapshot (full relaxation; the graph must
+  /// be acyclic).
+  void reset(const WeightedDag& dag);
+
+  /// Evaluate the edited graph against the committed fixed point.
+  ///  - `seeds`: every node whose local relaxation inputs changed (release,
+  ///    node weight, incoming edge set or incoming edge weights). Duplicates
+  ///    are fine. Under-seeding yields silently wrong values — callers are
+  ///    property-tested against full evaluation.
+  ///  - `new_edges`: edges present in `dag` but not in the committed graph
+  ///    (the only possible rank violations / cycle sources).
+  /// Returns the candidate makespan, or std::nullopt if the edited graph is
+  /// cyclic. Committed values are untouched either way.
+  [[nodiscard]] std::optional<TimeNs> probe(const WeightedDag& dag,
+                                            std::span<const NodeId> seeds,
+                                            std::span<const EdgeId> new_edges);
+
+  /// Adopt the last successful probe as the committed state.
+  void commit();
+
+  [[nodiscard]] TimeNs makespan() const { return makespan_; }
+  [[nodiscard]] TimeNs start_of(NodeId node) const { return start_[node]; }
+  [[nodiscard]] TimeNs finish_of(NodeId node) const { return finish_[node]; }
+  [[nodiscard]] const DeltaRelaxStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t last_relaxed() const { return last_relaxed_; }
+
+ private:
+  // Committed longest-path fixed point. `order_` is the inverse rank
+  // permutation (rank index -> node).
+  std::vector<TimeNs> start_;
+  std::vector<TimeNs> finish_;
+  std::vector<std::uint32_t> rank_;
+  std::vector<NodeId> order_;
+  TimeNs makespan_ = 0;
+
+  // Last probe (valid until the next probe or commit).
+  std::vector<TimeNs> cand_start_;
+  std::vector<TimeNs> cand_finish_;
+  std::vector<std::uint32_t> cand_rank_;
+  std::vector<NodeId> cand_order_;
+  TimeNs cand_makespan_ = 0;
+  bool cand_ranks_fresh_ = false;
+  bool probe_valid_ = false;
+  std::uint32_t last_relaxed_ = 0;
+
+  /// Rank-indexed schedule bitmask: relaxation processes ranks in ascending
+  /// order and every queued rank is strictly above the scan position (edges
+  /// ascend), so one pass over the words replaces a priority queue.
+  std::vector<std::uint64_t> queued_;
+
+  DeltaRelaxStats stats_;
 };
 
 }  // namespace rdse

@@ -1,0 +1,387 @@
+#include "sched/incremental_eval.hpp"
+
+#include <algorithm>
+
+#include "graph/topo.hpp"
+#include "util/assert.hpp"
+
+namespace rdse {
+
+void IncrementalEvaluator::reset(const Architecture& arch,
+                                 const Solution& sol) {
+  cache_.clear();
+  cache_.begin_build({});
+  build_search_graph_into(sg_, *tg_, arch, sol, &cache_);
+  RDSE_REQUIRE(is_acyclic(sg_.graph),
+               "IncrementalEvaluator::reset: committed state is infeasible");
+  const WeightedDag dag{&sg_.graph, sg_.node_weight, sg_.edge_weight,
+                        sg_.release};
+  relaxer_.reset(dag);
+  cache_.commit();
+
+  // Index the sequentialization edges by owning resource: an Esw edge
+  // belongs to its source's processor, an Ehw edge to its source's RC.
+  seq_edges_.clear();
+  for (EdgeId e = 0; e < sg_.graph.edge_capacity(); ++e) {
+    if (!sg_.graph.edge_alive(e)) continue;
+    if (sg_.edge_kind[e] == SearchEdgeKind::kComm) continue;
+    const NodeId src = sg_.graph.edge(e).src;
+    seq_edges_[sol.placement(src).resource].push_back(e);
+  }
+
+  // Task-partition sums (maintained as deltas from here on).
+  task_on_proc_.assign(tg_->task_count(), 0);
+  sw_busy_ = hw_busy_ = 0;
+  sw_tasks_ = hw_tasks_ = 0;
+  for (TaskId t = 0; t < tg_->task_count(); ++t) {
+    const bool on_proc = arch.resource(sol.placement(t).resource).kind() ==
+                         ResourceKind::kProcessor;
+    task_on_proc_[t] = on_proc ? 1 : 0;
+    if (on_proc) {
+      ++sw_tasks_;
+      sw_busy_ += sg_.node_weight[t];
+    } else {
+      ++hw_tasks_;
+      hw_busy_ += sg_.node_weight[t];
+    }
+  }
+  pending_ = false;
+}
+
+void IncrementalEvaluator::stage_node_weight(NodeId v, TimeNs w) {
+  if (sg_.node_weight[v] == w) return;
+  node_weight_undo_.push_back({v, sg_.node_weight[v]});
+  sg_.node_weight[v] = w;
+  seeds_.push_back(v);
+}
+
+void IncrementalEvaluator::stage_comm_weight(EdgeId e, TimeNs w) {
+  if (sg_.edge_weight[e] == w) return;
+  comm_undo_.push_back({e, sg_.edge_weight[e]});
+  sg_.comm_cross += w - sg_.edge_weight[e];
+  sg_.edge_weight[e] = w;
+  seeds_.push_back(sg_.graph.edge(e).dst);
+}
+
+void IncrementalEvaluator::stage_release(NodeId v, TimeNs r) {
+  if (sg_.release[v] == r) return;
+  release_undo_.push_back({v, sg_.release[v]});
+  sg_.release[v] = r;
+  seeds_.push_back(v);
+}
+
+void IncrementalEvaluator::add_seq_edge(ResourceId res, NodeId src,
+                                        NodeId dst, TimeNs weight,
+                                        SearchEdgeKind kind) {
+  const EdgeId id = sg_.add_weighted_edge(src, dst, weight, kind);
+  seq_edges_[res].push_back(id);
+  added_seq_.emplace_back(res, id);
+  new_edges_.push_back(id);
+  seeds_.push_back(dst);
+}
+
+void IncrementalEvaluator::reconcile_seq_edges(ResourceId r) {
+  auto& list = seq_edges_[r];
+  desired_used_.assign(desired_.size(), 0);
+  kept_.clear();
+  std::size_t cursor = 0;  // both lists run in near-identical order
+  for (EdgeId id : list) {
+    const Digraph::Edge& ed = sg_.graph.edge(id);
+    auto matches = [&](const DesiredEdge& d) {
+      return d.src == ed.src && d.dst == ed.dst &&
+             d.weight == sg_.edge_weight[id] && d.kind == sg_.edge_kind[id];
+    };
+    bool matched = false;
+    if (cursor < desired_.size() && desired_used_[cursor] == 0 &&
+        matches(desired_[cursor])) {
+      desired_used_[cursor] = 1;
+      ++cursor;
+      matched = true;
+    } else {
+      for (std::size_t k = 0; k < desired_.size(); ++k) {
+        if (desired_used_[k] != 0) continue;
+        if (matches(desired_[k])) {
+          desired_used_[k] = 1;
+          cursor = k + 1;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (matched) {
+      kept_.push_back(id);
+    } else {
+      removed_seq_.push_back(
+          {r, ed.src, ed.dst, sg_.edge_weight[id], sg_.edge_kind[id]});
+      seeds_.push_back(ed.dst);
+      sg_.graph.remove_edge(id);
+    }
+  }
+  list.swap(kept_);
+  for (std::size_t k = 0; k < desired_.size(); ++k) {
+    if (desired_used_[k] == 0) {
+      const DesiredEdge& d = desired_[k];
+      add_seq_edge(r, d.src, d.dst, d.weight, d.kind);
+    }
+  }
+}
+
+std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
+    const Architecture& cand_arch, const Solution& cand_sol,
+    std::span<const ResourceId> touched_resources,
+    std::span<const TaskId> touched_tasks) {
+  RDSE_REQUIRE(!pending_,
+               "IncrementalEvaluator: previous candidate not resolved");
+  ++builds_;
+  seeds_.clear();
+  new_edges_.clear();
+  removed_seq_.clear();
+  added_seq_.clear();
+  comm_undo_.clear();
+  node_weight_undo_.clear();
+  release_undo_.clear();
+  side_undo_.clear();
+  dead_resources_.clear();
+  touched_snapshot_.assign(touched_resources.begin(),
+                           touched_resources.end());
+  snap_.init_reconfig = sg_.init_reconfig;
+  snap_.dyn_reconfig = sg_.dyn_reconfig;
+  snap_.comm_cross = sg_.comm_cross;
+  snap_.n_contexts = sg_.n_contexts;
+  snap_.clbs_loaded = sg_.clbs_loaded;
+  snap_.max_context_clbs = sg_.max_context_clbs;
+  snap_.sw_busy = sw_busy_;
+  snap_.hw_busy = hw_busy_;
+  snap_.sw_tasks = sw_tasks_;
+  snap_.hw_tasks = hw_tasks_;
+  cache_.begin_build(touched_resources);
+
+  // ---- 1. moved tasks: node weights, partition sums, incident
+  // communication weights --------------------------------------------------
+  const Bus& bus = cand_arch.bus();
+  for (TaskId t : touched_tasks) {
+    const TimeNs old_w = sg_.node_weight[t];
+    const TimeNs new_w = assigned_exec_time(*tg_, cand_arch, cand_sol, t);
+    const bool was_sw = task_on_proc_[t] != 0;
+    const bool now_sw =
+        cand_arch.resource(cand_sol.placement(t).resource).kind() ==
+        ResourceKind::kProcessor;
+    if (was_sw) {
+      --sw_tasks_;
+      sw_busy_ -= old_w;
+    } else {
+      --hw_tasks_;
+      hw_busy_ -= old_w;
+    }
+    if (now_sw) {
+      ++sw_tasks_;
+      sw_busy_ += new_w;
+    } else {
+      ++hw_tasks_;
+      hw_busy_ += new_w;
+    }
+    if (was_sw != now_sw) {
+      side_undo_.emplace_back(t, task_on_proc_[t]);
+      task_on_proc_[t] = now_sw ? 1 : 0;
+    }
+    stage_node_weight(t, new_w);
+    for (EdgeId e : tg_->digraph().in_edges(t)) {
+      stage_comm_weight(e, comm_edge_weight(*tg_, bus, cand_sol, e));
+    }
+    for (EdgeId e : tg_->digraph().out_edges(t)) {
+      stage_comm_weight(e, comm_edge_weight(*tg_, bus, cand_sol, e));
+    }
+  }
+
+  // ---- 2a. clear releases contributed by touched RCs' old first contexts
+  // (before any re-set, so a task migrating between two touched first
+  // contexts sees its release cleared before the new one lands, whatever
+  // the order of the touched list).
+  for (ResourceId r : touched_snapshot_) {
+    if (const RcRealization* old = cache_.committed_entry(r);
+        old != nullptr && !old->bounds.empty()) {
+      for (TaskId t : old->bounds[0].initials) stage_release(t, 0);
+    }
+  }
+
+  // ---- 2b. touched resources: re-realize and reconcile --------------------
+  for (ResourceId r : touched_snapshot_) {
+    desired_.clear();
+    if (!cand_arch.alive(r)) {
+      dead_resources_.push_back(r);  // an m3 move removed the resource
+    }
+    if (cand_arch.alive(r)) {
+      const Resource& res = cand_arch.resource(r);
+      if (res.kind() == ResourceKind::kProcessor) {
+        const auto order = cand_sol.processor_order(r);
+        for (std::size_t i = 1; i < order.size(); ++i) {
+          desired_.push_back(
+              {order[i - 1], order[i], 0, SearchEdgeKind::kSwSeq});
+        }
+      } else if (res.kind() == ResourceKind::kReconfigurable) {
+        // Realize even when the RC lost its last context: the staged
+        // (empty) entry replaces the committed one on accept, so a later
+        // move touching this RC cannot tear down releases from a stale
+        // realization.
+        const RcRealization& real = cache_.realize(*tg_, cand_sol, r);
+        const std::size_t n_ctx = cand_sol.context_count(r);
+        if (n_ctx > 0) {
+          const auto& dev = cand_arch.reconfigurable(r);
+          const TimeNs first_load = dev.reconfiguration_time(real.clbs[0]);
+          for (TaskId t : real.bounds[0].initials) {
+            stage_release(t, first_load);
+          }
+          for (std::size_t c = 0; c + 1 < n_ctx; ++c) {
+            const TimeNs reconf = dev.reconfiguration_time(real.clbs[c + 1]);
+            for (TaskId from : real.bounds[c].terminals) {
+              for (TaskId to : real.bounds[c + 1].initials) {
+                desired_.push_back({from, to, reconf, SearchEdgeKind::kHwSeq});
+              }
+            }
+          }
+        }
+      }
+    }
+    reconcile_seq_edges(r);
+  }
+
+  // ---- 3. context accounting (only when a touched resource could change
+  // it: an RC alive in the candidate, or one that contributed contexts to
+  // the committed state — e.g. an m3-removed device) -----------------------
+  bool rc_relevant = false;
+  for (ResourceId r : touched_snapshot_) {
+    if (cand_arch.alive(r) && cand_arch.resource(r).kind() ==
+                                  ResourceKind::kReconfigurable) {
+      rc_relevant = true;
+      break;
+    }
+    if (const RcRealization* old = cache_.committed_entry(r);
+        old != nullptr && !old->bounds.empty()) {
+      rc_relevant = true;
+      break;
+    }
+  }
+  if (rc_relevant) {
+    sg_.init_reconfig = 0;
+    sg_.dyn_reconfig = 0;
+    sg_.n_contexts = 0;
+    sg_.clbs_loaded = 0;
+    sg_.max_context_clbs = 0;
+    for (ResourceId rc = 0; rc < cand_arch.slot_count(); ++rc) {
+      if (!cand_arch.alive(rc)) continue;
+      if (cand_arch.resource(rc).kind() != ResourceKind::kReconfigurable) {
+        continue;
+      }
+      const std::size_t n_ctx = cand_sol.context_count(rc);
+      if (n_ctx == 0) continue;
+      const auto& dev = cand_arch.reconfigurable(rc);
+      const RcRealization& real = cache_.realize(*tg_, cand_sol, rc);
+      sg_.n_contexts += static_cast<int>(n_ctx);
+      sg_.init_reconfig += dev.reconfiguration_time(real.clbs[0]);
+      for (std::size_t c = 0; c < n_ctx; ++c) {
+        sg_.clbs_loaded += real.clbs[c];
+        sg_.max_context_clbs = std::max(sg_.max_context_clbs, real.clbs[c]);
+        if (c > 0) {
+          sg_.dyn_reconfig += dev.reconfiguration_time(real.clbs[c]);
+        }
+      }
+    }
+  }
+
+  // ---- 4. incremental relaxation ------------------------------------------
+  const WeightedDag dag{&sg_.graph, sg_.node_weight, sg_.edge_weight,
+                        sg_.release};
+  const auto makespan = relaxer_.probe(dag, seeds_, new_edges_);
+  if (!makespan.has_value()) {
+    rollback();
+    cache_.discard();
+    return std::nullopt;
+  }
+
+  Metrics m;
+  m.makespan = *makespan;
+  m.init_reconfig = sg_.init_reconfig;
+  m.dyn_reconfig = sg_.dyn_reconfig;
+  m.comm_cross = sg_.comm_cross;
+  m.sw_busy = sw_busy_;
+  m.hw_busy = hw_busy_;
+  m.sw_tasks = sw_tasks_;
+  m.hw_tasks = hw_tasks_;
+  m.n_contexts = sg_.n_contexts;
+  m.clbs_loaded = sg_.clbs_loaded;
+  m.max_context_clbs = sg_.max_context_clbs;
+  pending_ = true;
+  return m;
+}
+
+void IncrementalEvaluator::rollback() {
+  // Drop the candidate's inserted sequentialization edges (kept ones are
+  // committed state and stay) and restore the removed ones. Re-added edges
+  // get fresh ids — nothing outside the per-resource id lists holds
+  // sequentialization edge ids.
+  for (auto it = added_seq_.rbegin(); it != added_seq_.rend(); ++it) {
+    sg_.graph.remove_edge(it->second);
+    auto& list = seq_edges_[it->first];
+    list.erase(std::find(list.begin(), list.end(), it->second));
+  }
+  for (const RemovedSeqEdge& re : removed_seq_) {
+    const EdgeId id = sg_.add_weighted_edge(re.src, re.dst, re.weight, re.kind);
+    seq_edges_[re.res].push_back(id);
+  }
+  for (auto it = comm_undo_.rbegin(); it != comm_undo_.rend(); ++it) {
+    sg_.edge_weight[it->edge] = it->weight;
+  }
+  for (auto it = node_weight_undo_.rbegin(); it != node_weight_undo_.rend();
+       ++it) {
+    sg_.node_weight[it->node] = it->value;
+  }
+  for (auto it = release_undo_.rbegin(); it != release_undo_.rend(); ++it) {
+    sg_.release[it->node] = it->value;
+  }
+  sg_.init_reconfig = snap_.init_reconfig;
+  sg_.dyn_reconfig = snap_.dyn_reconfig;
+  sg_.comm_cross = snap_.comm_cross;
+  sg_.n_contexts = snap_.n_contexts;
+  sg_.clbs_loaded = snap_.clbs_loaded;
+  sg_.max_context_clbs = snap_.max_context_clbs;
+  sw_busy_ = snap_.sw_busy;
+  hw_busy_ = snap_.hw_busy;
+  sw_tasks_ = snap_.sw_tasks;
+  hw_tasks_ = snap_.hw_tasks;
+  for (auto it = side_undo_.rbegin(); it != side_undo_.rend(); ++it) {
+    task_on_proc_[it->first] = it->second;
+  }
+}
+
+void IncrementalEvaluator::commit() {
+  RDSE_REQUIRE(pending_, "IncrementalEvaluator::commit: no candidate staged");
+  relaxer_.commit();
+  cache_.commit();
+  for (ResourceId r : dead_resources_) {
+    cache_.erase(r);
+    seq_edges_.erase(r);  // emptied by the reconcile against no edges
+  }
+  dead_resources_.clear();
+  pending_ = false;
+}
+
+void IncrementalEvaluator::discard() {
+  if (pending_) {
+    rollback();
+    cache_.discard();
+  }
+  pending_ = false;
+}
+
+IncrementalEvalStats IncrementalEvaluator::stats() const {
+  IncrementalEvalStats s;
+  s.relax = relaxer_.stats();
+  s.builds = builds_;
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.bounds_reused = cache_.bounds_reused();
+  s.bounds_computed = cache_.bounds_computed();
+  return s;
+}
+
+}  // namespace rdse

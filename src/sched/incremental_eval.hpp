@@ -1,0 +1,164 @@
+#pragma once
+/// \file incremental_eval.hpp
+/// \brief Incremental candidate evaluation for the annealing hot path.
+///
+/// DseProblem::propose historically realized and re-relaxed the whole search
+/// graph for every move. This evaluator instead keeps the committed
+/// realization resident and applies each move as a *delta*:
+///
+///  - the committed search graph G' is edited in place — node weights and
+///    communication-edge weights of the moved tasks are updated, and only
+///    the sequentialization edges (Esw/Ehw) and release times of the
+///    resources the move touched are torn down and rebuilt;
+///  - per-RC context boundaries and CLB sums are memoized across moves
+///    (SearchGraphCache) and recomputed only for touched RCs;
+///  - only the affected region of G' is re-relaxed (DeltaRelaxer), seeded
+///    with exactly the nodes whose local inputs changed;
+///  - a rejected candidate is rolled back from an undo log instead of
+///    rebuilding; an accepted one commits by swapping buffers.
+///
+/// All scratch storage is pooled, so steady-state proposals allocate
+/// nothing. Results are bit-identical to Evaluator::evaluate
+/// (property-tested on random graphs x random move sequences).
+
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mapping/search_graph.hpp"
+#include "sched/evaluator.hpp"
+#include "sched/incremental.hpp"
+
+namespace rdse {
+
+/// Counters for benchmarks and tests.
+struct IncrementalEvalStats {
+  DeltaRelaxStats relax;
+  std::int64_t builds = 0;       ///< candidate surgeries
+  std::int64_t cache_hits = 0;   ///< RC realizations served from the memo
+  std::int64_t cache_misses = 0;
+  std::int64_t bounds_reused = 0;    ///< boundaries copied (membership same)
+  std::int64_t bounds_computed = 0;  ///< boundaries recomputed from scratch
+};
+
+/// Stateful evaluator bound to one task graph; the architecture and solution
+/// are supplied per call because architecture moves (m3/m4) mutate them.
+class IncrementalEvaluator {
+ public:
+  explicit IncrementalEvaluator(const TaskGraph& tg) : tg_(&tg) {}
+
+  /// Re-synchronize with the committed state (initial solution, or after an
+  /// external replacement such as replica exchange). The state must be
+  /// feasible.
+  void reset(const Architecture& arch, const Solution& sol);
+
+  /// Evaluate a candidate derived from the committed state by one move.
+  /// `touched_resources` / `touched_tasks` are the move's mutation journal
+  /// (Solution::touched_resources() / touched_tasks()). Returns std::nullopt
+  /// when the realized search graph is cyclic (the move is infeasible,
+  /// §4.3) — the committed state is already restored in that case.
+  [[nodiscard]] std::optional<Metrics> evaluate_candidate(
+      const Architecture& cand_arch, const Solution& cand_sol,
+      std::span<const ResourceId> touched_resources,
+      std::span<const TaskId> touched_tasks);
+
+  /// Adopt the last successful candidate as the committed state.
+  void commit();
+
+  /// Roll the last successful candidate back (undo log).
+  void discard();
+
+  [[nodiscard]] IncrementalEvalStats stats() const;
+
+  /// The maintained realization: the committed graph, or the staged
+  /// candidate between a successful evaluate_candidate() and its
+  /// commit()/discard(). Exposed for tests and debugging.
+  [[nodiscard]] const SearchGraph& search_graph() const { return sg_; }
+
+ private:
+  struct DesiredEdge {
+    NodeId src;
+    NodeId dst;
+    TimeNs weight;
+    SearchEdgeKind kind;
+  };
+
+  void stage_node_weight(NodeId v, TimeNs w);
+  void stage_comm_weight(EdgeId e, TimeNs w);
+  void stage_release(NodeId v, TimeNs r);
+  void add_seq_edge(ResourceId res, NodeId src, NodeId dst, TimeNs weight,
+                    SearchEdgeKind kind);
+  /// Replace resource `r`'s sequentialization edges with `desired_`, keeping
+  /// every committed edge whose (src, dst, weight, kind) is unchanged — a
+  /// local move perturbs only a few links of a chain, and kept edges seed
+  /// no relaxation.
+  void reconcile_seq_edges(ResourceId r);
+  void rollback();
+
+  const TaskGraph* tg_ = nullptr;
+  SearchGraph sg_;  ///< committed realization, surgically edited per move
+  SearchGraphCache cache_;
+  DeltaRelaxer relaxer_;
+  /// Esw/Ehw edge ids per owning resource.
+  std::map<ResourceId, std::vector<EdgeId>> seq_edges_;
+
+  // ---- per-candidate scratch and undo log --------------------------------
+  std::vector<NodeId> seeds_;
+  std::vector<EdgeId> new_edges_;
+  struct RemovedSeqEdge {
+    ResourceId res;
+    NodeId src;
+    NodeId dst;
+    TimeNs weight;
+    SearchEdgeKind kind;
+  };
+  std::vector<RemovedSeqEdge> removed_seq_;
+  std::vector<std::pair<ResourceId, EdgeId>> added_seq_;
+  std::vector<DesiredEdge> desired_;  ///< reconciliation scratch
+  std::vector<char> desired_used_;
+  std::vector<EdgeId> kept_;
+  struct EdgeUndo {
+    EdgeId edge;
+    TimeNs weight;
+  };
+  std::vector<EdgeUndo> comm_undo_;
+  struct NodeUndo {
+    NodeId node;
+    TimeNs value;
+  };
+  std::vector<NodeUndo> node_weight_undo_;
+  std::vector<NodeUndo> release_undo_;
+  std::vector<ResourceId> touched_snapshot_;
+  /// Resources removed by the staged move (m3): their cache and edge-list
+  /// entries are dropped on commit so footprint stays bounded over long
+  /// create/remove churn (resource ids are never reused).
+  std::vector<ResourceId> dead_resources_;
+  struct ScalarSnapshot {
+    TimeNs init_reconfig;
+    TimeNs dyn_reconfig;
+    TimeNs comm_cross;
+    int n_contexts;
+    std::int32_t clbs_loaded;
+    std::int32_t max_context_clbs;
+    TimeNs sw_busy;
+    TimeNs hw_busy;
+    int sw_tasks;
+    int hw_tasks;
+  };
+  ScalarSnapshot snap_{};
+
+  // Task-partition sums, maintained as deltas over the moved tasks instead
+  // of an O(tasks) walk per evaluation.
+  std::vector<std::uint8_t> task_on_proc_;
+  std::vector<std::pair<TaskId, std::uint8_t>> side_undo_;
+  TimeNs sw_busy_ = 0;
+  TimeNs hw_busy_ = 0;
+  int sw_tasks_ = 0;
+  int hw_tasks_ = 0;
+
+  std::int64_t builds_ = 0;
+  bool pending_ = false;
+};
+
+}  // namespace rdse

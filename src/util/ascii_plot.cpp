@@ -69,15 +69,16 @@ std::string render_plot(const std::vector<Series>& series,
     if (r == h - 1) label = std::string(margin - bot.size(), ' ') + bot;
     os << label << " |" << grid[static_cast<std::size_t>(r)] << '\n';
   }
-  os << std::string(margin, ' ') << " +" << std::string(static_cast<std::size_t>(w), '-')
-     << '\n';
+  os << std::string(margin, ' ') << " +"
+     << std::string(static_cast<std::size_t>(w), '-') << '\n';
   const std::string xl = format_double(xmin, 1);
   const std::string xr = format_double(xmax, 1);
   std::string xaxis(margin + 2, ' ');
   xaxis += xl;
-  const std::size_t room = static_cast<std::size_t>(w) > xl.size() + xr.size()
-                               ? static_cast<std::size_t>(w) - xl.size() - xr.size()
-                               : 1;
+  const std::size_t room =
+      static_cast<std::size_t>(w) > xl.size() + xr.size()
+          ? static_cast<std::size_t>(w) - xl.size() - xr.size()
+          : 1;
   xaxis += std::string(room, ' ');
   xaxis += xr;
   os << xaxis;
@@ -102,8 +103,10 @@ std::string sparkline(const std::vector<double>& values, int width) {
   out.reserve(static_cast<std::size_t>(width));
   for (int i = 0; i < width; ++i) {
     // Average the bucket of samples that maps to this column.
-    const std::size_t b0 = static_cast<std::size_t>(i) * n / static_cast<std::size_t>(width);
-    std::size_t b1 = static_cast<std::size_t>(i + 1) * n / static_cast<std::size_t>(width);
+    const std::size_t b0 =
+        static_cast<std::size_t>(i) * n / static_cast<std::size_t>(width);
+    std::size_t b1 =
+        static_cast<std::size_t>(i + 1) * n / static_cast<std::size_t>(width);
     b1 = std::max(b1, b0 + 1);
     double sum = 0.0;
     for (std::size_t j = b0; j < b1 && j < n; ++j) sum += values[j];

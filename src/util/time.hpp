@@ -22,12 +22,14 @@ constexpr TimeNs kNsPerSec = 1'000'000'000;
 
 /// Construct a TimeNs from a value expressed in milliseconds.
 constexpr TimeNs from_ms(double ms) {
-  return static_cast<TimeNs>(ms * static_cast<double>(kNsPerMs) + (ms >= 0 ? 0.5 : -0.5));
+  return static_cast<TimeNs>(ms * static_cast<double>(kNsPerMs) +
+                             (ms >= 0 ? 0.5 : -0.5));
 }
 
 /// Construct a TimeNs from a value expressed in microseconds.
 constexpr TimeNs from_us(double us) {
-  return static_cast<TimeNs>(us * static_cast<double>(kNsPerUs) + (us >= 0 ? 0.5 : -0.5));
+  return static_cast<TimeNs>(us * static_cast<double>(kNsPerUs) +
+                             (us >= 0 ? 0.5 : -0.5));
 }
 
 /// Convert to milliseconds (for reporting only).

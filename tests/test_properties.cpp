@@ -125,6 +125,149 @@ TEST_P(RandomInstance, ExplorationNeverReturnsWorseThanInitial) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstance,
                          ::testing::Values(11, 22, 33, 44, 55));
 
+// ---- incremental-vs-full A/B equivalence -----------------------------------
+
+void expect_metrics_equal(const Metrics& a, const Metrics& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.init_reconfig, b.init_reconfig);
+  EXPECT_EQ(a.dyn_reconfig, b.dyn_reconfig);
+  EXPECT_EQ(a.comm_cross, b.comm_cross);
+  EXPECT_EQ(a.sw_busy, b.sw_busy);
+  EXPECT_EQ(a.hw_busy, b.hw_busy);
+  EXPECT_EQ(a.n_contexts, b.n_contexts);
+  EXPECT_EQ(a.sw_tasks, b.sw_tasks);
+  EXPECT_EQ(a.hw_tasks, b.hw_tasks);
+  EXPECT_EQ(a.clbs_loaded, b.clbs_loaded);
+  EXPECT_EQ(a.max_context_clbs, b.max_context_clbs);
+}
+
+/// Drive a full-evaluation problem and an incremental one in lockstep
+/// through `moves` random proposals with shared acceptance coins, asserting
+/// bit-identical behavior throughout. Returns the number of evaluated
+/// proposals.
+int drive_lockstep(DseProblem& full, DseProblem& inc, std::uint64_t seed,
+                   int moves) {
+  Rng r_full(seed);
+  Rng r_inc(seed);
+  Rng coin(seed ^ 0xC01Eu);
+  int evaluated = 0;
+  EXPECT_EQ(full.cost(), inc.cost());
+  for (int i = 0; i < moves; ++i) {
+    const bool a = full.propose(r_full);
+    const bool b = inc.propose(r_inc);
+    // Identical accept/reject sequence requires identical proposal
+    // feasibility first (same draw, same cycle verdict).
+    EXPECT_EQ(a, b) << "divergence at move " << i;
+    if (a != b) return evaluated;
+    if (!a) continue;
+    ++evaluated;
+    // Bit-identical candidate cost => identical Metropolis decisions.
+    EXPECT_EQ(full.candidate_cost(), inc.candidate_cost())
+        << "cost divergence at move " << i;
+    const bool take = coin.bernoulli(0.5) ||
+                      inc.candidate_cost() <= inc.cost();
+    if (take) {
+      full.accept();
+      inc.accept();
+    } else {
+      full.reject();
+      inc.reject();
+    }
+    EXPECT_EQ(full.cost(), inc.cost());
+  }
+  EXPECT_EQ(full.cost(), inc.cost());
+  EXPECT_TRUE(full.current_solution() == inc.current_solution());
+  expect_metrics_equal(full.current_metrics(), inc.current_metrics());
+  return evaluated;
+}
+
+TEST(IncrementalVsFullEval, BitIdenticalOn100RandomGraphs) {
+  int instances = 0;
+  std::int64_t evaluated = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const std::size_t n = 8 + (seed % 7) * 4;  // 8..32 tasks
+    const Application app = make_app(seed * 991 + 7, n);
+    Architecture arch = make_cpu_fpga_architecture(
+        500 + static_cast<std::int32_t>(seed % 4) * 300, from_us(15.0),
+        20'000'000);
+    Rng init(seed * 13 + 5);
+    Solution initial =
+        Solution::random_partition(app.graph, arch, 0, 1, init);
+
+    MoveConfig mc;
+    if (seed % 3 == 0) mc.p_zero = 0.05;  // exercise m3/m4 architecture moves
+    DseProblem full(app.graph, arch, initial, mc, {}, false,
+                    /*full_eval=*/true);
+    DseProblem inc(app.graph, arch, initial, mc, {}, false,
+                   /*full_eval=*/false);
+    evaluated += drive_lockstep(full, inc, seed * 7919 + 3, 250);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "instance seed " << seed;
+    }
+    ++instances;
+
+    // The delta path must actually be incremental, not a full relax in
+    // disguise: on average well under half the graph is re-relaxed.
+    const auto stats = inc.incremental_stats();
+    ASSERT_TRUE(stats.has_value());
+    if (stats->relax.probes > 50) {
+      EXPECT_LT(stats->relax.relaxed_nodes, stats->relax.total_nodes);
+    }
+  }
+  EXPECT_EQ(instances, 100);
+  EXPECT_GT(evaluated, 5'000);  // the suite exercised real move churn
+}
+
+TEST(IncrementalVsFullEval, ResyncAfterResetState) {
+  for (std::uint64_t seed = 201; seed <= 210; ++seed) {
+    const Application app = make_app(seed, 20);
+    Architecture arch =
+        make_cpu_fpga_architecture(700, from_us(12.0), 10'000'000);
+    Rng init(seed);
+    Solution initial =
+        Solution::random_partition(app.graph, arch, 0, 1, init);
+    DseProblem full(app.graph, arch, initial, {}, {}, false, true);
+    DseProblem inc(app.graph, arch, initial, {}, {}, false, false);
+    drive_lockstep(full, inc, seed * 31, 120);
+    ASSERT_FALSE(::testing::Test::HasFailure()) << "seed " << seed;
+
+    // Replica exchange: inject a fresh state into both and keep going —
+    // the incremental evaluator must resynchronize.
+    Rng reroll(seed + 4096);
+    Solution injected =
+        Solution::random_partition(app.graph, arch, 0, 1, reroll);
+    full.reset_state(arch, injected);
+    inc.reset_state(arch, injected);
+    EXPECT_EQ(full.cost(), inc.cost());
+    drive_lockstep(full, inc, seed * 77 + 1, 120);
+    ASSERT_FALSE(::testing::Test::HasFailure()) << "seed " << seed;
+  }
+}
+
+TEST(IncrementalVsFullEval, ExplorerFlagMatchesDefaultRun) {
+  const Application app = make_app(909, 22);
+  Architecture arch =
+      make_cpu_fpga_architecture(800, from_us(15.0), 20'000'000);
+  Explorer explorer(app.graph, arch);
+  ExplorerConfig config;
+  config.seed = 42;
+  config.iterations = 2'000;
+  config.warmup_iterations = 300;
+  config.record_trace = false;
+
+  ExplorerConfig reference = config;
+  reference.full_eval = true;
+
+  const RunResult fast = explorer.run(config);
+  const RunResult slow = explorer.run(reference);
+  expect_metrics_equal(fast.best_metrics, slow.best_metrics);
+  EXPECT_EQ(fast.anneal.accepted, slow.anneal.accepted);
+  EXPECT_EQ(fast.anneal.rejected, slow.anneal.rejected);
+  EXPECT_EQ(fast.anneal.infeasible, slow.anneal.infeasible);
+  EXPECT_EQ(fast.anneal.best_cost, slow.anneal.best_cost);
+  EXPECT_TRUE(fast.best_solution == slow.best_solution);
+}
+
 TEST(DotExport, PlainGraphAndStyles) {
   Digraph g(3);
   g.add_edge(0, 1);

@@ -237,5 +237,127 @@ TEST(Incremental, MatchesEvaluatorOnRandomTaskGraphs) {
   EXPECT_EQ(cases, kCases);
 }
 
+// ---- DeltaRelaxer ----------------------------------------------------------
+
+TEST(DeltaRelaxer, ProbeMatchesFullRelaxAndCommitAdvances) {
+  Rng rng(17);
+  Mirror m;
+  m.graph = random_order_dag(30, 0.15, rng);
+  m.node_weight.resize(30);
+  for (auto& w : m.node_weight) w = rng.uniform_int(1, 100);
+  m.edge_weight.assign(m.graph.edge_capacity(), 0);
+  for (auto& w : m.edge_weight) w = rng.uniform_int(0, 25);
+  m.release.assign(30, 0);
+
+  DeltaRelaxer relaxer;
+  relaxer.reset(
+      WeightedDag{&m.graph, m.node_weight, m.edge_weight, m.release});
+  EXPECT_EQ(relaxer.makespan(), m.full_makespan());
+
+  for (int step = 0; step < 300; ++step) {
+    // Candidate = committed snapshot with a random local edit; the edit
+    // kind determines the seed set and inserted-edge list, as in the
+    // surgery performed by IncrementalEvaluator.
+    Mirror cand = m;
+    std::vector<NodeId> seeds;
+    std::vector<EdgeId> new_edges;
+    const double dice = rng.uniform01();
+    if (dice < 0.3) {
+      const NodeId v = static_cast<NodeId>(rng.index(30));
+      cand.node_weight[v] = rng.uniform_int(1, 100);
+      seeds.push_back(v);
+    } else if (dice < 0.45) {
+      const NodeId v = static_cast<NodeId>(rng.index(30));
+      cand.release[v] = rng.uniform_int(0, 150);
+      seeds.push_back(v);
+    } else if (dice < 0.6) {  // re-weigh a live edge
+      std::vector<EdgeId> live;
+      for (EdgeId e = 0; e < cand.graph.edge_capacity(); ++e) {
+        if (cand.graph.edge_alive(e)) live.push_back(e);
+      }
+      if (live.empty()) continue;
+      const EdgeId e = live[rng.index(live.size())];
+      cand.edge_weight[e] = rng.uniform_int(0, 25);
+      seeds.push_back(cand.graph.edge(e).dst);
+    } else if (dice < 0.8) {  // insert an edge (may create a cycle)
+      const NodeId u = static_cast<NodeId>(rng.index(30));
+      const NodeId v = static_cast<NodeId>(rng.index(30));
+      if (u == v) continue;
+      const EdgeId id = cand.graph.add_edge(u, v);
+      if (id >= cand.edge_weight.size()) cand.edge_weight.resize(id + 1, 0);
+      cand.edge_weight[id] = rng.uniform_int(0, 25);
+      seeds.push_back(v);
+      new_edges.push_back(id);
+    } else {  // remove a random live edge
+      std::vector<EdgeId> live;
+      for (EdgeId e = 0; e < cand.graph.edge_capacity(); ++e) {
+        if (cand.graph.edge_alive(e)) live.push_back(e);
+      }
+      if (live.empty()) continue;
+      const EdgeId e = live[rng.index(live.size())];
+      seeds.push_back(cand.graph.edge(e).dst);
+      cand.graph.remove_edge(e);
+    }
+
+    const WeightedDag dag{&cand.graph, cand.node_weight, cand.edge_weight,
+                          cand.release};
+    const auto probed = relaxer.probe(dag, seeds, new_edges);
+    if (!is_acyclic(cand.graph)) {
+      EXPECT_FALSE(probed.has_value()) << "step " << step;
+      continue;
+    }
+    ASSERT_TRUE(probed.has_value()) << "step " << step;
+    EXPECT_EQ(*probed, cand.full_makespan()) << "step " << step;
+
+    // A rejected probe must leave the committed state intact; an accepted
+    // one must advance it. Alternate to exercise both.
+    if (step % 2 == 0) {
+      EXPECT_EQ(relaxer.makespan(), m.full_makespan());
+    } else {
+      relaxer.commit();
+      m = cand;
+      EXPECT_EQ(relaxer.makespan(), m.full_makespan());
+      const auto full = longest_path(dag);
+      for (NodeId v = 0; v < 30; ++v) {
+        ASSERT_EQ(relaxer.start_of(v), full.start[v]);
+        ASSERT_EQ(relaxer.finish_of(v), full.finish[v]);
+      }
+    }
+  }
+  const DeltaRelaxStats& stats = relaxer.stats();
+  EXPECT_GT(stats.probes, 200);
+  EXPECT_GT(stats.commits, 80);
+  // Local edits must not trigger whole-graph relaxation.
+  EXPECT_LT(stats.relaxed_nodes, stats.total_nodes / 2);
+}
+
+TEST(DeltaRelaxer, NoSeedsRelaxesNothing) {
+  Rng rng(23);
+  Mirror m;
+  m.graph = random_order_dag(20, 0.2, rng);
+  m.node_weight.assign(20, 3);
+  m.edge_weight.assign(m.graph.edge_capacity(), 1);
+  m.release.assign(20, 0);
+  DeltaRelaxer relaxer;
+  relaxer.reset(
+      WeightedDag{&m.graph, m.node_weight, m.edge_weight, m.release});
+  const auto probed = relaxer.probe(
+      WeightedDag{&m.graph, m.node_weight, m.edge_weight, m.release}, {},
+      {});
+  ASSERT_TRUE(probed.has_value());
+  EXPECT_EQ(*probed, relaxer.makespan());
+  EXPECT_EQ(relaxer.last_relaxed(), 0u);
+}
+
+TEST(DeltaRelaxer, CommitWithoutProbeThrows) {
+  Digraph g = chain_graph(3);
+  std::vector<TimeNs> nw{1, 1, 1};
+  std::vector<TimeNs> ew(g.edge_capacity(), 0);
+  std::vector<TimeNs> rel(3, 0);
+  DeltaRelaxer relaxer;
+  relaxer.reset(WeightedDag{&g, nw, ew, rel});
+  EXPECT_THROW(relaxer.commit(), Error);
+}
+
 }  // namespace
 }  // namespace rdse

@@ -4,10 +4,12 @@
 /// (environment / command line) and uniform headers.
 ///
 /// Knobs (command line beats environment):
-///   --runs  / RDSE_RUNS   repetitions per sweep point (paper: 100)
-///   --iters / RDSE_ITERS  cooling iterations per exploration
-///   --full  / RDSE_FULL   paper-scale settings (runs=100)
-///   --seed  / RDSE_SEED   base seed
+///   --runs    / RDSE_RUNS     repetitions per sweep point (paper: 100)
+///   --iters   / RDSE_ITERS    cooling iterations per exploration
+///   --full    / RDSE_FULL     paper-scale settings (runs=100)
+///   --seed    / RDSE_SEED     base seed
+///   --threads / RDSE_THREADS  sweep worker threads (0 = hardware; results
+///                             are identical for any value)
 
 #include <cstdint>
 #include <iostream>
@@ -22,6 +24,7 @@ struct Scale {
   std::int64_t iters = 15'000;
   std::int64_t warmup = 1'200;
   std::uint64_t seed = 1;
+  unsigned threads = 0;
   bool full = false;
 };
 
@@ -35,6 +38,8 @@ inline Scale parse_scale(int argc, char** argv, int default_runs = 20,
   s.iters = opts.get_int("iters", default_iters, "RDSE_ITERS");
   s.warmup = opts.get_int("warmup", 1'200);
   s.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1, "RDSE_SEED"));
+  s.threads =
+      static_cast<unsigned>(opts.get_int("threads", 0, "RDSE_THREADS"));
   return s;
 }
 

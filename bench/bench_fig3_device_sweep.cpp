@@ -3,6 +3,11 @@
 /// times, and number of contexts vs. FPGA size" (sizes 100..10000 CLBs,
 /// averaged over repeated runs; the paper averages 100 runs per point).
 ///
+/// The whole grid — every (size, run) pair — is sharded over the
+/// SweepEngine's worker pool; per-point statistics are bit-identical to the
+/// serial loop for any --threads value, so the paper numbers do not depend
+/// on the machine running the bench.
+///
 /// Shape anchors from §5: execution time drops quickly once a context can
 /// hold more than one task, reaches its minimum at a moderate size (~800
 /// CLBs in the paper), then grows slowly to a plateau once every hardware
@@ -11,7 +16,8 @@
 /// size compensate, total reconfiguration time stays roughly constant.
 
 #include "bench_common.hpp"
-#include "core/explorer.hpp"
+#include "core/report.hpp"
+#include "core/sweep_engine.hpp"
 #include "model/motion_detection.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/table.hpp"
@@ -26,28 +32,32 @@ int main(int argc, char** argv) {
   const std::int32_t sizes[] = {100,  200,  400,  600,  800,  1000, 1500,
                                 2000, 3000, 4000, 5000, 7000, 10000};
 
+  ExplorerConfig config;
+  config.seed = scale.seed;
+  config.iterations = scale.iters;
+  config.warmup_iterations = scale.warmup;
+  config.record_trace = false;
+
+  const SweepSpec spec =
+      device_size_sweep(sizes, kMotionDetectionTrPerClb,
+                        kMotionDetectionBusRate, config, scale.runs,
+                        app.deadline);
+  const SweepEngine engine(scale.threads);
+  const SweepResult sweep = engine.run(app.graph, spec);
+
   Table table({"CLBs", "exec ms", "sd", "init rcf ms", "dyn rcf ms",
                "total rcf ms", "contexts", "hw tasks", "hit 40ms"});
-  Series exec{"execution time (ms)", {}, {}, '*'};
+  Series contexts{"number of contexts", {}, {}, 'o'};
   Series init_rcf{"initial reconfiguration (ms)", {}, {}, 'i'};
   Series dyn_rcf{"dynamic reconfiguration (ms)", {}, {}, 'd'};
-  Series contexts{"number of contexts", {}, {}, 'o'};
 
   std::int32_t best_size = -1;
   double best_ms = 1e100;
   std::int32_t smallest_meeting = -1;
 
-  for (const std::int32_t clbs : sizes) {
-    Architecture arch = make_cpu_fpga_architecture(
-        clbs, kMotionDetectionTrPerClb, kMotionDetectionBusRate);
-    Explorer explorer(app.graph, arch);
-    ExplorerConfig config;
-    config.seed = scale.seed;
-    config.iterations = scale.iters;
-    config.warmup_iterations = scale.warmup;
-    config.record_trace = false;
-    const auto results = explorer.run_many(config, scale.runs);
-    const RunAggregate agg = Explorer::aggregate(results, app.deadline);
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    const std::int32_t clbs = sizes[i];
+    const RunAggregate& agg = sweep.points[i].aggregate;
 
     table.row()
         .cell(static_cast<std::int64_t>(clbs))
@@ -61,8 +71,6 @@ int main(int argc, char** argv) {
         .cell(agg.deadline_hit_rate, 2);
 
     const auto x = static_cast<double>(clbs);
-    exec.x.push_back(x);
-    exec.y.push_back(agg.mean_makespan_ms);
     init_rcf.x.push_back(x);
     init_rcf.y.push_back(agg.mean_init_reconfig_ms);
     dyn_rcf.x.push_back(x);
@@ -80,12 +88,12 @@ int main(int argc, char** argv) {
   }
 
   table.print(std::cout, "EXP-F3 sweep (mean over " +
-                             std::to_string(scale.runs) + " runs per size)");
-  std::cout << '\n'
-            << render_plot({exec, init_rcf, dyn_rcf, contexts},
-                           PlotOptions{72, 18, "FPGA size (CLBs)",
-                                       "Fig. 3 — averages vs device size",
-                                       true});
+                             std::to_string(scale.runs) +
+                             " runs per size, " +
+                             std::to_string(sweep.threads_used) +
+                             " threads, " +
+                             format_double(sweep.wall_seconds, 1) + " s)");
+  std::cout << '\n' << plot_sweep(sweep);
 
   Table anchors({"shape anchor", "paper", "measured"});
   anchors.row()

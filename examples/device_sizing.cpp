@@ -2,51 +2,49 @@
 /// \brief The Fig. 3 "byproduct" study as a designer-facing tool: find the
 /// smallest FPGA for which the application's real-time constraint is met.
 ///
-/// Sweeps device sizes, runs a few explorations per size and reports the
-/// average/best achieved execution time and the constraint hit rate.
+/// Builds the device-size axis as a SweepSpec and shards every (size, run)
+/// pair over the SweepEngine's worker pool — results are bit-identical to
+/// the serial loop this example used to be, for any --threads value.
 ///
-/// Usage: device_sizing [--runs N] [--iters N]
+/// Usage: device_sizing [--runs N] [--iters N] [--threads N]
 
 #include <iostream>
 
-#include "core/explorer.hpp"
+#include "core/report.hpp"
+#include "core/sweep_engine.hpp"
 #include "model/motion_detection.hpp"
 #include "util/cli.hpp"
-#include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace rdse;
   const Options opts = Options::parse(argc, argv);
   const int runs = static_cast<int>(opts.get_int("runs", 5));
   const std::int64_t iters = opts.get_int("iters", 8'000);
+  const auto threads = static_cast<unsigned>(opts.get_int("threads", 0));
 
   const Application app = make_motion_detection_app();
   const std::int32_t sizes[] = {200, 400, 600, 800, 1200, 2000, 4000};
 
-  Table table({"CLBs", "mean ms", "best ms", "contexts", "hit rate"});
+  ExplorerConfig config;
+  config.seed = 1;
+  config.iterations = iters;
+  config.record_trace = false;
+
+  const SweepSpec spec =
+      device_size_sweep(sizes, kMotionDetectionTrPerClb,
+                        kMotionDetectionBusRate, config, runs, app.deadline);
+  const SweepEngine engine(threads);
+  const SweepResult result = engine.run(app.graph, spec);
+
+  std::cout << describe_sweep(result);
+
   std::int32_t smallest_ok = -1;
-  for (const std::int32_t clbs : sizes) {
-    Architecture arch = make_cpu_fpga_architecture(
-        clbs, kMotionDetectionTrPerClb, kMotionDetectionBusRate);
-    Explorer explorer(app.graph, arch);
-    ExplorerConfig config;
-    config.seed = 1;
-    config.iterations = iters;
-    config.record_trace = false;
-    const auto results = explorer.run_many(config, runs);
-    const RunAggregate agg = Explorer::aggregate(results, app.deadline);
-    table.row()
-        .cell(static_cast<std::int64_t>(clbs))
-        .cell(agg.mean_makespan_ms, 2)
-        .cell(agg.best_makespan_ms, 2)
-        .cell(agg.mean_contexts, 1)
-        .cell(agg.deadline_hit_rate, 2);
-    if (smallest_ok < 0 && agg.deadline_hit_rate >= 0.99) {
-      smallest_ok = clbs;
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    if (result.points[i].aggregate.deadline_hit_rate >= 0.99) {
+      smallest_ok = sizes[i];
+      break;
     }
   }
-  table.print(std::cout, "device sizing for " + app.name + " (deadline " +
-                             format_ms(app.deadline) + ")");
   if (smallest_ok > 0) {
     std::cout << "\nsmallest device meeting the constraint in every run: "
               << smallest_ok << " CLBs\n";

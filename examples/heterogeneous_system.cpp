@@ -6,12 +6,16 @@
 /// moves) generalize to arbitrary resource mixes, the point of the
 /// object-oriented Resource design the paper emphasizes.
 ///
-/// Usage: heterogeneous_system [--seed N] [--iters N]
+/// The three candidate systems form a SweepSpec with one architecture per
+/// point (each carrying its own init policy), explored in parallel by the
+/// SweepEngine.
+///
+/// Usage: heterogeneous_system [--seed N] [--iters N] [--threads N]
 
 #include <iostream>
 
-#include "core/explorer.hpp"
 #include "core/report.hpp"
+#include "core/sweep_engine.hpp"
 #include "model/motion_detection.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -21,54 +25,61 @@ int main(int argc, char** argv) {
   const Options opts = Options::parse(argc, argv);
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 5));
   const std::int64_t iters = opts.get_int("iters", 15'000);
+  const auto threads = static_cast<unsigned>(opts.get_int("threads", 0));
 
   const Application app = make_motion_detection_app();
 
-  struct SystemSpec {
-    const char* name;
-    Architecture arch;
-  };
-  std::vector<SystemSpec> systems;
+  ExplorerConfig config;
+  config.seed = seed;
+  config.iterations = iters;
+  config.warmup_iterations = 1'000;
+  config.record_trace = false;
 
-  systems.push_back({"reference: 1 CPU + 2000-CLB FPGA",
-                     make_cpu_fpga_architecture(2000, kMotionDetectionTrPerClb,
-                                                kMotionDetectionBusRate)});
+  SweepSpec spec;
+  spec.name = "heterogeneous-systems";
+  spec.axis_label = "system (index)";
+  spec.runs_per_point = 1;
+  spec.deadline = app.deadline;
+
+  spec.points.emplace_back(
+      "reference: 1 CPU + 2000-CLB FPGA", 0.0,
+      make_cpu_fpga_architecture(2000, kMotionDetectionTrPerClb,
+                                 kMotionDetectionBusRate),
+      config);
   {
     Architecture arch{Bus(kMotionDetectionBusRate)};
     arch.add_processor("cpu_fast", 150.0, /*speed_factor=*/1.5);
     arch.add_processor("cpu_slow", 60.0, /*speed_factor=*/0.7);
     arch.add_reconfigurable("fpga0", 400, kMotionDetectionTrPerClb);
     arch.add_reconfigurable("fpga1", 400, kMotionDetectionTrPerClb);
-    systems.push_back({"2 CPUs (1.5x / 0.7x) + 2 x 400-CLB FPGAs",
-                       std::move(arch)});
+    spec.points.emplace_back("2 CPUs (1.5x / 0.7x) + 2 x 400-CLB FPGAs", 1.0,
+                             std::move(arch), config);
   }
   {
     Architecture arch{Bus(kMotionDetectionBusRate)};
     arch.add_processor("cpu0");
     arch.add_asic("asic0");
-    systems.push_back({"1 CPU + ASIC (no reconfiguration)", std::move(arch)});
+    // Random-partition init requires an RC; this point overrides the init.
+    ExplorerConfig asic_config = config;
+    asic_config.init = InitKind::kAllSoftware;
+    spec.points.emplace_back("1 CPU + ASIC (no reconfiguration)", 2.0,
+                             std::move(arch), asic_config);
   }
 
+  const SweepEngine engine(threads);
+  const SweepResult result = engine.run(app.graph, spec);
+
   Table table({"system", "price", "best ms", "meets 40 ms"});
-  for (SystemSpec& spec : systems) {
-    Explorer explorer(app.graph, spec.arch);
-    ExplorerConfig config;
-    config.seed = seed;
-    config.iterations = iters;
-    config.warmup_iterations = 1'000;
-    config.record_trace = false;
-    // Random-partition init requires an RC; fall back gracefully otherwise.
-    if (spec.arch.reconfigurable_ids().empty()) {
-      config.init = InitKind::kAllSoftware;
-    }
-    const RunResult r = explorer.run(config);
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const SweepPointResult& point = result.points[i];
+    const RunResult& r = point.runs.front();
     table.row()
-        .cell(std::string(spec.name))
-        .cell(spec.arch.total_price(), 0)
+        .cell(std::string(point.label))
+        .cell(spec.points[i].arch.total_price(), 0)
         .cell(to_ms(r.best_metrics.makespan), 2)
         .cell(std::string(r.best_metrics.makespan <= app.deadline ? "yes"
                                                                   : "no"));
-    std::cout << "\n--- " << spec.name << " ---\n"
+    std::cout << "\n--- " << point.label << " ---\n"
               << describe_metrics(r.best_metrics) << '\n'
               << describe_solution(app.graph, r.best_architecture,
                                    r.best_solution);

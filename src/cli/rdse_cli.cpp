@@ -1,0 +1,353 @@
+#include "cli/rdse_cli.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/sweep_engine.hpp"
+#include "model/motion_detection.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace rdse::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: rdse <command> [options]
+
+commands:
+  explore   run one exploration, or --runs N seeded runs aggregated
+  sweep     run a parallel parameter sweep and optionally emit a JSON artifact
+  report    re-render a JSON sweep artifact produced by `rdse sweep`
+  help      show this message
+
+common options:
+  --model NAME      application model (known: motion)        [motion]
+  --seed N          base RNG seed                            [1]
+  --iters N         cooling iterations per run               [15000]
+  --warmup N        infinite-temperature warm-up iterations  [1200]
+  --threads N       worker threads (0 = hardware)            [0]
+  --quiet           suppress tables/plots (artifacts still written)
+
+explore options:
+  --clbs N          FPGA size in CLBs                        [2000]
+  --runs N          independent seeded runs (0 is allowed)   [1]
+  --schedule NAME   modified-lam | lam-delosme | geometric | greedy
+
+sweep options:
+  --axis NAME       device-size | schedule                   [device-size]
+  --sizes CSV       device sizes (device-size axis)          [Fig. 3 sizes]
+  --schedules CSV   schedule names (schedule axis)           [all four]
+  --clbs N          FPGA size for the schedule axis          [2000]
+  --runs N          runs per sweep point                     [5]
+  --json PATH       write the rdse.sweep.v1 artifact
+  --dry-run         plan the sweep and emit the artifact without running
+
+report options:
+  --json PATH       artifact to validate and render (or a positional path)
+
+The thread count is a throughput knob only: sweep results are bit-identical
+to the serial loops for any --threads value. Reproduce the paper's Fig. 3
+device-size study with:  rdse sweep --model motion --runs 100
+)";
+
+struct Model {
+  Application app;
+  TimeNs tr_per_clb = 0;
+  std::int64_t bus_bytes_per_second = 0;
+};
+
+Model load_model(const Options& opts) {
+  const std::string name = opts.get_string("model", "motion", "RDSE_MODEL");
+  if (name == "motion") {
+    return Model{make_motion_detection_app(), kMotionDetectionTrPerClb,
+                 kMotionDetectionBusRate};
+  }
+  throw Error("unknown model '" + name + "' (known models: motion)");
+}
+
+ScheduleKind parse_schedule(const std::string& name) {
+  for (const ScheduleKind kind :
+       {ScheduleKind::kModifiedLam, ScheduleKind::kLamDelosme,
+        ScheduleKind::kGeometric, ScheduleKind::kGreedy}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw Error("unknown schedule '" + name +
+              "' (known: modified-lam, lam-delosme, geometric, greedy)");
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(csv);
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<std::int32_t> parse_sizes(const std::string& csv) {
+  std::vector<std::int32_t> sizes;
+  for (const std::string& item : split_csv(csv)) {
+    std::int32_t value = 0;
+    const auto res =
+        std::from_chars(item.data(), item.data() + item.size(), value);
+    // Whole-token parse: "4o0" must be an error, not a 4-CLB sweep point.
+    if (res.ec != std::errc() || res.ptr != item.data() + item.size()) {
+      throw Error("option --sizes: expected integer list, got '" + item +
+                  "'");
+    }
+    sizes.push_back(value);
+  }
+  RDSE_REQUIRE(!sizes.empty(), "option --sizes: empty list");
+  return sizes;
+}
+
+/// explore/sweep take no positional operands; a stray token is usually a
+/// mistyped flag ("dry-run" for "--dry-run") and must not silently change
+/// what runs.
+void require_no_positionals(const Options& opts) {
+  RDSE_REQUIRE(opts.positional().empty(),
+               "unexpected argument '" + opts.positional().front() + "'");
+}
+
+ExplorerConfig base_config(const Options& opts, std::int64_t default_iters) {
+  ExplorerConfig config;
+  config.seed =
+      static_cast<std::uint64_t>(opts.get_int("seed", 1, "RDSE_SEED"));
+  config.iterations = opts.get_int("iters", default_iters, "RDSE_ITERS");
+  config.warmup_iterations = opts.get_int("warmup", 1'200);
+  config.record_trace = false;
+  return config;
+}
+
+void write_artifact(const std::string& path, const JsonValue& doc,
+                    std::ostream& out, bool quiet) {
+  std::ofstream file(path);
+  RDSE_REQUIRE(file.good(), "cannot open '" + path + "' for writing");
+  file << doc.dump(2);
+  RDSE_REQUIRE(file.good(), "failed writing '" + path + "'");
+  if (!quiet) out << "wrote " << path << '\n';
+}
+
+// ------------------------------------------------------------------ explore
+
+int cmd_explore(const Options& opts, std::ostream& out) {
+  static constexpr std::string_view kFlags[] = {
+      "model", "clbs", "seed", "iters", "warmup",
+      "runs",  "threads", "schedule", "quiet"};
+  opts.require_known(kFlags);
+  require_no_positionals(opts);
+
+  const Model model = load_model(opts);
+  const auto clbs = static_cast<std::int32_t>(opts.get_int("clbs", 2'000));
+  const int runs = static_cast<int>(opts.get_int("runs", 1));
+  const auto threads =
+      static_cast<unsigned>(opts.get_int("threads", 0, "RDSE_THREADS"));
+  const bool quiet = opts.get_flag("quiet");
+  RDSE_REQUIRE(runs >= 0, "option --runs: negative run count");
+
+  ExplorerConfig config = base_config(opts, 20'000);
+  config.schedule =
+      parse_schedule(opts.get_string("schedule", "modified-lam"));
+  config.record_trace = runs == 1;
+
+  const Architecture arch = make_cpu_fpga_architecture(
+      clbs, model.tr_per_clb, model.bus_bytes_per_second);
+  const Explorer explorer(model.app.graph, arch);
+
+  if (runs == 0) {
+    out << "0 runs requested — nothing to explore\n";
+    return 0;
+  }
+  if (runs == 1) {
+    const RunResult result = explorer.run(config);
+    if (!quiet) print_run_report(out, model.app.graph, result);
+    const bool met = model.app.deadline == 0 ||
+                     result.best_metrics.makespan <= model.app.deadline;
+    out << "constraint: " << format_ms(result.best_metrics.makespan)
+        << (met ? " <= " : " > ") << format_ms(model.app.deadline)
+        << (met ? "  (met)" : "  (MISSED)") << '\n';
+    return 0;
+  }
+
+  const SweepEngine engine(threads);
+  const std::vector<RunResult> results =
+      engine.run_many(explorer, config, runs);
+  const RunAggregate agg = Explorer::aggregate(results, model.app.deadline);
+  if (quiet) return 0;
+  Table table({"runs", "mean ms", "sd", "best ms", "worst ms", "contexts",
+               "hit rate"});
+  table.row()
+      .cell(static_cast<std::int64_t>(agg.runs))
+      .cell(agg.mean_makespan_ms, 2)
+      .cell(agg.stddev_makespan_ms, 2)
+      .cell(agg.best_makespan_ms, 2)
+      .cell(agg.worst_makespan_ms, 2)
+      .cell(agg.mean_contexts, 2)
+      .cell(agg.deadline_hit_rate, 2);
+  table.print(out, std::to_string(runs) + " runs of " + model.app.name +
+                       " on " + std::to_string(clbs) + " CLBs (" +
+                       std::to_string(engine.resolved_threads(
+                           static_cast<std::size_t>(runs))) +
+                       " threads)");
+  return 0;
+}
+
+// -------------------------------------------------------------------- sweep
+
+int cmd_sweep(const Options& opts, std::ostream& out) {
+  static constexpr std::string_view kFlags[] = {
+      "model", "axis", "sizes", "schedules", "clbs", "runs", "seed",
+      "iters", "warmup", "threads", "json", "dry-run", "quiet"};
+  opts.require_known(kFlags);
+  require_no_positionals(opts);
+
+  const Model model = load_model(opts);
+  const std::string axis = opts.get_string("axis", "device-size");
+  const int runs = static_cast<int>(opts.get_int("runs", 5));
+  const auto threads =
+      static_cast<unsigned>(opts.get_int("threads", 0, "RDSE_THREADS"));
+  const bool dry_run = opts.get_flag("dry-run");
+  const bool quiet = opts.get_flag("quiet");
+  const std::string json_path = opts.get_string("json", "");
+  RDSE_REQUIRE(runs >= 0, "option --runs: negative run count");
+
+  const ExplorerConfig config = base_config(opts, 15'000);
+
+  SweepSpec spec;
+  if (axis == "device-size") {
+    // The paper's Fig. 3 grid (100..10000 CLBs).
+    const std::vector<std::int32_t> sizes = parse_sizes(opts.get_string(
+        "sizes", "100,200,400,600,800,1000,1500,2000,3000,4000,5000,7000,"
+                 "10000"));
+    spec = device_size_sweep(sizes, model.tr_per_clb,
+                             model.bus_bytes_per_second, config, runs,
+                             model.app.deadline);
+  } else if (axis == "schedule") {
+    const auto clbs = static_cast<std::int32_t>(opts.get_int("clbs", 2'000));
+    std::vector<ScheduleKind> kinds;
+    for (const std::string& name : split_csv(opts.get_string(
+             "schedules", "modified-lam,lam-delosme,geometric,greedy"))) {
+      kinds.push_back(parse_schedule(name));
+    }
+    RDSE_REQUIRE(!kinds.empty(), "option --schedules: empty list");
+    spec = schedule_sweep(
+        kinds,
+        make_cpu_fpga_architecture(clbs, model.tr_per_clb,
+                                   model.bus_bytes_per_second),
+        config, runs, model.app.deadline);
+  } else {
+    throw Error("unknown sweep axis '" + axis +
+                "' (known: device-size, schedule)");
+  }
+
+  const SweepEngine engine(threads);
+  SweepSpec to_run = spec;
+  if (dry_run) to_run.runs_per_point = 0;  // plan the grid, skip the work
+  const SweepResult result = engine.run(model.app.graph, to_run);
+
+  if (!quiet) {
+    if (dry_run) {
+      Table plan({"point", "x", "planned runs", "iters", "seed"});
+      for (const SweepPoint& p : spec.points) {
+        plan.row()
+            .cell(std::string(p.label))
+            .cell(p.x, 0)
+            .cell(static_cast<std::int64_t>(spec.runs_per_point))
+            .cell(p.config.iterations)
+            .cell(static_cast<std::int64_t>(p.config.seed));
+      }
+      plan.print(out, "dry run: sweep '" + spec.name + "' over " +
+                          std::to_string(spec.points.size()) + " points");
+    } else {
+      out << describe_sweep(result);
+      const std::string plot = plot_sweep(result);
+      if (!plot.empty()) out << '\n' << plot;
+    }
+  }
+
+  if (!json_path.empty()) {
+    JsonValue doc = sweep_to_json(result);
+    doc.set("model", model.app.name);
+    doc.set("dry_run", dry_run);
+    if (dry_run) {
+      doc.set("planned_runs_per_point",
+              static_cast<std::int64_t>(spec.runs_per_point));
+    }
+    write_artifact(json_path, doc, out, quiet);
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------- report
+
+int cmd_report(const Options& opts, std::ostream& out, std::ostream& err) {
+  static constexpr std::string_view kFlags[] = {"json", "quiet"};
+  opts.require_known(kFlags);
+
+  std::string path = opts.get_string("json", "");
+  if (path.empty() && !opts.positional().empty()) {
+    path = opts.positional().front();
+  }
+  RDSE_REQUIRE(!path.empty(), "report: pass the artifact via --json PATH");
+
+  std::ifstream file(path);
+  RDSE_REQUIRE(file.good(), "cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+
+  const JsonValue artifact = JsonValue::parse(buffer.str());
+  const std::vector<std::string> errors = validate_sweep_json(artifact);
+  if (!errors.empty()) {
+    for (const std::string& e : errors) {
+      err << "rdse report: " << path << ": " << e << '\n';
+    }
+    return 1;
+  }
+  if (const JsonValue* dry = artifact.find("dry_run");
+      dry != nullptr && dry->kind() == JsonValue::Kind::kBool &&
+      dry->as_bool()) {
+    out << "(dry-run artifact: planned grid only, no measurements)\n";
+  }
+  out << render_sweep_artifact(artifact);
+  return 0;
+}
+
+}  // namespace
+
+int run(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err) {
+  if (argc < 2) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    out << kUsage;
+    return 0;
+  }
+  try {
+    // argv[1] (the subcommand) takes the program-name slot, so option
+    // parsing starts at argv[2]. Boolean flags are declared so they never
+    // swallow a following positional ("rdse report --quiet art.json").
+    static constexpr std::string_view kBoolFlags[] = {"quiet", "dry-run"};
+    const Options opts = Options::parse(argc - 1, argv + 1, kBoolFlags);
+    if (command == "explore") return cmd_explore(opts, out);
+    if (command == "sweep") return cmd_sweep(opts, out);
+    if (command == "report") return cmd_report(opts, out, err);
+  } catch (const Error& e) {
+    err << "rdse " << command << ": " << e.what() << '\n';
+    return 1;
+  }
+  err << "rdse: unknown command '" << command << "'\n\n" << kUsage;
+  return 2;
+}
+
+}  // namespace rdse::cli

@@ -1,0 +1,27 @@
+#pragma once
+/// \file rdse_cli.hpp
+/// \brief The `rdse` command-line front-end, as a library entry point.
+///
+/// The binary in tools/rdse.cpp is a two-line wrapper around run() so the
+/// whole front-end — subcommand dispatch, flag validation, report and
+/// artifact emission — is unit-testable in process, with the output streams
+/// injected. Subcommands:
+///
+///   rdse explore  one exploration (or an aggregated repeated-run batch)
+///   rdse sweep    a parallel parameter sweep (device sizes or schedules),
+///                 optionally emitting a rdse.sweep.v1 JSON artifact
+///   rdse report   re-render a sweep artifact produced by `rdse sweep`
+///
+/// Exit codes: 0 success, 1 runtime/validation error, 2 usage error.
+
+#include <iosfwd>
+
+namespace rdse::cli {
+
+/// Run the `rdse` front-end. `argv[0]` is the program name, `argv[1]` the
+/// subcommand. Never throws: errors are printed to `err` and encoded in the
+/// exit status.
+int run(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace rdse::cli

@@ -79,7 +79,7 @@ RunResult Explorer::run(const ExplorerConfig& config) const {
 
 std::vector<RunResult> Explorer::run_many(const ExplorerConfig& config,
                                           int n) const {
-  RDSE_REQUIRE(n >= 1, "run_many: need at least one run");
+  RDSE_REQUIRE(n >= 0, "run_many: negative run count");
   std::vector<RunResult> out;
   out.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {

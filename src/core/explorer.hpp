@@ -75,10 +75,17 @@ class Explorer {
   [[nodiscard]] RunResult run(const ExplorerConfig& config) const;
 
   /// Run `n` explorations with seeds config.seed, config.seed+1, ...
+  ///
+  /// Contract: `n` == 0 is valid and returns an empty vector (so front-ends
+  /// can pass user-supplied run counts straight through); `n` < 0 throws
+  /// Error. This is the serial reference path — SweepEngine::run_many
+  /// shards the same runs over a thread pool and is bit-identical to this
+  /// loop in every field except wall-clock times.
   [[nodiscard]] std::vector<RunResult> run_many(const ExplorerConfig& config,
                                                 int n) const;
 
   /// Aggregate repeated-run statistics (deadline from `deadline`, 0 = none).
+  /// Requires at least one result.
   [[nodiscard]] static RunAggregate aggregate(
       const std::vector<RunResult>& results, TimeNs deadline);
 

@@ -1,8 +1,11 @@
 #include "core/report.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 
+#include "util/ascii_plot.hpp"
 #include "util/table.hpp"
 
 namespace rdse {
@@ -144,6 +147,210 @@ void print_parallel_report(std::ostream& os, const TaskGraph& tg,
   os << table.to_text() << '\n';
 
   print_run_report(os, tg, result.best);
+}
+
+// ----------------------------------------------------------------- sweeps
+
+std::string describe_sweep(const SweepResult& sweep) {
+  Table table({"point", "x", "runs", "mean ms", "sd", "best ms", "worst ms",
+               "init rcf ms", "dyn rcf ms", "contexts", "hw tasks",
+               "hit rate"});
+  for (const SweepPointResult& p : sweep.points) {
+    const RunAggregate& a = p.aggregate;
+    table.row()
+        .cell(std::string(p.label))
+        .cell(p.x, 0)
+        .cell(static_cast<std::int64_t>(a.runs))
+        .cell(a.mean_makespan_ms, 2)
+        .cell(a.stddev_makespan_ms, 2)
+        .cell(a.best_makespan_ms, 2)
+        .cell(a.worst_makespan_ms, 2)
+        .cell(a.mean_init_reconfig_ms, 2)
+        .cell(a.mean_dyn_reconfig_ms, 2)
+        .cell(a.mean_contexts, 2)
+        .cell(a.mean_hw_tasks, 1)
+        .cell(a.deadline_hit_rate, 2);
+  }
+  std::ostringstream os;
+  std::string title = "sweep '" + sweep.name + "'";
+  if (sweep.deadline > 0) {
+    title += " (deadline " + format_ms(sweep.deadline) + ")";
+  }
+  table.print(os, title);
+  return os.str();
+}
+
+std::string plot_sweep(const SweepResult& sweep) {
+  Series exec{"mean execution time (ms)", {}, {}, '*'};
+  Series init_rcf{"initial reconfiguration (ms)", {}, {}, 'i'};
+  Series dyn_rcf{"dynamic reconfiguration (ms)", {}, {}, 'd'};
+  Series contexts{"number of contexts", {}, {}, 'o'};
+  for (const SweepPointResult& p : sweep.points) {
+    if (p.aggregate.runs <= 0) continue;
+    exec.x.push_back(p.x);
+    exec.y.push_back(p.aggregate.mean_makespan_ms);
+    init_rcf.x.push_back(p.x);
+    init_rcf.y.push_back(p.aggregate.mean_init_reconfig_ms);
+    dyn_rcf.x.push_back(p.x);
+    dyn_rcf.y.push_back(p.aggregate.mean_dyn_reconfig_ms);
+    contexts.x.push_back(p.x);
+    contexts.y.push_back(p.aggregate.mean_contexts);
+  }
+  if (exec.x.size() < 2) return "";
+  const std::string title = "sweep '" + sweep.name + "' — means per point";
+  return render_plot({exec, init_rcf, dyn_rcf, contexts},
+                     PlotOptions{72, 18, sweep.axis_label, title, true});
+}
+
+JsonValue sweep_to_json(const SweepResult& sweep) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "rdse.sweep.v1");
+  doc.set("name", sweep.name);
+  doc.set("axis_label", sweep.axis_label);
+  doc.set("deadline_ms", to_ms(sweep.deadline));
+  doc.set("threads", static_cast<std::int64_t>(sweep.threads_used));
+  doc.set("wall_seconds", sweep.wall_seconds);
+  JsonValue points = JsonValue::array();
+  for (const SweepPointResult& p : sweep.points) {
+    const RunAggregate& a = p.aggregate;
+    JsonValue point = JsonValue::object();
+    point.set("label", p.label);
+    point.set("x", p.x);
+    point.set("runs", static_cast<std::int64_t>(p.runs.size()));
+    point.set("mean_makespan_ms", a.mean_makespan_ms);
+    point.set("stddev_makespan_ms", a.stddev_makespan_ms);
+    point.set("best_makespan_ms", a.best_makespan_ms);
+    point.set("worst_makespan_ms", a.worst_makespan_ms);
+    point.set("mean_init_reconfig_ms", a.mean_init_reconfig_ms);
+    point.set("mean_dyn_reconfig_ms", a.mean_dyn_reconfig_ms);
+    point.set("mean_contexts", a.mean_contexts);
+    point.set("mean_hw_tasks", a.mean_hw_tasks);
+    point.set("mean_wall_seconds", a.mean_wall_seconds);
+    point.set("deadline_hit_rate", a.deadline_hit_rate);
+    points.push_back(std::move(point));
+  }
+  doc.set("points", std::move(points));
+  return doc;
+}
+
+std::vector<std::string> validate_sweep_json(const JsonValue& artifact) {
+  std::vector<std::string> errors;
+  const auto check = [&errors](bool ok, const std::string& what) {
+    if (!ok) errors.push_back(what);
+    return ok;
+  };
+
+  if (!check(artifact.kind() == JsonValue::Kind::kObject,
+             "artifact is not a JSON object")) {
+    return errors;
+  }
+  const JsonValue* schema = artifact.find("schema");
+  check(schema != nullptr &&
+            schema->kind() == JsonValue::Kind::kString &&
+            schema->as_string() == "rdse.sweep.v1",
+        "missing or unsupported 'schema' (want \"rdse.sweep.v1\")");
+
+  const auto string_field = [&](const char* key) {
+    const JsonValue* v = artifact.find(key);
+    check(v != nullptr && v->kind() == JsonValue::Kind::kString,
+          std::string("missing string field '") + key + "'");
+  };
+  const auto number_field = [&](const JsonValue& obj, const char* key,
+                                const std::string& where) {
+    const JsonValue* v = obj.find(key);
+    check(v != nullptr && v->kind() == JsonValue::Kind::kNumber,
+          where + ": missing number field '" + key + "'");
+  };
+  string_field("name");
+  string_field("axis_label");
+  number_field(artifact, "deadline_ms", "artifact");
+  number_field(artifact, "threads", "artifact");
+
+  const JsonValue* points = artifact.find("points");
+  if (!check(points != nullptr &&
+                 points->kind() == JsonValue::Kind::kArray,
+             "missing array field 'points'")) {
+    return errors;
+  }
+  static constexpr const char* kPointNumbers[] = {
+      "x",
+      "runs",
+      "mean_makespan_ms",
+      "stddev_makespan_ms",
+      "best_makespan_ms",
+      "worst_makespan_ms",
+      "mean_init_reconfig_ms",
+      "mean_dyn_reconfig_ms",
+      "mean_contexts",
+      "mean_hw_tasks",
+      "deadline_hit_rate",
+  };
+  for (std::size_t i = 0; i < points->items().size(); ++i) {
+    const JsonValue& point = points->items()[i];
+    const std::string where = "points[" + std::to_string(i) + "]";
+    if (!check(point.kind() == JsonValue::Kind::kObject,
+               where + " is not an object")) {
+      continue;
+    }
+    const JsonValue* label = point.find("label");
+    check(label != nullptr && label->kind() == JsonValue::Kind::kString,
+          where + ": missing string field 'label'");
+    for (const char* key : kPointNumbers) {
+      number_field(point, key, where);
+    }
+    if (const JsonValue* runs = point.find("runs");
+        runs != nullptr && runs->kind() == JsonValue::Kind::kNumber) {
+      const double r = runs->as_number();
+      check(r >= 0.0 && r <= 1e9 && r == std::floor(r),
+            where + ": 'runs' must be an integer in [0, 1e9]");
+    }
+  }
+  return errors;
+}
+
+std::string render_sweep_artifact(const JsonValue& artifact) {
+  // Rebuild a SweepResult skeleton from the aggregate fields (per-run data
+  // is not part of the artifact) and reuse the normal renderers.
+  SweepResult sweep;
+  sweep.name = artifact.at("name").as_string();
+  sweep.axis_label = artifact.at("axis_label").as_string();
+  sweep.deadline = from_ms(artifact.at("deadline_ms").as_number());
+  sweep.threads_used =
+      static_cast<unsigned>(artifact.at("threads").as_int());
+  if (const JsonValue* wall = artifact.find("wall_seconds");
+      wall != nullptr && wall->kind() == JsonValue::Kind::kNumber) {
+    sweep.wall_seconds = wall->as_number();
+  }
+  for (const JsonValue& point : artifact.at("points").items()) {
+    SweepPointResult p;
+    p.label = point.at("label").as_string();
+    p.x = point.at("x").as_number();
+    p.aggregate.runs = static_cast<int>(
+        std::clamp<std::int64_t>(point.at("runs").as_int(), 0,
+                                 1'000'000'000));
+    p.aggregate.mean_makespan_ms = point.at("mean_makespan_ms").as_number();
+    p.aggregate.stddev_makespan_ms =
+        point.at("stddev_makespan_ms").as_number();
+    p.aggregate.best_makespan_ms = point.at("best_makespan_ms").as_number();
+    p.aggregate.worst_makespan_ms =
+        point.at("worst_makespan_ms").as_number();
+    p.aggregate.mean_init_reconfig_ms =
+        point.at("mean_init_reconfig_ms").as_number();
+    p.aggregate.mean_dyn_reconfig_ms =
+        point.at("mean_dyn_reconfig_ms").as_number();
+    p.aggregate.mean_contexts = point.at("mean_contexts").as_number();
+    p.aggregate.mean_hw_tasks = point.at("mean_hw_tasks").as_number();
+    p.aggregate.deadline_hit_rate =
+        point.at("deadline_hit_rate").as_number();
+    sweep.points.push_back(std::move(p));
+  }
+  std::string out = describe_sweep(sweep);
+  const std::string plot = plot_sweep(sweep);
+  if (!plot.empty()) {
+    out += '\n';
+    out += plot;
+  }
+  return out;
 }
 
 }  // namespace rdse

@@ -5,10 +5,13 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/explorer.hpp"
 #include "core/parallel_explorer.hpp"
+#include "core/sweep_engine.hpp"
 #include "sched/timeline.hpp"
+#include "util/json.hpp"
 
 namespace rdse {
 
@@ -35,5 +38,29 @@ void print_run_report(std::ostream& os, const TaskGraph& tg,
 /// replica's full run report.
 void print_parallel_report(std::ostream& os, const TaskGraph& tg,
                            const ParallelRunResult& result);
+
+/// Aggregated sweep table: one row per grid point (mean/sd/best makespan,
+/// reconfiguration split, contexts, hit rate).
+[[nodiscard]] std::string describe_sweep(const SweepResult& sweep);
+
+/// ASCII plot of the sweep (mean makespan, reconfiguration components and
+/// context count vs the axis) — the Fig. 3 rendering. Empty string when the
+/// sweep has fewer than two aggregated points.
+[[nodiscard]] std::string plot_sweep(const SweepResult& sweep);
+
+/// Machine-readable sweep artifact (schema "rdse.sweep.v1"): sweep
+/// metadata plus one object per point carrying the full RunAggregate. The
+/// caller may attach extra top-level fields (model name, dry_run, ...)
+/// before dumping.
+[[nodiscard]] JsonValue sweep_to_json(const SweepResult& sweep);
+
+/// Check a parsed artifact against the rdse.sweep.v1 schema. Returns a
+/// human-readable message per violation; empty means valid.
+[[nodiscard]] std::vector<std::string> validate_sweep_json(
+    const JsonValue& artifact);
+
+/// Re-render a (valid) rdse.sweep.v1 artifact as the aggregate table (and
+/// plot, when it has >= 2 points with runs) — the `rdse report` view.
+[[nodiscard]] std::string render_sweep_artifact(const JsonValue& artifact);
 
 }  // namespace rdse

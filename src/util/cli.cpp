@@ -6,7 +6,8 @@
 
 namespace rdse {
 
-Options Options::parse(int argc, const char* const* argv) {
+Options Options::parse(int argc, const char* const* argv,
+                       std::span<const std::string_view> bool_flags) {
   Options opts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -20,14 +21,38 @@ Options Options::parse(int argc, const char* const* argv) {
       opts.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
       continue;
     }
-    // "--key value" when the next token is not itself an option, else a flag.
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    bool is_bool = false;
+    for (const std::string_view flag : bool_flags) {
+      if (arg == flag) {
+        is_bool = true;
+        break;
+      }
+    }
+    // "--key value" when the next token is not itself an option (and the
+    // key is not a declared boolean flag), else a flag.
+    if (!is_bool && i + 1 < argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0) {
       opts.values_[arg] = argv[++i];
     } else {
       opts.values_[arg] = "1";
     }
   }
   return opts;
+}
+
+void Options::require_known(std::span<const std::string_view> allowed) const {
+  for (const auto& [name, value] : values_) {
+    bool known = false;
+    for (const std::string_view a : allowed) {
+      if (name == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw Error("unknown option --" + name);
+    }
+  }
 }
 
 std::optional<std::string> Options::get(const std::string& name,

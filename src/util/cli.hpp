@@ -7,7 +7,9 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace rdse {
@@ -15,8 +17,15 @@ namespace rdse {
 class Options {
  public:
   /// Parse argv; unrecognized positional arguments are kept in order.
-  /// Accepts "--key=value", "--key value" and boolean "--flag".
-  static Options parse(int argc, const char* const* argv);
+  /// Accepts "--key=value", "--key value" and boolean "--flag". Options
+  /// named in `bool_flags` never consume the following token, so
+  /// "--quiet path" keeps "path" positional instead of treating it as the
+  /// flag's value.
+  static Options parse(int argc, const char* const* argv,
+                       std::span<const std::string_view> bool_flags);
+  static Options parse(int argc, const char* const* argv) {
+    return parse(argc, argv, {});
+  }
 
   /// Look up --name, else environment variable env_name (if non-empty),
   /// else nothing.
@@ -37,6 +46,11 @@ class Options {
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }
+
+  /// Strict front-ends (the `rdse` binary): throw Error naming the first
+  /// parsed option that is not in `allowed`. The permissive bench/example
+  /// binaries simply never call this.
+  void require_known(std::span<const std::string_view> allowed) const;
 
  private:
   std::map<std::string, std::string> values_;

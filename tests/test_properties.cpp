@@ -6,6 +6,7 @@
 
 #include "core/explorer.hpp"
 #include "core/moves.hpp"
+#include "core/sweep_engine.hpp"
 #include "graph/dot.hpp"
 #include "mapping/validation.hpp"
 #include "model/generators.hpp"
@@ -120,6 +121,52 @@ TEST_P(RandomInstance, ExplorationNeverReturnsWorseThanInitial) {
   const RunResult r = explorer.run(config);
   EXPECT_LE(r.best_metrics.makespan, r.initial_metrics.makespan);
   require_valid(app.graph, r.best_architecture, r.best_solution);
+}
+
+TEST_P(RandomInstance, ParallelSweepMatchesSerialExplorationPerPoint) {
+  // Random SweepSpec grids: every point of the sharded sweep must agree
+  // bit-exactly with an independently-run serial exploration at the same
+  // seed — the sweep layer may only reorder work, never results.
+  const Application app = make_app(GetParam() + 4242, 16);
+  Rng rng(GetParam() ^ 0x5EEDull);
+
+  SweepSpec spec;
+  spec.name = "random-grid";
+  spec.runs_per_point = 2;
+  spec.deadline = app.deadline;
+  const int n_points = 2 + static_cast<int>(GetParam() % 3);
+  for (int p = 0; p < n_points; ++p) {
+    const auto clbs =
+        static_cast<std::int32_t>(200 + 150 * rng.uniform_int(0, 6));
+    ExplorerConfig config;
+    config.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1'000'000));
+    config.iterations = 300 + 100 * rng.uniform_int(0, 3);
+    config.warmup_iterations = 60;
+    config.record_trace = false;
+    spec.points.emplace_back(
+        std::to_string(clbs) + " CLBs", static_cast<double>(clbs),
+        make_cpu_fpga_architecture(clbs, from_us(15.0), 20'000'000), config);
+  }
+
+  const SweepResult sweep = SweepEngine(3).run(app.graph, spec);
+  ASSERT_EQ(sweep.points.size(), static_cast<std::size_t>(n_points));
+  for (int p = 0; p < n_points; ++p) {
+    const SweepPoint& point = spec.points[static_cast<std::size_t>(p)];
+    const Explorer serial(app.graph, point.arch);
+    for (int r = 0; r < spec.runs_per_point; ++r) {
+      ExplorerConfig c = point.config;
+      c.seed = point.config.seed + static_cast<std::uint64_t>(r);
+      const RunResult ref = serial.run(c);
+      const RunResult& got =
+          sweep.points[static_cast<std::size_t>(p)]
+              .runs[static_cast<std::size_t>(r)];
+      ASSERT_EQ(got.anneal.best_cost, ref.anneal.best_cost)
+          << "point " << p << " run " << r;
+      ASSERT_EQ(got.best_metrics.makespan, ref.best_metrics.makespan);
+      ASSERT_EQ(got.anneal.accepted, ref.anneal.accepted);
+      ASSERT_TRUE(got.best_solution == ref.best_solution);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstance,

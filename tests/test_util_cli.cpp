@@ -1,0 +1,280 @@
+/// Tests for the option parser (key=value forms, environment fallback,
+/// unknown-flag rejection, malformed values) and for the `rdse` CLI driver:
+/// subcommand dispatch, exit codes, dry-run artifact emission and report
+/// re-rendering — all exercised in process through cli::run.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/rdse_cli.hpp"
+#include "core/report.hpp"
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace rdse {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, ParsesAllArgumentForms) {
+  // Note "--quiet" comes last: a bare flag followed by a non-option token
+  // would consume that token as its value ("--key value" form).
+  const Options opts = parse(
+      {"run", "--iters=500", "--seed", "9", "trailing", "--quiet"});
+  EXPECT_EQ(opts.get_int("iters", 0), 500);
+  EXPECT_EQ(opts.get_int("seed", 0), 9);
+  EXPECT_TRUE(opts.get_flag("quiet"));
+  EXPECT_FALSE(opts.get_flag("verbose"));
+  ASSERT_EQ(opts.positional().size(), 2u);
+  EXPECT_EQ(opts.positional()[0], "run");
+  EXPECT_EQ(opts.positional()[1], "trailing");
+}
+
+TEST(Options, DeclaredBoolFlagsNeverConsumePositionals) {
+  static constexpr std::string_view kBool[] = {"quiet"};
+  std::vector<const char*> argv{"prog", "--quiet", "artifact.json"};
+  const Options opts =
+      Options::parse(static_cast<int>(argv.size()), argv.data(), kBool);
+  EXPECT_TRUE(opts.get_flag("quiet"));
+  ASSERT_EQ(opts.positional().size(), 1u);
+  EXPECT_EQ(opts.positional()[0], "artifact.json");
+}
+
+TEST(Options, RequireKnownRejectsUnknownFlag) {
+  const Options opts = parse({"--iters=500", "--bogus=1"});
+  static constexpr std::string_view kKnown[] = {"iters", "seed"};
+  try {
+    opts.require_known(kKnown);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown option --bogus"),
+              std::string::npos);
+  }
+  // Subsets of the allowed list pass.
+  const Options ok = parse({"--iters=500"});
+  EXPECT_NO_THROW(ok.require_known(kKnown));
+}
+
+TEST(Options, MissingOrMalformedValuesThrow) {
+  // "--iters=" and "--iters abc" both carry no usable integer.
+  for (const Options& opts :
+       {parse({"--iters="}), parse({"--iters", "abc"})}) {
+    try {
+      (void)opts.get_int("iters", 0);
+      FAIL() << "expected Error";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("expected integer"),
+                std::string::npos);
+    }
+  }
+  EXPECT_THROW((void)parse({"--rate", "fast"}).get_double("rate", 0.0),
+               Error);
+}
+
+// --------------------------------------------------------------- cli driver
+
+struct CliOutcome {
+  int status = 0;
+  std::string out;
+  std::string err;
+};
+
+CliOutcome run_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"rdse"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  std::ostringstream out;
+  std::ostringstream err;
+  CliOutcome outcome;
+  outcome.status =
+      cli::run(static_cast<int>(argv.size()), argv.data(), out, err);
+  outcome.out = out.str();
+  outcome.err = err.str();
+  return outcome;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(RdseCli, NoCommandPrintsUsageToStderr) {
+  const CliOutcome r = run_cli({});
+  EXPECT_EQ(r.status, 2);
+  EXPECT_NE(r.err.find("usage: rdse"), std::string::npos);
+}
+
+TEST(RdseCli, HelpSucceeds) {
+  for (const char* flag : {"help", "--help", "-h"}) {
+    const CliOutcome r = run_cli({flag});
+    EXPECT_EQ(r.status, 0) << flag;
+    EXPECT_NE(r.out.find("usage: rdse"), std::string::npos);
+  }
+}
+
+TEST(RdseCli, UnknownCommandFailsWithUsage) {
+  const CliOutcome r = run_cli({"frobnicate"});
+  EXPECT_EQ(r.status, 2);
+  EXPECT_NE(r.err.find("unknown command 'frobnicate'"), std::string::npos);
+}
+
+TEST(RdseCli, UnknownFlagIsRejected) {
+  const CliOutcome r = run_cli({"sweep", "--model", "motion", "--bogus=1"});
+  EXPECT_EQ(r.status, 1);
+  EXPECT_NE(r.err.find("unknown option --bogus"), std::string::npos);
+}
+
+TEST(RdseCli, UnknownModelIsRejected) {
+  const CliOutcome r = run_cli({"sweep", "--model", "teapot", "--dry-run"});
+  EXPECT_EQ(r.status, 1);
+  EXPECT_NE(r.err.find("unknown model 'teapot'"), std::string::npos);
+}
+
+TEST(RdseCli, ExploreWithZeroRunsDoesNotCrash) {
+  const CliOutcome r = run_cli({"explore", "--model", "motion", "--runs=0"});
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.out.find("nothing to explore"), std::string::npos);
+}
+
+TEST(RdseCli, ExploreAggregatesRepeatedRuns) {
+  const CliOutcome r =
+      run_cli({"explore", "--model", "motion", "--runs=2", "--iters=400",
+               "--warmup=80", "--threads=2"});
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.out.find("2 runs of motion_detection"), std::string::npos);
+  EXPECT_NE(r.out.find("hit rate"), std::string::npos);
+}
+
+TEST(RdseCli, SweepDryRunEmitsSchemaValidArtifact) {
+  const std::string path = temp_path("rdse-cli-dry.json");
+  const CliOutcome r = run_cli({"sweep", "--model", "motion", "--dry-run",
+                                "--json", path.c_str()});
+  ASSERT_EQ(r.status, 0) << r.err;
+  EXPECT_NE(r.out.find("dry run"), std::string::npos);
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const JsonValue doc = JsonValue::parse(buffer.str());
+
+  EXPECT_TRUE(validate_sweep_json(doc).empty());
+  EXPECT_EQ(doc.at("schema").as_string(), "rdse.sweep.v1");
+  EXPECT_EQ(doc.at("name").as_string(), "device-size");
+  EXPECT_EQ(doc.at("model").as_string(), "motion_detection");
+  EXPECT_TRUE(doc.at("dry_run").as_bool());
+  // The full Fig. 3 grid is planned; nothing was measured.
+  EXPECT_EQ(doc.at("points").size(), 13u);
+  for (const JsonValue& point : doc.at("points").items()) {
+    EXPECT_EQ(point.at("runs").as_int(), 0);
+  }
+}
+
+TEST(RdseCli, SweepRunsAndReportRendersArtifact) {
+  const std::string path = temp_path("rdse-cli-sweep.json");
+  const CliOutcome sweep = run_cli(
+      {"sweep", "--model", "motion", "--sizes", "400,800", "--runs=2",
+       "--iters=400", "--warmup=80", "--threads=2", "--json", path.c_str()});
+  ASSERT_EQ(sweep.status, 0) << sweep.err;
+  EXPECT_NE(sweep.out.find("400 CLBs"), std::string::npos);
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const JsonValue doc = JsonValue::parse(buffer.str());
+  EXPECT_TRUE(validate_sweep_json(doc).empty());
+  EXPECT_FALSE(doc.at("dry_run").as_bool());
+  ASSERT_EQ(doc.at("points").size(), 2u);
+  EXPECT_EQ(doc.at("points").items()[0].at("runs").as_int(), 2);
+  EXPECT_GT(doc.at("points").items()[0].at("mean_makespan_ms").as_number(),
+            0.0);
+
+  const CliOutcome report = run_cli({"report", "--json", path.c_str()});
+  EXPECT_EQ(report.status, 0) << report.err;
+  EXPECT_NE(report.out.find("device-size"), std::string::npos);
+  EXPECT_NE(report.out.find("400 CLBs"), std::string::npos);
+
+  // A boolean flag before the positional path must not swallow it.
+  const CliOutcome quiet_report =
+      run_cli({"report", "--quiet", path.c_str()});
+  EXPECT_EQ(quiet_report.status, 0) << quiet_report.err;
+  EXPECT_NE(quiet_report.out.find("400 CLBs"), std::string::npos);
+}
+
+TEST(RdseCli, QuietSuppressesAggregatedExploreTable) {
+  const CliOutcome r =
+      run_cli({"explore", "--model", "motion", "--runs=2", "--iters=300",
+               "--warmup=60", "--quiet"});
+  EXPECT_EQ(r.status, 0) << r.err;
+  EXPECT_EQ(r.out.find("hit rate"), std::string::npos);
+}
+
+TEST(RdseCli, ScheduleAxisSweepsCoolingSchedules) {
+  const CliOutcome r = run_cli(
+      {"sweep", "--model", "motion", "--axis", "schedule", "--schedules",
+       "modified-lam,greedy", "--runs=1", "--iters=300", "--warmup=60"});
+  ASSERT_EQ(r.status, 0) << r.err;
+  EXPECT_NE(r.out.find("modified-lam"), std::string::npos);
+  EXPECT_NE(r.out.find("greedy"), std::string::npos);
+}
+
+TEST(RdseCli, ReportRejectsMissingAndInvalidArtifacts) {
+  EXPECT_EQ(run_cli({"report"}).status, 1);
+  EXPECT_EQ(run_cli({"report", "--json", "/nonexistent/x.json"}).status, 1);
+
+  const std::string path = temp_path("rdse-cli-bad.json");
+  {
+    std::ofstream file(path);
+    file << R"({"schema": "rdse.sweep.v1", "name": 42})";
+  }
+  const CliOutcome r = run_cli({"report", "--json", path.c_str()});
+  EXPECT_EQ(r.status, 1);
+  EXPECT_NE(r.err.find("missing string field 'name'"), std::string::npos);
+
+  {
+    std::ofstream file(path);
+    file << "this is not json";
+  }
+  EXPECT_EQ(run_cli({"report", "--json", path.c_str()}).status, 1);
+}
+
+TEST(RdseCli, GarbageSizeTokensAreRejectedNotTruncated) {
+  // std::stol-style prefix parsing would turn the "4o0" typo into a silent
+  // 4-CLB sweep point; the whole token must parse.
+  const CliOutcome r = run_cli(
+      {"sweep", "--model", "motion", "--sizes", "4o0,800", "--dry-run"});
+  EXPECT_EQ(r.status, 1);
+  EXPECT_NE(r.err.find("expected integer list, got '4o0'"),
+            std::string::npos);
+}
+
+TEST(RdseCli, StrayPositionalArgumentsAreRejected) {
+  // "dry-run" without the dashes must not silently run a full sweep.
+  const CliOutcome sweep = run_cli({"sweep", "--model", "motion", "dry-run"});
+  EXPECT_EQ(sweep.status, 1);
+  EXPECT_NE(sweep.err.find("unexpected argument 'dry-run'"),
+            std::string::npos);
+  const CliOutcome explore = run_cli({"explore", "stray"});
+  EXPECT_EQ(explore.status, 1);
+  EXPECT_NE(explore.err.find("unexpected argument 'stray'"),
+            std::string::npos);
+}
+
+TEST(RdseCli, MalformedNumericFlagFailsCleanly) {
+  const CliOutcome r =
+      run_cli({"sweep", "--model", "motion", "--iters", "abc", "--dry-run"});
+  EXPECT_EQ(r.status, 1);
+  EXPECT_NE(r.err.find("expected integer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdse

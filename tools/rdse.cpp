@@ -1,0 +1,12 @@
+/// \file rdse.cpp
+/// \brief The `rdse` binary: exploration, sweeps and reports without writing
+/// C++. All logic lives in src/cli/rdse_cli.cpp so it is testable in
+/// process; this wrapper only binds the real streams.
+
+#include <iostream>
+
+#include "cli/rdse_cli.hpp"
+
+int main(int argc, char** argv) {
+  return rdse::cli::run(argc, argv, std::cout, std::cerr);
+}

@@ -4,12 +4,18 @@
 ///
 /// Drives the same move sequence (bit-identical decisions) through a
 /// full_eval problem and an incremental one and reports per-move wall time,
-/// the number of re-relaxed nodes per evaluated candidate, and the
-/// realization-cache hit rate. Self-contained (no Google Benchmark) so the
-/// CI bench-smoke stage can always build and run it; --json writes the
-/// results as a machine-readable artifact.
+/// the number of re-relaxed nodes per evaluated candidate, the chain-diff
+/// hit rate and the makespan-rescan rate. Self-contained (no Google
+/// Benchmark) so the CI bench-smoke stage can always build and run it;
+/// --json writes the results as a stable rdse.bench.v1 artifact
+/// (BENCH_hotpath.json in CI) that `rdse compare` diffs against the
+/// committed baseline to gate order-of-magnitude hot-path regressions.
 ///
-/// Knobs: --moves N (default 20000), --seed S, --json PATH.
+/// Knobs: --moves N (default 20000), --seed S, --repeat R (default 3),
+/// --json PATH. Each model's full/incremental pair is driven R times and
+/// the fastest run per path is reported — wall-clock minima are robust to
+/// scheduler noise on shared machines, which single-shot means are not
+/// (the counters are deterministic and identical across repeats).
 
 #include <chrono>
 #include <cstdio>
@@ -22,6 +28,7 @@
 #include "model/generators.hpp"
 #include "model/motion_detection.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 
 using namespace rdse;
 
@@ -90,41 +97,53 @@ struct ModelReport {
   double relaxed_per_probe = 0.0;
   double relax_reduction = 0.0;  ///< nodes / relaxed-per-probe
   double bounds_reuse_rate = 0.0;
+  double clbs_reuse_rate = 0.0;
   double rank_refresh_rate = 0.0;
+  double rank_repair_nodes_per_probe = 0.0;  ///< Pearce–Kelly reorder cost
+  double makespan_rescan_rate = 0.0;  ///< probes that fell back to O(V) scan
+  double seq_diff_hit_rate = 0.0;     ///< chain edges kept / chain edges seen
+  double seq_edges_added_per_eval = 0.0;
 };
 
 ModelReport compare(const std::string& name, const TaskGraph& tg,
                     const Architecture& arch, const Solution& initial,
-                    std::uint64_t seed, std::int64_t moves) {
+                    std::uint64_t seed, std::int64_t moves, int repeats) {
   ModelReport rep;
   rep.model = name;
   rep.tasks = tg.task_count();
   rep.moves = moves;
 
-  DseProblem full(tg, arch, initial, {}, {}, false, /*full_eval=*/true);
-  DseProblem inc(tg, arch, initial, {}, {}, false, /*full_eval=*/false);
-
-  // Both loops run cold from a fresh problem; first-build allocations
-  // amortize over the move budget and affect both paths alike.
-  const DriveResult rf = drive(full, seed, moves);
-  const DriveResult ri = drive(inc, seed, moves);
-  // Bit-identity gate: a divergent decision sequence shows up in the
-  // evaluated-proposal count even when the final costs coincide.
-  if (rf.final_cost != ri.final_cost || rf.evaluated != ri.evaluated) {
-    std::cerr << "FATAL: full/incremental diverged on " << name << " (cost "
-              << rf.final_cost << " vs " << ri.final_cost << ", evaluated "
-              << rf.evaluated << " vs " << ri.evaluated << ")\n";
-    std::exit(1);
+  rep.full_ns_per_move = rep.inc_ns_per_move = 0.0;
+  rep.full_ns_per_eval = rep.inc_ns_per_eval = 0.0;
+  std::optional<IncrementalEvalStats> stats;
+  for (int r = 0; r < repeats; ++r) {
+    // Both loops run cold from a fresh problem each repeat (bit-identical
+    // decisions every time); first-build allocations amortize over the
+    // move budget and affect both paths alike.
+    DseProblem full(tg, arch, initial, {}, {}, false, /*full_eval=*/true);
+    DseProblem inc(tg, arch, initial, {}, {}, false, /*full_eval=*/false);
+    const DriveResult rf = drive(full, seed, moves);
+    const DriveResult ri = drive(inc, seed, moves);
+    // Bit-identity gate: a divergent decision sequence shows up in the
+    // evaluated-proposal count even when the final costs coincide.
+    if (rf.final_cost != ri.final_cost || rf.evaluated != ri.evaluated) {
+      std::cerr << "FATAL: full/incremental diverged on " << name
+                << " (cost " << rf.final_cost << " vs " << ri.final_cost
+                << ", evaluated " << rf.evaluated << " vs " << ri.evaluated
+                << ")\n";
+      std::exit(1);
+    }
+    const auto keep_min = [](double& slot, double v) {
+      if (slot == 0.0 || v < slot) slot = v;
+    };
+    keep_min(rep.full_ns_per_move, rf.ns_per_move);
+    keep_min(rep.inc_ns_per_move, ri.ns_per_move);
+    keep_min(rep.full_ns_per_eval, rf.ns_per_evaluated);
+    keep_min(rep.inc_ns_per_eval, ri.ns_per_evaluated);
+    stats = inc.incremental_stats();  // deterministic: same every repeat
   }
-
-  rep.full_ns_per_move = rf.ns_per_move;
-  rep.inc_ns_per_move = ri.ns_per_move;
-  rep.speedup = rf.ns_per_move / ri.ns_per_move;
-  rep.full_ns_per_eval = rf.ns_per_evaluated;
-  rep.inc_ns_per_eval = ri.ns_per_evaluated;
-  rep.eval_speedup = rf.ns_per_evaluated / ri.ns_per_evaluated;
-
-  const auto stats = inc.incremental_stats();
+  rep.speedup = rep.full_ns_per_move / rep.inc_ns_per_move;
+  rep.eval_speedup = rep.full_ns_per_eval / rep.inc_ns_per_eval;
   if (stats.has_value() && stats->relax.probes > 0) {
     rep.relaxed_per_probe =
         static_cast<double>(stats->relax.relaxed_nodes) /
@@ -140,52 +159,88 @@ ModelReport compare(const std::string& name, const TaskGraph& tg,
     rep.rank_refresh_rate =
         static_cast<double>(stats->relax.rank_refreshes) /
         static_cast<double>(stats->relax.probes);
+    rep.rank_repair_nodes_per_probe =
+        static_cast<double>(stats->relax.rank_repair_nodes) /
+        static_cast<double>(stats->relax.probes);
+    rep.makespan_rescan_rate =
+        static_cast<double>(stats->relax.makespan_rescans) /
+        static_cast<double>(stats->relax.probes);
+    const auto clbs = stats->clbs_reused + stats->clbs_computed;
+    rep.clbs_reuse_rate =
+        clbs > 0 ? static_cast<double>(stats->clbs_reused) /
+                       static_cast<double>(clbs)
+                 : 0.0;
+    const auto chain = stats->seq_edges_kept + stats->seq_edges_removed;
+    rep.seq_diff_hit_rate =
+        chain > 0 ? static_cast<double>(stats->seq_edges_kept) /
+                        static_cast<double>(chain)
+                  : 0.0;
+    rep.seq_edges_added_per_eval =
+        static_cast<double>(stats->seq_edges_added) /
+        static_cast<double>(stats->builds);
   }
   return rep;
 }
 
 void print_table(const std::vector<ModelReport>& reports) {
   std::printf(
-      "\n%-16s %5s | %8s %8s %7s | %9s %9s %7s | %8s %8s %6s\n", "model",
+      "\n%-16s %5s | %8s %8s %7s | %9s %9s %7s | %8s %6s %6s\n", "model",
       "tasks", "full/mv", "inc/mv", "speedup", "full/eval", "inc/eval",
-      "evalspd", "relax/ev", "reduct", "reuse%");
+      "evalspd", "relax/ev", "diff%", "scan%");
   for (const ModelReport& r : reports) {
     std::printf(
         "%-16s %5zu | %7.0fn %7.0fn %6.2fx | %8.0fn %8.0fn %6.2fx | "
-        "%8.2f %7.1fx %5.1f%%\n",
+        "%8.2f %5.1f%% %5.1f%%\n",
         r.model.c_str(), r.tasks, r.full_ns_per_move, r.inc_ns_per_move,
         r.speedup, r.full_ns_per_eval, r.inc_ns_per_eval, r.eval_speedup,
-        r.relaxed_per_probe, r.relax_reduction,
-        100.0 * r.bounds_reuse_rate);
+        r.relaxed_per_probe, 100.0 * r.seq_diff_hit_rate,
+        100.0 * r.makespan_rescan_rate);
   }
   std::printf("\n");
 }
 
-void write_json(const std::string& path,
+/// The rdse.bench.v1 hot-path artifact: stable schema, one result object
+/// per model, diffable by `rdse compare` against a committed baseline.
+void write_json(const std::string& path, std::int64_t moves,
+                std::uint64_t seed, int repeats,
                 const std::vector<ModelReport>& reports) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "rdse.bench.v1");
+  doc.set("benchmark", "hotpath");
+  doc.set("moves", moves);
+  doc.set("seed", static_cast<std::int64_t>(seed));
+  doc.set("repeat", static_cast<std::int64_t>(repeats));
+  JsonValue results = JsonValue::array();
+  for (const ModelReport& r : reports) {
+    JsonValue row = JsonValue::object();
+    row.set("model", r.model);
+    row.set("tasks", static_cast<std::int64_t>(r.tasks));
+    row.set("moves", r.moves);
+    row.set("full_ns_per_move", r.full_ns_per_move);
+    row.set("incremental_ns_per_move", r.inc_ns_per_move);
+    row.set("speedup", r.speedup);
+    row.set("full_ns_per_evaluated_move", r.full_ns_per_eval);
+    row.set("incremental_ns_per_evaluated_move", r.inc_ns_per_eval);
+    row.set("evaluated_move_speedup", r.eval_speedup);
+    row.set("relaxed_nodes_per_probe", r.relaxed_per_probe);
+    row.set("relax_reduction", r.relax_reduction);
+    row.set("bounds_reuse_rate", r.bounds_reuse_rate);
+    row.set("clbs_reuse_rate", r.clbs_reuse_rate);
+    row.set("rank_refresh_rate", r.rank_refresh_rate);
+    row.set("rank_repair_nodes_per_probe", r.rank_repair_nodes_per_probe);
+    row.set("makespan_rescan_rate", r.makespan_rescan_rate);
+    row.set("seq_diff_hit_rate", r.seq_diff_hit_rate);
+    row.set("seq_edges_added_per_eval", r.seq_edges_added_per_eval);
+    results.push_back(std::move(row));
+  }
+  doc.set("results", std::move(results));
+
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot write " << path << "\n";
     std::exit(1);
   }
-  out << "{\n  \"benchmark\": \"incremental_moves\",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < reports.size(); ++i) {
-    const ModelReport& r = reports[i];
-    out << "    {\"model\": \"" << r.model << "\", \"tasks\": " << r.tasks
-        << ", \"moves\": " << r.moves
-        << ", \"full_ns_per_move\": " << r.full_ns_per_move
-        << ", \"incremental_ns_per_move\": " << r.inc_ns_per_move
-        << ", \"speedup\": " << r.speedup
-        << ", \"full_ns_per_evaluated_move\": " << r.full_ns_per_eval
-        << ", \"incremental_ns_per_evaluated_move\": " << r.inc_ns_per_eval
-        << ", \"evaluated_move_speedup\": " << r.eval_speedup
-        << ", \"relaxed_nodes_per_probe\": " << r.relaxed_per_probe
-        << ", \"relax_reduction\": " << r.relax_reduction
-        << ", \"bounds_reuse_rate\": " << r.bounds_reuse_rate
-        << ", \"rank_refresh_rate\": " << r.rank_refresh_rate << "}"
-        << (i + 1 < reports.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
+  out << doc.dump(2) << "\n";
   std::cout << "wrote " << path << "\n";
 }
 
@@ -196,6 +251,8 @@ int main(int argc, char** argv) {
   const std::int64_t moves = opts.get_int("moves", 20'000, "RDSE_MOVES");
   const auto seed =
       static_cast<std::uint64_t>(opts.get_int("seed", 1, "RDSE_SEED"));
+  const int repeats =
+      static_cast<int>(opts.get_int("repeat", 3, "RDSE_REPEAT"));
   const std::string json = opts.get_string("json", "");
 
   std::vector<ModelReport> reports;
@@ -208,7 +265,7 @@ int main(int argc, char** argv) {
     const Solution initial =
         Solution::random_partition(app.graph, arch, 0, 1, init);
     reports.push_back(compare("motion_detection", app.graph, arch, initial,
-                              seed, moves));
+                              seed, moves, repeats));
   }
 
   {
@@ -224,10 +281,10 @@ int main(int argc, char** argv) {
     const Solution initial =
         Solution::random_partition(app.graph, arch, 0, 1, init);
     reports.push_back(compare("synthetic_120", app.graph, arch, initial,
-                              seed, moves));
+                              seed, moves, repeats));
   }
 
   print_table(reports);
-  if (!json.empty()) write_json(json, reports);
+  if (!json.empty()) write_json(json, moves, seed, repeats, reports);
   return 0;
 }

@@ -49,15 +49,6 @@ void Architecture::remove(ResourceId id) {
   --live_count_;
 }
 
-bool Architecture::alive(ResourceId id) const {
-  return id < resources_.size() && resources_[id] != nullptr;
-}
-
-const Resource& Architecture::resource(ResourceId id) const {
-  RDSE_REQUIRE(alive(id), "Architecture::resource: resource not alive");
-  return *resources_[id];
-}
-
 const ReconfigurableCircuit& Architecture::reconfigurable(
     ResourceId id) const {
   const Resource& r = resource(id);

@@ -13,6 +13,7 @@
 
 #include "arch/bus.hpp"
 #include "arch/resource.hpp"
+#include "util/assert.hpp"
 
 namespace rdse {
 
@@ -34,13 +35,18 @@ class Architecture {
   /// Tombstone a resource (m3). The id is never reused.
   void remove(ResourceId id);
 
-  [[nodiscard]] bool alive(ResourceId id) const;
+  [[nodiscard]] bool alive(ResourceId id) const {
+    return id < resources_.size() && resources_[id] != nullptr;
+  }
   /// Total slots ever allocated (iterate ids in [0, slot_count())).
   [[nodiscard]] std::size_t slot_count() const { return resources_.size(); }
   /// Number of live resources.
   [[nodiscard]] std::size_t resource_count() const { return live_count_; }
 
-  [[nodiscard]] const Resource& resource(ResourceId id) const;
+  [[nodiscard]] const Resource& resource(ResourceId id) const {
+    RDSE_REQUIRE(alive(id), "Architecture::resource: resource not alive");
+    return *resources_[id];
+  }
   [[nodiscard]] const ReconfigurableCircuit& reconfigurable(
       ResourceId id) const;
 

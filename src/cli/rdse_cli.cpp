@@ -1,6 +1,8 @@
 #include "cli/rdse_cli.hpp"
 
 #include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -25,6 +27,7 @@ commands:
   explore   run one exploration, or --runs N seeded runs aggregated
   sweep     run a parallel parameter sweep and optionally emit a JSON artifact
   report    re-render a JSON sweep artifact produced by `rdse sweep`
+  compare   diff two artifacts and fail when a metric regresses
   help      show this message
 
 common options:
@@ -51,6 +54,17 @@ sweep options:
 
 report options:
   --json PATH       artifact to validate and render (or a positional path)
+
+compare options:
+  rdse compare BASELINE CURRENT [--tolerance F]
+  --baseline PATH   baseline artifact (or first positional path)
+  --current PATH    current artifact (or second positional path)
+  --tolerance F     allowed relative regression per metric    [0.1]
+                    (lower-better metrics may grow to (1+F) x baseline,
+                    higher-better metrics may shrink to baseline / (1+F))
+  Both artifacts must share a schema: rdse.sweep.v1 (points matched by
+  label) or rdse.bench.v1 (results matched by model). Exits 1 when any
+  metric regresses beyond the tolerance — the CI trend gate.
 
 The thread count is a throughput knob only: sweep results are bit-identical
 to the serial loops for any --threads value. Reproduce the paper's Fig. 3
@@ -288,6 +302,15 @@ int cmd_sweep(const Options& opts, std::ostream& out) {
 
 // ------------------------------------------------------------------- report
 
+/// Read and parse a JSON artifact (shared by report and compare).
+JsonValue load_artifact(const std::string& path) {
+  std::ifstream file(path);
+  RDSE_REQUIRE(file.good(), "cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return JsonValue::parse(buffer.str());
+}
+
 int cmd_report(const Options& opts, std::ostream& out, std::ostream& err) {
   static constexpr std::string_view kFlags[] = {"json", "quiet"};
   opts.require_known(kFlags);
@@ -298,12 +321,7 @@ int cmd_report(const Options& opts, std::ostream& out, std::ostream& err) {
   }
   RDSE_REQUIRE(!path.empty(), "report: pass the artifact via --json PATH");
 
-  std::ifstream file(path);
-  RDSE_REQUIRE(file.good(), "cannot read '" + path + "'");
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-
-  const JsonValue artifact = JsonValue::parse(buffer.str());
+  const JsonValue artifact = load_artifact(path);
   const std::vector<std::string> errors = validate_sweep_json(artifact);
   if (!errors.empty()) {
     for (const std::string& e : errors) {
@@ -317,6 +335,172 @@ int cmd_report(const Options& opts, std::ostream& out, std::ostream& err) {
     out << "(dry-run artifact: planned grid only, no measurements)\n";
   }
   out << render_sweep_artifact(artifact);
+  return 0;
+}
+
+// ------------------------------------------------------------------ compare
+
+/// One metric of one artifact entry, paired across baseline and current.
+struct MetricDelta {
+  std::string context;  ///< point label / model name
+  std::string metric;
+  bool higher_better = false;
+  double base = 0.0;
+  double cur = 0.0;
+
+  [[nodiscard]] bool regressed(double tolerance) const {
+    if (higher_better) return cur * (1.0 + tolerance) < base;
+    return cur > base * (1.0 + tolerance);
+  }
+  [[nodiscard]] double change() const {  // signed relative change
+    return base != 0.0 ? (cur - base) / base : 0.0;
+  }
+};
+
+std::string artifact_schema(const JsonValue& doc, const std::string& path) {
+  const JsonValue* schema = doc.find("schema");
+  RDSE_REQUIRE(schema != nullptr &&
+                   schema->kind() == JsonValue::Kind::kString,
+               path + ": missing string field 'schema'");
+  return schema->as_string();
+}
+
+/// Find the entry of `items` whose `key` field equals `value`, or nullptr.
+const JsonValue* find_entry(const JsonValue& items, std::string_view key,
+                            const std::string& value) {
+  for (const JsonValue& item : items.items()) {
+    if (const JsonValue* k = item.find(key);
+        k != nullptr && k->kind() == JsonValue::Kind::kString &&
+        k->as_string() == value) {
+      return &item;
+    }
+  }
+  return nullptr;
+}
+
+/// Pair up one numeric metric of two matched entries. Metrics absent from
+/// either side (schema evolution) or non-positive in the baseline (nothing
+/// measured) are skipped rather than failed: the gate targets regressions,
+/// not schema drift.
+void pair_metric(const JsonValue& base, const JsonValue& cur,
+                 const std::string& context, const char* metric,
+                 bool higher_better, std::vector<MetricDelta>& out) {
+  const JsonValue* b = base.find(metric);
+  const JsonValue* c = cur.find(metric);
+  if (b == nullptr || c == nullptr) return;
+  if (b->kind() != JsonValue::Kind::kNumber ||
+      c->kind() != JsonValue::Kind::kNumber) {
+    return;
+  }
+  if (b->as_number() <= 0.0) return;
+  out.push_back({context, metric, higher_better, b->as_number(),
+                 c->as_number()});
+}
+
+std::vector<MetricDelta> pair_sweep_metrics(const JsonValue& base,
+                                            const JsonValue& cur) {
+  std::vector<MetricDelta> deltas;
+  for (const JsonValue& bp : base.at("points").items()) {
+    const std::string label = bp.at("label").as_string();
+    const JsonValue* cp = find_entry(cur.at("points"), "label", label);
+    RDSE_REQUIRE(cp != nullptr,
+                 "current artifact is missing sweep point '" + label + "'");
+    if (bp.at("runs").as_int() == 0 || cp->at("runs").as_int() == 0) {
+      continue;  // dry-run plan: grid only, nothing measured
+    }
+    pair_metric(bp, *cp, label, "mean_makespan_ms", false, deltas);
+    pair_metric(bp, *cp, label, "best_makespan_ms", false, deltas);
+  }
+  return deltas;
+}
+
+std::vector<MetricDelta> pair_bench_metrics(const JsonValue& base,
+                                            const JsonValue& cur) {
+  std::vector<MetricDelta> deltas;
+  for (const JsonValue& br : base.at("results").items()) {
+    const std::string model = br.at("model").as_string();
+    const JsonValue* cr = find_entry(cur.at("results"), "model", model);
+    RDSE_REQUIRE(cr != nullptr,
+                 "current artifact is missing bench result '" + model + "'");
+    pair_metric(br, *cr, model, "incremental_ns_per_move", false, deltas);
+    pair_metric(br, *cr, model, "incremental_ns_per_evaluated_move", false,
+                deltas);
+    pair_metric(br, *cr, model, "evaluated_move_speedup", true, deltas);
+    pair_metric(br, *cr, model, "relaxed_nodes_per_probe", false, deltas);
+    pair_metric(br, *cr, model, "makespan_rescan_rate", false, deltas);
+    pair_metric(br, *cr, model, "seq_diff_hit_rate", true, deltas);
+  }
+  return deltas;
+}
+
+int cmd_compare(const Options& opts, std::ostream& out, std::ostream& err) {
+  static constexpr std::string_view kFlags[] = {"baseline", "current",
+                                                "tolerance", "quiet"};
+  opts.require_known(kFlags);
+
+  std::string base_path = opts.get_string("baseline", "");
+  std::string cur_path = opts.get_string("current", "");
+  std::size_t positional = 0;
+  if (base_path.empty() && opts.positional().size() > positional) {
+    base_path = opts.positional()[positional++];
+  }
+  if (cur_path.empty() && opts.positional().size() > positional) {
+    cur_path = opts.positional()[positional++];
+  }
+  RDSE_REQUIRE(!base_path.empty() && !cur_path.empty(),
+               "compare: pass two artifacts (BASELINE CURRENT, or "
+               "--baseline/--current)");
+  const double tolerance = opts.get_double("tolerance", 0.1);
+  RDSE_REQUIRE(tolerance >= 0.0, "option --tolerance: negative tolerance");
+  const bool quiet = opts.get_flag("quiet");
+
+  const JsonValue base = load_artifact(base_path);
+  const JsonValue cur = load_artifact(cur_path);
+  const std::string schema = artifact_schema(base, base_path);
+  const std::string cur_schema = artifact_schema(cur, cur_path);
+  RDSE_REQUIRE(schema == cur_schema, "schema mismatch: baseline is '" +
+                                         schema + "', current is '" +
+                                         cur_schema + "'");
+
+  std::vector<MetricDelta> deltas;
+  if (schema == "rdse.sweep.v1") {
+    const std::vector<std::string> errors = validate_sweep_json(base);
+    RDSE_REQUIRE(errors.empty(), base_path + ": " + errors.front());
+    const std::vector<std::string> cur_errors = validate_sweep_json(cur);
+    RDSE_REQUIRE(cur_errors.empty(), cur_path + ": " + cur_errors.front());
+    deltas = pair_sweep_metrics(base, cur);
+  } else if (schema == "rdse.bench.v1") {
+    deltas = pair_bench_metrics(base, cur);
+  } else {
+    throw Error("unsupported artifact schema '" + schema +
+                "' (known: rdse.sweep.v1, rdse.bench.v1)");
+  }
+
+  int regressions = 0;
+  Table table({"where", "metric", "baseline", "current", "change", "gate"});
+  for (const MetricDelta& d : deltas) {
+    const bool bad = d.regressed(tolerance);
+    if (bad) ++regressions;
+    table.row()
+        .cell(d.context)
+        .cell(d.metric)
+        .cell(d.base, 3)
+        .cell(d.cur, 3)
+        .cell(std::to_string(std::llround(100.0 * d.change())) + "%")
+        .cell(bad ? "REGRESSED" : "ok");
+  }
+  if (!quiet) {
+    char tol[32];
+    std::snprintf(tol, sizeof tol, "%g", tolerance);
+    table.print(out, "compare: " + std::to_string(deltas.size()) +
+                         " metrics, tolerance " + tol);
+  }
+  if (regressions > 0) {
+    err << "rdse compare: " << regressions << " metric(s) regressed beyond "
+        << "tolerance " << tolerance << '\n';
+    return 1;
+  }
+  if (!quiet) out << "no regressions beyond tolerance\n";
   return 0;
 }
 
@@ -342,6 +526,7 @@ int run(int argc, const char* const* argv, std::ostream& out,
     if (command == "explore") return cmd_explore(opts, out);
     if (command == "sweep") return cmd_sweep(opts, out);
     if (command == "report") return cmd_report(opts, out, err);
+    if (command == "compare") return cmd_compare(opts, out, err);
   } catch (const Error& e) {
     err << "rdse " << command << ": " << e.what() << '\n';
     return 1;

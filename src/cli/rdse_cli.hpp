@@ -11,6 +11,9 @@
 ///   rdse sweep    a parallel parameter sweep (device sizes or schedules),
 ///                 optionally emitting a rdse.sweep.v1 JSON artifact
 ///   rdse report   re-render a sweep artifact produced by `rdse sweep`
+///   rdse compare  diff two rdse.sweep.v1 / rdse.bench.v1 artifacts and
+///                 exit non-zero when a metric regresses beyond
+///                 --tolerance (the CI perf trend gate)
 ///
 /// Exit codes: 0 success, 1 runtime/validation error, 2 usage error.
 

@@ -120,8 +120,10 @@ bool DseProblem::propose(Rng& rng) {
   }
   // m3/m4 mutate the candidate architecture. A failed m4 still leaves a
   // tombstoned slot behind; a failed m3 returns before mutating anything.
-  if (outcome.kind == MoveKind::kCreateResource ||
-      (outcome.applied && outcome.kind == MoveKind::kRemoveResource)) {
+  cand_arch_mutated_ =
+      outcome.kind == MoveKind::kCreateResource ||
+      (outcome.applied && outcome.kind == MoveKind::kRemoveResource);
+  if (cand_arch_mutated_) {
     cand_arch_stale_ = true;
   }
   if (!outcome.applied) {
@@ -157,7 +159,10 @@ bool DseProblem::propose(Rng& rng) {
 
 void DseProblem::accept() {
   if (inc_) inc_->commit();
-  arch_ = cand_arch_;
+  if (cand_arch_mutated_) {
+    arch_ = cand_arch_;  // deep clone, m3/m4 only — see cand_arch_mutated_
+    cand_arch_mutated_ = false;
+  }
   sol_ = cand_sol_;
   metrics_ = cand_metrics_;
   cost_ = cand_cost_;

@@ -119,6 +119,10 @@ class DseProblem final : public AnnealProblem {
   /// draws and accepted moves keeps the hot path allocation-free).
   bool cand_arch_stale_ = true;
   bool cand_sol_stale_ = true;
+  /// True when the staged move mutated the candidate architecture (m3/m4).
+  /// accept() deep-clones the architecture (unique_ptr resources) only
+  /// then — every other move leaves arch_ == cand_arch_ already.
+  bool cand_arch_mutated_ = false;
 };
 
 }  // namespace rdse

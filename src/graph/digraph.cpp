@@ -52,25 +52,6 @@ void Digraph::remove_edge(EdgeId edge) {
   --live_edges_;
 }
 
-bool Digraph::edge_alive(EdgeId edge) const {
-  return edge < edges_.size() && alive_[edge];
-}
-
-const Digraph::Edge& Digraph::edge(EdgeId edge) const {
-  RDSE_REQUIRE(edge_alive(edge), "Digraph::edge: edge not alive");
-  return edges_[edge];
-}
-
-std::span<const EdgeId> Digraph::out_edges(NodeId node) const {
-  RDSE_REQUIRE(node < node_count(), "Digraph::out_edges: node out of range");
-  return out_[node];
-}
-
-std::span<const EdgeId> Digraph::in_edges(NodeId node) const {
-  RDSE_REQUIRE(node < node_count(), "Digraph::in_edges: node out of range");
-  return in_[node];
-}
-
 bool Digraph::has_edge(NodeId src, NodeId dst) const {
   return find_edge(src, dst) != kInvalidEdge;
 }

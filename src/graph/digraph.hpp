@@ -51,12 +51,33 @@ class Digraph {
   /// Remove a live edge by id (O(out-degree + in-degree)).
   void remove_edge(EdgeId edge);
 
-  [[nodiscard]] bool edge_alive(EdgeId edge) const;
-  [[nodiscard]] const Edge& edge(EdgeId edge) const;
+  // The per-edge/per-node accessors below are the innermost operations of
+  // the relaxation and reconciliation hot loops (tens of millions of calls
+  // per sweep); they are defined inline so they cost a bounds check, not a
+  // function call.
+  [[nodiscard]] bool edge_alive(EdgeId edge) const {
+    return edge < edges_.size() && alive_[edge];
+  }
+  [[nodiscard]] const Edge& edge(EdgeId edge) const {
+    RDSE_REQUIRE(edge_alive(edge), "Digraph::edge: edge not alive");
+    return edges_[edge];
+  }
+  /// Unchecked endpoint access for ids the caller just obtained from
+  /// in_edges()/out_edges() of the same graph (relaxation and chain-diff
+  /// inner loops — the liveness re-check is measurable there).
+  [[nodiscard]] const Edge& edge_unchecked(EdgeId edge) const {
+    return edges_[edge];
+  }
 
   /// Outgoing / incoming live edge ids of a node.
-  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId node) const;
-  [[nodiscard]] std::span<const EdgeId> in_edges(NodeId node) const;
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId node) const {
+    RDSE_REQUIRE(node < node_count(), "Digraph::out_edges: node out of range");
+    return out_[node];
+  }
+  [[nodiscard]] std::span<const EdgeId> in_edges(NodeId node) const {
+    RDSE_REQUIRE(node < node_count(), "Digraph::in_edges: node out of range");
+    return in_[node];
+  }
 
   [[nodiscard]] std::size_t out_degree(NodeId node) const {
     return out_edges(node).size();

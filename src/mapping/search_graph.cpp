@@ -47,11 +47,18 @@ ContextBoundary context_boundary(const TaskGraph& tg, const Solution& sol,
 
 namespace {
 
+struct RealizationCounters {
+  std::int64_t* bounds_reused = nullptr;
+  std::int64_t* bounds_computed = nullptr;
+  std::int64_t* clbs_reused = nullptr;
+  std::int64_t* clbs_computed = nullptr;
+};
+
 void compute_rc_realization(const TaskGraph& tg, const Solution& sol,
                             ResourceId rc, RcRealization& out,
                             const RcRealization* hint,
-                            std::int64_t* reused = nullptr,
-                            std::int64_t* computed = nullptr) {
+                            std::span<const TaskId> touched_tasks = {},
+                            const RealizationCounters& counters = {}) {
   const std::size_t n_ctx = sol.context_count(rc);
   // Shrink/grow without discarding inner vector capacity.
   if (out.members.size() > n_ctx) out.members.resize(n_ctx);
@@ -62,35 +69,57 @@ void compute_rc_realization(const TaskGraph& tg, const Solution& sol,
   for (std::size_t c = 0; c < n_ctx; ++c) {
     const auto members = sol.context_tasks(rc, c);
     out.members[c].assign(members.begin(), members.end());
-    // CLB sums always recompute (implementation choices may have changed
-    // without touching membership).
-    out.clbs[c] = sol.context_clbs(tg, rc, c);
 
-    // Boundary: reuse the hint's boundary of any context with an identical
-    // member list — exact, since a boundary depends only on the member set
-    // and the application edges. Try the same index first (the common
-    // case), then search (contexts renumber under collapse/spawn/swap).
+    // Reuse from the hint's context with an identical member list — exact
+    // for the boundary, which depends only on the member set and the
+    // application edges. Try the same index first (the common case), then
+    // search (contexts renumber under collapse/spawn/swap).
     const ContextBoundary* reuse = nullptr;
+    std::size_t reuse_idx = 0;
     if (hint != nullptr) {
       if (c < hint->members.size() && hint->members[c] == out.members[c]) {
         reuse = &hint->bounds[c];
+        reuse_idx = c;
       } else {
         for (std::size_t k = 0; k < hint->members.size(); ++k) {
           if (hint->members[k] == out.members[c]) {
             reuse = &hint->bounds[k];
+            reuse_idx = k;
             break;
           }
         }
       }
     }
+
+    // The CLB sum also depends on the members' implementation choices;
+    // those can only have changed for journaled tasks, so a matched
+    // context holding no touched task keeps its committed sum.
+    bool clbs_valid = reuse != nullptr;
+    if (clbs_valid) {
+      for (TaskId t : touched_tasks) {
+        const Placement& p = sol.placement(t);
+        if (p.resource == rc && p.context == static_cast<std::int32_t>(c)) {
+          clbs_valid = false;
+          break;
+        }
+      }
+    }
+    if (clbs_valid) {
+      if (counters.clbs_reused != nullptr) ++*counters.clbs_reused;
+      out.clbs[c] = hint->clbs[reuse_idx];
+    } else {
+      if (counters.clbs_computed != nullptr) ++*counters.clbs_computed;
+      out.clbs[c] = sol.context_clbs(tg, rc, c);
+    }
+
     if (reuse != nullptr) {
-      if (reused != nullptr) ++*reused;
+      if (counters.bounds_reused != nullptr) ++*counters.bounds_reused;
       out.bounds[c].initials.assign(reuse->initials.begin(),
                                     reuse->initials.end());
       out.bounds[c].terminals.assign(reuse->terminals.begin(),
                                      reuse->terminals.end());
     } else {
-      if (computed != nullptr) ++*computed;
+      if (counters.bounds_computed != nullptr) ++*counters.bounds_computed;
       context_boundary_into(tg, sol, rc, c, out.bounds[c]);
     }
   }
@@ -98,8 +127,10 @@ void compute_rc_realization(const TaskGraph& tg, const Solution& sol,
 
 }  // namespace
 
-void SearchGraphCache::begin_build(std::span<const ResourceId> dirty) {
+void SearchGraphCache::begin_build(std::span<const ResourceId> dirty,
+                                   std::span<const TaskId> touched_tasks) {
   dirty_.assign(dirty.begin(), dirty.end());
+  touched_tasks_.assign(touched_tasks.begin(), touched_tasks.end());
   staged_live_.clear();
 }
 
@@ -107,9 +138,19 @@ bool SearchGraphCache::is_dirty(ResourceId rc) const {
   return std::find(dirty_.begin(), dirty_.end(), rc) != dirty_.end();
 }
 
+void SearchGraphCache::ensure_slot(ResourceId rc) {
+  if (rc >= committed_.size()) {
+    committed_.resize(rc + 1);
+    committed_present_.resize(rc + 1, 0);
+    staged_.resize(rc + 1);
+  }
+}
+
 const RcRealization* SearchGraphCache::committed_entry(ResourceId rc) const {
-  const auto it = committed_.find(rc);
-  return it == committed_.end() ? nullptr : &it->second;
+  if (rc >= committed_present_.size() || committed_present_[rc] == 0) {
+    return nullptr;
+  }
+  return &committed_[rc];
 }
 
 const RcRealization& SearchGraphCache::realize(const TaskGraph& tg,
@@ -121,20 +162,22 @@ const RcRealization& SearchGraphCache::realize(const TaskGraph& tg,
       staged_live_.end()) {
     return staged_[rc];
   }
+  ensure_slot(rc);
   if (!is_dirty(rc)) {
-    const auto it = committed_.find(rc);
     // Size check: insurance against a stale entry for a reused resource id
     // (a dirty marking is expected whenever the realization changed).
-    if (it != committed_.end() &&
-        it->second.bounds.size() == sol.context_count(rc)) {
+    if (committed_present_[rc] != 0 &&
+        committed_[rc].bounds.size() == sol.context_count(rc)) {
       ++hits_;
-      return it->second;
+      return committed_[rc];
     }
   }
   ++misses_;
   RcRealization& out = staged_[rc];
   compute_rc_realization(tg, sol, rc, out, committed_entry(rc),
-                         &bounds_reused_, &bounds_computed_);
+                         touched_tasks_,
+                         {&bounds_reused_, &bounds_computed_, &clbs_reused_,
+                          &clbs_computed_});
   staged_live_.push_back(rc);
   return out;
 }
@@ -148,6 +191,7 @@ void SearchGraphCache::commit() {
     kept.members.swap(fresh.members);
     kept.bounds.swap(fresh.bounds);
     kept.clbs.swap(fresh.clbs);
+    committed_present_[rc] = 1;
   }
   staged_live_.clear();
 }
@@ -155,12 +199,16 @@ void SearchGraphCache::commit() {
 void SearchGraphCache::discard() { staged_live_.clear(); }
 
 void SearchGraphCache::erase(ResourceId rc) {
-  committed_.erase(rc);
-  staged_.erase(rc);
+  if (rc < committed_.size()) {
+    committed_present_[rc] = 0;
+    committed_[rc] = RcRealization();  // release storage; ids never reused
+    staged_[rc] = RcRealization();
+  }
 }
 
 void SearchGraphCache::clear() {
   committed_.clear();
+  committed_present_.clear();
   staged_.clear();
   dirty_.clear();
   staged_live_.clear();

@@ -23,7 +23,6 @@
 /// move layer treats as infeasible.
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <vector>
 
@@ -107,15 +106,19 @@ struct RcRealization {
 };
 
 /// Double-buffered memo of per-RC realizations for the incremental hot path.
-/// `begin_build(dirty)` opens a candidate build: RCs listed dirty (or absent
-/// from the committed entries) are recomputed into a staging slot, the rest
-/// are served from the committed entries. `commit()` adopts the staged
-/// entries after the candidate is accepted; `discard()` is O(1). Staged
-/// storage is recycled between builds, so steady-state builds allocate
-/// nothing.
+/// `begin_build(dirty, touched_tasks)` opens a candidate build: RCs listed
+/// dirty (or absent from the committed entries) are recomputed into a
+/// staging slot, the rest are served from the committed entries. The
+/// optional touched-task journal lets a recomputation reuse the CLB sum of
+/// any context whose membership is unchanged and contains no touched task
+/// (implementations can only change for journaled tasks). `commit()` adopts
+/// the staged entries after the candidate is accepted; `discard()` is O(1).
+/// Staged storage is recycled between builds, so steady-state builds
+/// allocate nothing.
 class SearchGraphCache {
  public:
-  void begin_build(std::span<const ResourceId> dirty);
+  void begin_build(std::span<const ResourceId> dirty,
+                   std::span<const TaskId> touched_tasks = {});
   /// Realization of `rc` valid for `sol` (cached or freshly computed).
   const RcRealization& realize(const TaskGraph& tg, const Solution& sol,
                                ResourceId rc);
@@ -137,18 +140,29 @@ class SearchGraphCache {
   [[nodiscard]] std::int64_t bounds_computed() const {
     return bounds_computed_;
   }
+  /// Context CLB sums copied from a membership-matched, impl-untouched
+  /// committed context vs summed from scratch.
+  [[nodiscard]] std::int64_t clbs_reused() const { return clbs_reused_; }
+  [[nodiscard]] std::int64_t clbs_computed() const { return clbs_computed_; }
 
  private:
   [[nodiscard]] bool is_dirty(ResourceId rc) const;
+  /// Grow the flat slots to cover `rc` (ids are dense and never reused, so
+  /// a vector indexed by ResourceId replaces a tree map on the hot path).
+  void ensure_slot(ResourceId rc);
 
-  std::map<ResourceId, RcRealization> committed_;
-  std::map<ResourceId, RcRealization> staged_;
+  std::vector<RcRealization> committed_;
+  std::vector<std::uint8_t> committed_present_;  ///< flat-slot occupancy
+  std::vector<RcRealization> staged_;
   std::vector<ResourceId> dirty_;
+  std::vector<TaskId> touched_tasks_;
   std::vector<ResourceId> staged_live_;  ///< staged keys filled this build
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
   std::int64_t bounds_reused_ = 0;
   std::int64_t bounds_computed_ = 0;
+  std::int64_t clbs_reused_ = 0;
+  std::int64_t clbs_computed_ = 0;
 };
 
 /// Execution time of task `t` on its assigned resource — the single

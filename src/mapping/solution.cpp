@@ -90,11 +90,6 @@ Solution Solution::random_partition(const TaskGraph& tg,
   return sol;
 }
 
-const Placement& Solution::placement(TaskId task) const {
-  RDSE_REQUIRE(task < placement_.size(), "Solution: task id out of range");
-  return placement_[task];
-}
-
 ResourceId Solution::resource_of(TaskId task) const {
   return placement(task).resource;
 }

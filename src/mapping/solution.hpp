@@ -24,6 +24,7 @@
 
 #include "arch/architecture.hpp"
 #include "model/task_graph.hpp"
+#include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace rdse {
@@ -57,7 +58,10 @@ class Solution {
                                    Rng& rng);
 
   [[nodiscard]] std::size_t task_count() const { return placement_.size(); }
-  [[nodiscard]] const Placement& placement(TaskId task) const;
+  [[nodiscard]] const Placement& placement(TaskId task) const {
+    RDSE_REQUIRE(task < placement_.size(), "Solution: task id out of range");
+    return placement_[task];
+  }
   [[nodiscard]] ResourceId resource_of(TaskId task) const;
 
   /// Total order of tasks on a processor (empty if none assigned).

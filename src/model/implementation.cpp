@@ -33,11 +33,6 @@ ImplementationSet ImplementationSet::pareto(
   return set;
 }
 
-const HwImplementation& ImplementationSet::at(std::size_t i) const {
-  RDSE_REQUIRE(i < impls_.size(), "ImplementationSet::at: index out of range");
-  return impls_[i];
-}
-
 std::optional<std::size_t> ImplementationSet::best_under_area(
     std::int32_t max_clbs) const {
   std::optional<std::size_t> best;

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "util/assert.hpp"
 #include "util/time.hpp"
 
 namespace rdse {
@@ -36,7 +37,10 @@ class ImplementationSet {
 
   [[nodiscard]] bool empty() const { return impls_.empty(); }
   [[nodiscard]] std::size_t size() const { return impls_.size(); }
-  [[nodiscard]] const HwImplementation& at(std::size_t i) const;
+  [[nodiscard]] const HwImplementation& at(std::size_t i) const {
+    RDSE_REQUIRE(i < impls_.size(), "ImplementationSet::at: index out of range");
+    return impls_[i];
+  }
   [[nodiscard]] std::span<const HwImplementation> all() const {
     return impls_;
   }

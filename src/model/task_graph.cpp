@@ -30,16 +30,6 @@ EdgeId TaskGraph::add_comm(TaskId src, TaskId dst, std::int64_t bytes) {
   return id;
 }
 
-const Task& TaskGraph::task(TaskId id) const {
-  RDSE_REQUIRE(id < tasks_.size(), "TaskGraph::task: id out of range");
-  return tasks_[id];
-}
-
-const CommEdge& TaskGraph::comm(EdgeId id) const {
-  RDSE_REQUIRE(id < comms_.size(), "TaskGraph::comm: id out of range");
-  return comms_[id];
-}
-
 TimeNs TaskGraph::total_sw_time() const {
   TimeNs total = 0;
   for (const Task& t : tasks_) {

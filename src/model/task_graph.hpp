@@ -14,6 +14,7 @@
 
 #include "graph/digraph.hpp"
 #include "model/implementation.hpp"
+#include "util/assert.hpp"
 #include "util/time.hpp"
 
 namespace rdse {
@@ -49,8 +50,16 @@ class TaskGraph {
 
   [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
   [[nodiscard]] std::size_t comm_count() const { return comms_.size(); }
-  [[nodiscard]] const Task& task(TaskId id) const;
-  [[nodiscard]] const CommEdge& comm(EdgeId id) const;
+  // Inner loops of evaluation resolve tasks and transfers per edge; keep
+  // these call-free.
+  [[nodiscard]] const Task& task(TaskId id) const {
+    RDSE_REQUIRE(id < tasks_.size(), "TaskGraph::task: id out of range");
+    return tasks_[id];
+  }
+  [[nodiscard]] const CommEdge& comm(EdgeId id) const {
+    RDSE_REQUIRE(id < comms_.size(), "TaskGraph::comm: id out of range");
+    return comms_[id];
+  }
   [[nodiscard]] const Digraph& digraph() const { return graph_; }
 
   /// Sum of software times over all tasks: the software-only makespan on a

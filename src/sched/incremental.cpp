@@ -3,12 +3,37 @@
 #include <algorithm>
 #include <bit>
 #include <functional>
+#include <limits>
 #include <queue>
 
 #include "graph/topo.hpp"
 #include "util/assert.hpp"
 
 namespace rdse {
+
+namespace {
+
+/// Maximum finish time and its multiplicity — the argmax bookkeeping both
+/// engines seed their incremental tracking with on a full rescan.
+struct MaxMultiplicity {
+  TimeNs max = 0;
+  std::int64_t count = 0;
+};
+
+MaxMultiplicity max_and_multiplicity(std::span<const TimeNs> finish) {
+  MaxMultiplicity m;
+  for (const TimeNs f : finish) {
+    if (f > m.max) {
+      m.max = f;
+      m.count = 1;
+    } else if (f == m.max) {
+      ++m.count;
+    }
+  }
+  return m;
+}
+
+}  // namespace
 
 IncrementalLongestPath::IncrementalLongestPath(
     Digraph graph, std::vector<TimeNs> node_weight,
@@ -34,7 +59,7 @@ bool IncrementalLongestPath::would_create_cycle(NodeId src, NodeId dst) const {
 TimeNs IncrementalLongestPath::relax(NodeId v) const {
   TimeNs s = release_[v];
   for (EdgeId e : graph_.in_edges(v)) {
-    const NodeId u = graph_.edge(e).src;
+    const NodeId u = graph_.edge_unchecked(e).src;
     s = std::max(s, finish_[u] + edge_weight_[e]);
   }
   return s;
@@ -58,6 +83,11 @@ void IncrementalLongestPath::propagate_from(NodeId seed) {
   std::vector<bool> queued(graph_.node_count(), false);
   heap.emplace(rank_[seed], seed);
   queued[seed] = true;
+  // Incremental makespan: migrate changed nodes out of / into the argmax
+  // set and track the maximum (and its multiplicity) over the new values,
+  // so the update below never has to look at untouched nodes.
+  TimeNs changed_max = 0;
+  std::int64_t changed_max_count = 0;
   while (!heap.empty()) {
     const NodeId v = heap.top().second;
     heap.pop();
@@ -66,24 +96,43 @@ void IncrementalLongestPath::propagate_from(NodeId seed) {
     if (s == start_[v] && f == finish_[v]) {
       continue;  // unchanged: downstream unaffected through this node
     }
+    if (finish_[v] == makespan_) --count_at_max_;
     start_[v] = s;
     finish_[v] = f;
+    if (f == makespan_) ++count_at_max_;
+    if (f > changed_max) {
+      changed_max = f;
+      changed_max_count = 1;
+    } else if (f == changed_max) {
+      ++changed_max_count;
+    }
     for (EdgeId e : graph_.out_edges(v)) {
-      const NodeId w = graph_.edge(e).dst;
+      const NodeId w = graph_.edge_unchecked(e).dst;
       if (!queued[w]) {
         queued[w] = true;
         heap.emplace(rank_[w], w);
       }
     }
   }
-  recompute_makespan();
+  if (changed_max > makespan_) {
+    // A changed node dominates everything untouched (all <= old makespan).
+    makespan_ = changed_max;
+    count_at_max_ = changed_max_count;
+  } else if (count_at_max_ == 0) {
+    // The previous argmax set emptied and nothing reached it: the new
+    // maximum may hide among untouched nodes — the one case that needs a
+    // full scan.
+    ++makespan_rescans_;
+    recompute_makespan();
+  }
+  // Otherwise some node still finishes at makespan_ and nothing exceeds
+  // it: the committed makespan stands, no scan.
 }
 
 void IncrementalLongestPath::recompute_makespan() {
-  makespan_ = 0;
-  for (NodeId v = 0; v < graph_.node_count(); ++v) {
-    makespan_ = std::max(makespan_, finish_[v]);
-  }
+  const MaxMultiplicity m = max_and_multiplicity(finish_);
+  makespan_ = m.max;
+  count_at_max_ = m.count;
 }
 
 EdgeId IncrementalLongestPath::add_edge(NodeId src, NodeId dst,
@@ -127,7 +176,8 @@ void IncrementalLongestPath::rebuild() {
   const LongestPathResult r = longest_path(dag);
   start_ = r.start;
   finish_ = r.finish;
-  makespan_ = r.makespan;
+  recompute_makespan();  // seeds makespan_ and the argmax multiplicity
+  RDSE_ASSERT(makespan_ == r.makespan);
   closure_.build(graph_);
   refresh_ranks();
 }
@@ -138,7 +188,10 @@ void DeltaRelaxer::reset(const WeightedDag& dag) {
   const LongestPathResult r = longest_path(dag);  // throws if cyclic
   start_ = r.start;
   finish_ = r.finish;
-  makespan_ = r.makespan;
+  const MaxMultiplicity m = max_and_multiplicity(finish_);
+  RDSE_ASSERT(m.max == r.makespan);
+  makespan_ = m.max;
+  count_at_max_ = m.count;
 
   const auto order = topological_order(*dag.graph);
   RDSE_ASSERT(order.has_value());
@@ -164,8 +217,8 @@ std::optional<TimeNs> DeltaRelaxer::probe(const WeightedDag& dag,
   // 1. Topological ranks. Deletions and weight changes cannot introduce a
   // cycle or invalidate the committed ranks — only the inserted edges can.
   // If every inserted edge ascends, the committed ranks remain a valid
-  // numbering of the edited graph; otherwise sort afresh (which also
-  // decides acyclicity).
+  // numbering of the edited graph; otherwise repair the ranks locally
+  // (Pearce–Kelly), which also decides acyclicity.
   bool ranks_ok = true;
   for (EdgeId e : new_edges) {
     const Digraph::Edge& ed = g.edge(e);
@@ -177,15 +230,9 @@ std::optional<TimeNs> DeltaRelaxer::probe(const WeightedDag& dag,
   cand_ranks_fresh_ = !ranks_ok;
   if (!ranks_ok) {
     ++stats_.rank_refreshes;
-    const auto order = topological_order(g);
-    if (!order.has_value()) {
+    if (!repair_ranks(g, new_edges)) {
       ++stats_.cyclic;
       return std::nullopt;
-    }
-    cand_order_ = *order;
-    cand_rank_.assign(n, 0);
-    for (std::size_t i = 0; i < order->size(); ++i) {
-      cand_rank_[(*order)[i]] = static_cast<std::uint32_t>(i);
     }
   }
   const std::vector<std::uint32_t>& rank = ranks_ok ? rank_ : cand_rank_;
@@ -207,7 +254,14 @@ std::optional<TimeNs> DeltaRelaxer::probe(const WeightedDag& dag,
     queued_[r >> 6] |= std::uint64_t{1} << (r & 63);
   }
 
+  // Incremental makespan bookkeeping: `at_max` tracks how many candidate
+  // nodes still finish exactly at the committed makespan (changed nodes
+  // migrate out of / into the set as they are overwritten), `changed_max`
+  // the maximum (and multiplicity) over the values written this probe.
   std::uint32_t relaxed = 0;
+  std::int64_t at_max = count_at_max_;
+  TimeNs changed_max = 0;
+  std::int64_t changed_max_count = 0;
   for (std::size_t w = 0; w < queued_.size(); ++w) {
     while (queued_[w] != 0) {
       const auto bit =
@@ -217,17 +271,25 @@ std::optional<TimeNs> DeltaRelaxer::probe(const WeightedDag& dag,
       ++relaxed;
       TimeNs s = dag.release.empty() ? 0 : dag.release[v];
       for (EdgeId e : g.in_edges(v)) {
-        const NodeId u = g.edge(e).src;
+        const NodeId u = g.edge_unchecked(e).src;
         s = std::max(s, cand_finish_[u] + dag.edge_weight[e]);
       }
       const TimeNs f = s + dag.node_weight[v];
       if (s == cand_start_[v] && f == cand_finish_[v]) {
         continue;  // unchanged: downstream unaffected through this node
       }
+      if (cand_finish_[v] == makespan_) --at_max;
       cand_start_[v] = s;
       cand_finish_[v] = f;
+      if (f == makespan_) ++at_max;
+      if (f > changed_max) {
+        changed_max = f;
+        changed_max_count = 1;
+      } else if (f == changed_max) {
+        ++changed_max_count;
+      }
       for (EdgeId e : g.out_edges(v)) {
-        const std::uint32_t r = rank[g.edge(e).dst];
+        const std::uint32_t r = rank[g.edge_unchecked(e).dst];
         queued_[r >> 6] |= std::uint64_t{1} << (r & 63);
       }
     }
@@ -235,12 +297,130 @@ std::optional<TimeNs> DeltaRelaxer::probe(const WeightedDag& dag,
   last_relaxed_ = relaxed;
   stats_.relaxed_nodes += relaxed;
 
-  cand_makespan_ = 0;
-  for (NodeId v = 0; v < n; ++v) {
-    cand_makespan_ = std::max(cand_makespan_, cand_finish_[v]);
+  if (changed_max > makespan_) {
+    // A changed node dominates every untouched one (all <= the committed
+    // makespan): the probe maximum is known without any scan.
+    cand_makespan_ = changed_max;
+    cand_count_at_max_ = changed_max_count;
+  } else if (at_max > 0) {
+    // The committed maximum survives (someone still finishes there) and
+    // nothing changed exceeds it.
+    cand_makespan_ = makespan_;
+    cand_count_at_max_ = at_max;
+  } else {
+    // Argmax set emptied and no changed node reached it: the new maximum
+    // may hide among untouched nodes — the lazy full-rescan fallback.
+    ++stats_.makespan_rescans;
+    const MaxMultiplicity m = max_and_multiplicity(cand_finish_);
+    cand_makespan_ = m.max;
+    cand_count_at_max_ = m.count;
   }
   probe_valid_ = true;
   return cand_makespan_;
+}
+
+bool DeltaRelaxer::repair_ranks(const Digraph& g,
+                                std::span<const EdgeId> new_edges) {
+  // Pearce–Kelly dynamic topological sort, batched: adopt the inserted
+  // edges one at a time into cand_rank_/cand_order_ (seeded from the
+  // committed numbering, which deletions and weight changes left valid).
+  // The loop invariant is the textbook single-insertion one — before edge
+  // i is adopted, the candidate numbering is valid for the whole edited
+  // graph *minus* new_edges[i..] — so both bounded sweeps below may
+  // traverse every edge except that not-yet-adopted suffix, and the
+  // forward sweep reaching `x` is an exact cycle certificate.
+  cand_rank_ = rank_;
+  cand_order_ = order_;
+  // Each violating edge advances the epoch twice; re-zero the marks when
+  // the remaining headroom could not cover this whole batch (wrapping
+  // mid-call would alias stale marks and corrupt the sweeps).
+  const std::uint32_t needed =
+      2 * static_cast<std::uint32_t>(new_edges.size()) + 2;
+  if (visit_mark_.size() != cand_rank_.size() ||
+      visit_epoch_ >= std::numeric_limits<std::uint32_t>::max() - needed) {
+    visit_mark_.assign(cand_rank_.size(), 0);
+    visit_epoch_ = 0;
+  }
+  const auto pending = [&](EdgeId e, std::size_t next) {
+    for (std::size_t j = next; j < new_edges.size(); ++j) {
+      if (new_edges[j] == e) return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < new_edges.size(); ++i) {
+    const Digraph::Edge& ed = g.edge(new_edges[i]);
+    const NodeId x = ed.src;
+    const NodeId y = ed.dst;
+    const std::uint32_t lb = cand_rank_[y];
+    const std::uint32_t ub = cand_rank_[x];
+    if (ub < lb) continue;  // already ascends under the repaired numbering
+    ++stats_.rank_repairs;
+
+    // delta_fwd_: nodes reachable from y inside the window (y first). If x
+    // is reachable, the edge closes a cycle — report it, never repair.
+    ++visit_epoch_;
+    delta_fwd_.clear();
+    dfs_stack_.assign(1, y);
+    visit_mark_[y] = visit_epoch_;
+    while (!dfs_stack_.empty()) {
+      const NodeId v = dfs_stack_.back();
+      dfs_stack_.pop_back();
+      delta_fwd_.push_back(v);
+      for (EdgeId e : g.out_edges(v)) {
+        if (pending(e, i)) continue;
+        const NodeId w = g.edge_unchecked(e).dst;
+        if (w == x) return false;  // y reaches x: inserting x->y cycles
+        if (cand_rank_[w] > ub || visit_mark_[w] == visit_epoch_) continue;
+        visit_mark_[w] = visit_epoch_;
+        dfs_stack_.push_back(w);
+      }
+    }
+
+    // delta_back_: nodes reaching x inside the window (x included). The
+    // two sets are disjoint — a shared node would give a y->x path, caught
+    // above.
+    ++visit_epoch_;
+    delta_back_.clear();
+    dfs_stack_.assign(1, x);
+    visit_mark_[x] = visit_epoch_;
+    while (!dfs_stack_.empty()) {
+      const NodeId v = dfs_stack_.back();
+      dfs_stack_.pop_back();
+      delta_back_.push_back(v);
+      for (EdgeId e : g.in_edges(v)) {
+        if (pending(e, i)) continue;
+        const NodeId w = g.edge_unchecked(e).src;
+        if (cand_rank_[w] < lb || visit_mark_[w] == visit_epoch_) continue;
+        visit_mark_[w] = visit_epoch_;
+        dfs_stack_.push_back(w);
+      }
+    }
+
+    // Re-pack the union into its own rank slots: x's ancestors first (in
+    // their old relative order), then y's descendants — every other node
+    // keeps its rank, so all previously-ascending edges still ascend.
+    const auto by_rank = [&](NodeId a, NodeId b) {
+      return cand_rank_[a] < cand_rank_[b];
+    };
+    std::sort(delta_fwd_.begin(), delta_fwd_.end(), by_rank);
+    std::sort(delta_back_.begin(), delta_back_.end(), by_rank);
+    rank_pool_.clear();
+    for (NodeId v : delta_fwd_) rank_pool_.push_back(cand_rank_[v]);
+    for (NodeId v : delta_back_) rank_pool_.push_back(cand_rank_[v]);
+    std::sort(rank_pool_.begin(), rank_pool_.end());
+    std::size_t slot = 0;
+    for (NodeId v : delta_back_) {
+      cand_rank_[v] = rank_pool_[slot++];
+      cand_order_[cand_rank_[v]] = v;
+    }
+    for (NodeId v : delta_fwd_) {
+      cand_rank_[v] = rank_pool_[slot++];
+      cand_order_[cand_rank_[v]] = v;
+    }
+    stats_.rank_repair_nodes +=
+        static_cast<std::int64_t>(delta_fwd_.size() + delta_back_.size());
+  }
+  return true;
 }
 
 void DeltaRelaxer::commit() {
@@ -253,6 +433,7 @@ void DeltaRelaxer::commit() {
     order_.swap(cand_order_);
   }
   makespan_ = cand_makespan_;
+  count_at_max_ = cand_count_at_max_;
   probe_valid_ = false;
   ++stats_.commits;
 }

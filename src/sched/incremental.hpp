@@ -26,6 +26,14 @@
 namespace rdse {
 
 /// Stateful longest-path engine over one mutable weighted DAG.
+///
+/// The makespan is tracked incrementally alongside the node values: the
+/// engine maintains the *count* of nodes achieving the current makespan,
+/// updates it from exactly the nodes a propagation changed, and falls back
+/// to a full scan only when that argmax set empties while no changed node
+/// reaches the old maximum (the only case where the new maximum may hide
+/// among untouched nodes). An edit that cannot lower the maximum — e.g. a
+/// remove_edge() off the critical path — therefore costs no O(V) scan.
 class IncrementalLongestPath {
  public:
   /// Take ownership of the graph and weights; graph must be acyclic.
@@ -56,13 +64,20 @@ class IncrementalLongestPath {
   [[nodiscard]] TimeNs finish_of(NodeId node) const { return finish_[node]; }
   [[nodiscard]] const Digraph& graph() const { return graph_; }
 
+  /// Updates that fell back to a full O(V) makespan rescan (the argmax set
+  /// emptied); the complement of the edits served incrementally.
+  [[nodiscard]] std::int64_t makespan_rescans() const {
+    return makespan_rescans_;
+  }
+
   /// Recompute everything from scratch (reference path; also used after
   /// removals to refresh the closure).
   void rebuild();
 
  private:
   /// Re-relax `seed` and everything downstream whose value changes, in
-  /// topological-rank order (each node processed at most once).
+  /// topological-rank order (each node processed at most once). Maintains
+  /// makespan_/count_at_max_ from the changed nodes alone.
   void propagate_from(NodeId seed);
   void recompute_makespan();
   void refresh_ranks();
@@ -76,6 +91,9 @@ class IncrementalLongestPath {
   std::vector<TimeNs> finish_;
   std::vector<std::uint32_t> rank_;
   TimeNs makespan_ = 0;
+  /// Nodes with finish_[v] == makespan_ (the argmax multiplicity).
+  std::int64_t count_at_max_ = 0;
+  std::int64_t makespan_rescans_ = 0;
   TransitiveClosure closure_;
 };
 
@@ -89,7 +107,14 @@ struct DeltaRelaxStats {
   std::int64_t seed_nodes = 0;      ///< nodes whose local inputs changed
   std::int64_t relaxed_nodes = 0;   ///< nodes actually re-relaxed
   std::int64_t total_nodes = 0;     ///< summed node count (full-relax cost)
-  std::int64_t rank_refreshes = 0;  ///< probes that needed a fresh topo sort
+  std::int64_t rank_refreshes = 0;  ///< probes whose committed ranks needed
+                                    ///< repair (an inserted edge descended)
+  std::int64_t rank_repairs = 0;       ///< Pearce–Kelly window reorders
+  std::int64_t rank_repair_nodes = 0;  ///< nodes moved by those reorders
+  /// Probes whose makespan required a full O(V) finish-time rescan (the
+  /// committed argmax set emptied and no relaxed node reached it); every
+  /// other probe derived the makespan from the relaxed-node delta alone.
+  std::int64_t makespan_rescans = 0;
 };
 
 /// Warm-start longest-path engine for the annealing hot path (§4.4, EXP-M1).
@@ -108,8 +133,25 @@ struct DeltaRelaxStats {
 /// Acyclicity is decided for free in the common case: deletions and weight
 /// changes cannot create a cycle, so only the inserted edges are checked
 /// against the committed ranks. If every inserted edge ascends, the ranks
-/// remain a valid topological numbering and the candidate is acyclic;
-/// otherwise one Kahn sort refreshes the ranks (and detects cycles).
+/// remain a valid topological numbering and the candidate is acyclic.
+/// Otherwise the ranks are *repaired locally* (Pearce–Kelly dynamic
+/// topological sort): inserted edges are adopted one at a time, and a
+/// descending edge (x -> y) triggers two bounded DFS sweeps over the rank
+/// window [rank(y), rank(x)] — forward from y and backward from x — whose
+/// nodes are then re-packed into the window's own rank slots (affected
+/// region first follows x's ancestors, then y's descendants). Cost is
+/// proportional to the affected window, not the graph; the forward sweep
+/// reaching x is exactly the cycle certificate, so acyclicity still falls
+/// out of the same pass.
+///
+/// The makespan is maintained incrementally as well: the relaxer carries
+/// the multiplicity of the committed maximum (how many nodes finish exactly
+/// at it) and derives each probe's makespan from the relaxed-node delta —
+/// a changed node exceeding the old maximum dominates outright, and as long
+/// as the argmax set stays populated the old maximum stands. Only when the
+/// set empties while nothing relaxed reaches it can the new maximum hide
+/// among untouched nodes, and only then does probe() fall back to a full
+/// finish-time rescan (counted in DeltaRelaxStats::makespan_rescans).
 ///
 /// probe() leaves the committed values untouched, so a rejected move is
 /// rolled back for free on the relaxer's side; commit() adopts the probed
@@ -145,12 +187,15 @@ class DeltaRelaxer {
 
  private:
   // Committed longest-path fixed point. `order_` is the inverse rank
-  // permutation (rank index -> node).
+  // permutation (rank index -> node). `count_at_max_` is the number of
+  // nodes whose finish equals makespan_ — the argmax multiplicity that
+  // lets probe() update the maximum from the relaxed delta alone.
   std::vector<TimeNs> start_;
   std::vector<TimeNs> finish_;
   std::vector<std::uint32_t> rank_;
   std::vector<NodeId> order_;
   TimeNs makespan_ = 0;
+  std::int64_t count_at_max_ = 0;
 
   // Last probe (valid until the next probe or commit).
   std::vector<TimeNs> cand_start_;
@@ -158,14 +203,31 @@ class DeltaRelaxer {
   std::vector<std::uint32_t> cand_rank_;
   std::vector<NodeId> cand_order_;
   TimeNs cand_makespan_ = 0;
+  std::int64_t cand_count_at_max_ = 0;
   bool cand_ranks_fresh_ = false;
   bool probe_valid_ = false;
   std::uint32_t last_relaxed_ = 0;
+
+  /// Pearce–Kelly local repair of cand_rank_/cand_order_ (seeded from the
+  /// committed ranks) after `new_edges` were inserted into `g`. Returns
+  /// false when the insertions close a cycle. Only nodes inside each
+  /// violating edge's rank window are moved.
+  [[nodiscard]] bool repair_ranks(const Digraph& g,
+                                  std::span<const EdgeId> new_edges);
 
   /// Rank-indexed schedule bitmask: relaxation processes ranks in ascending
   /// order and every queued rank is strictly above the scan position (edges
   /// ascend), so one pass over the words replaces a priority queue.
   std::vector<std::uint64_t> queued_;
+
+  // repair_ranks scratch, reused across probes (steady state: no
+  // allocation). visit_mark_ is epoch-stamped so sweeps never clear it.
+  std::vector<std::uint32_t> visit_mark_;
+  std::uint32_t visit_epoch_ = 0;
+  std::vector<NodeId> dfs_stack_;
+  std::vector<NodeId> delta_fwd_;
+  std::vector<NodeId> delta_back_;
+  std::vector<std::uint32_t> rank_pool_;
 
   DeltaRelaxStats stats_;
 };

@@ -21,12 +21,18 @@ void IncrementalEvaluator::reset(const Architecture& arch,
 
   // Index the sequentialization edges by owning resource: an Esw edge
   // belongs to its source's processor, an Ehw edge to its source's RC.
-  seq_edges_.clear();
+  // The builder inserts each resource's edges in chain order with ascending
+  // ids, so this id-ordered scan reproduces chain order per list — the
+  // invariant the two-pointer reconciliation diff relies on.
+  for (auto& list : seq_edges_) list.clear();
+  if (seq_edges_.size() < arch.slot_count()) {
+    seq_edges_.resize(arch.slot_count());
+  }
   for (EdgeId e = 0; e < sg_.graph.edge_capacity(); ++e) {
     if (!sg_.graph.edge_alive(e)) continue;
     if (sg_.edge_kind[e] == SearchEdgeKind::kComm) continue;
     const NodeId src = sg_.graph.edge(e).src;
-    seq_edges_[sol.placement(src).resource].push_back(e);
+    seq_list(sol.placement(src).resource).push_back(e);
   }
 
   // Task-partition sums (maintained as deltas from here on).
@@ -70,60 +76,89 @@ void IncrementalEvaluator::stage_release(NodeId v, TimeNs r) {
   seeds_.push_back(v);
 }
 
-void IncrementalEvaluator::add_seq_edge(ResourceId res, NodeId src,
-                                        NodeId dst, TimeNs weight,
-                                        SearchEdgeKind kind) {
-  const EdgeId id = sg_.add_weighted_edge(src, dst, weight, kind);
-  seq_edges_[res].push_back(id);
-  added_seq_.emplace_back(res, id);
-  new_edges_.push_back(id);
-  seeds_.push_back(dst);
+void IncrementalEvaluator::stage_release_pending(NodeId v, TimeNs r) {
+  for (NodeUndo& p : release_pending_) {
+    if (p.node == v) {
+      p.value = r;
+      return;
+    }
+  }
+  release_pending_.push_back({v, r});
+}
+
+std::vector<EdgeId>& IncrementalEvaluator::seq_list(ResourceId r) {
+  if (r >= seq_edges_.size()) {
+    seq_edges_.resize(static_cast<std::size_t>(r) + 1);
+  }
+  return seq_edges_[r];
 }
 
 void IncrementalEvaluator::reconcile_seq_edges(ResourceId r) {
-  auto& list = seq_edges_[r];
-  desired_used_.assign(desired_.size(), 0);
-  kept_.clear();
-  std::size_t cursor = 0;  // both lists run in near-identical order
-  for (EdgeId id : list) {
+  auto& list = seq_list(r);
+  ++reconciles_;
+  const std::size_t n_old = list.size();
+  const std::size_t n_new = desired_.size();
+  const auto matches = [&](EdgeId id, const DesiredEdge& d) {
+    const Digraph::Edge& ed = sg_.graph.edge_unchecked(id);
+    return d.src == ed.src && d.dst == ed.dst &&
+           d.weight == sg_.edge_weight[id] && d.kind == sg_.edge_kind[id];
+  };
+
+  // Two-pointer diff: both chains run in chain order, so a local move
+  // leaves a common prefix and suffix, and only the window in between
+  // needs surgery.
+  std::size_t prefix = 0;
+  while (prefix < n_old && prefix < n_new &&
+         matches(list[prefix], desired_[prefix])) {
+    ++prefix;
+  }
+  std::size_t suffix = 0;
+  while (suffix < n_old - prefix && suffix < n_new - prefix &&
+         matches(list[n_old - 1 - suffix], desired_[n_new - 1 - suffix])) {
+    ++suffix;
+  }
+  seq_kept_ += static_cast<std::int64_t>(prefix + suffix);
+  if (prefix == n_old && prefix == n_new) return;  // chains identical
+
+  ReconcileUndo undo;
+  undo.res = r;
+  undo.prefix = static_cast<std::uint32_t>(prefix);
+  undo.suffix = static_cast<std::uint32_t>(suffix);
+  undo.removed_begin = static_cast<std::uint32_t>(removed_seq_.size());
+  undo.added_begin = static_cast<std::uint32_t>(added_ids_.size());
+
+  // Tear down the differing window of the old chain...
+  for (std::size_t i = prefix; i < n_old - suffix; ++i) {
+    const EdgeId id = list[i];
     const Digraph::Edge& ed = sg_.graph.edge(id);
-    auto matches = [&](const DesiredEdge& d) {
-      return d.src == ed.src && d.dst == ed.dst &&
-             d.weight == sg_.edge_weight[id] && d.kind == sg_.edge_kind[id];
-    };
-    bool matched = false;
-    if (cursor < desired_.size() && desired_used_[cursor] == 0 &&
-        matches(desired_[cursor])) {
-      desired_used_[cursor] = 1;
-      ++cursor;
-      matched = true;
-    } else {
-      for (std::size_t k = 0; k < desired_.size(); ++k) {
-        if (desired_used_[k] != 0) continue;
-        if (matches(desired_[k])) {
-          desired_used_[k] = 1;
-          cursor = k + 1;
-          matched = true;
-          break;
-        }
-      }
-    }
-    if (matched) {
-      kept_.push_back(id);
-    } else {
-      removed_seq_.push_back(
-          {r, ed.src, ed.dst, sg_.edge_weight[id], sg_.edge_kind[id]});
-      seeds_.push_back(ed.dst);
-      sg_.graph.remove_edge(id);
-    }
+    removed_seq_.push_back(
+        {ed.src, ed.dst, sg_.edge_weight[id], sg_.edge_kind[id]});
+    seeds_.push_back(ed.dst);
+    sg_.graph.remove_edge(id);
   }
-  list.swap(kept_);
-  for (std::size_t k = 0; k < desired_.size(); ++k) {
-    if (desired_used_[k] == 0) {
-      const DesiredEdge& d = desired_[k];
-      add_seq_edge(r, d.src, d.dst, d.weight, d.kind);
-    }
+  seq_removed_ += static_cast<std::int64_t>(n_old - suffix - prefix);
+
+  // ...and splice the desired window in, keeping the list in chain order.
+  splice_.clear();
+  splice_.insert(splice_.end(), list.begin(),
+                 list.begin() + static_cast<std::ptrdiff_t>(prefix));
+  for (std::size_t k = prefix; k < n_new - suffix; ++k) {
+    const DesiredEdge& d = desired_[k];
+    const EdgeId id = sg_.add_weighted_edge(d.src, d.dst, d.weight, d.kind);
+    splice_.push_back(id);
+    added_ids_.push_back(id);
+    new_edges_.push_back(id);
+    seeds_.push_back(d.dst);
   }
+  seq_added_ += static_cast<std::int64_t>(n_new - suffix - prefix);
+  splice_.insert(splice_.end(),
+                 list.end() - static_cast<std::ptrdiff_t>(suffix),
+                 list.end());
+  list.swap(splice_);
+
+  undo.removed_end = static_cast<std::uint32_t>(removed_seq_.size());
+  undo.added_end = static_cast<std::uint32_t>(added_ids_.size());
+  reconcile_undo_.push_back(undo);
 }
 
 std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
@@ -136,7 +171,8 @@ std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
   seeds_.clear();
   new_edges_.clear();
   removed_seq_.clear();
-  added_seq_.clear();
+  added_ids_.clear();
+  reconcile_undo_.clear();
   comm_undo_.clear();
   node_weight_undo_.clear();
   release_undo_.clear();
@@ -154,7 +190,7 @@ std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
   snap_.hw_busy = hw_busy_;
   snap_.sw_tasks = sw_tasks_;
   snap_.hw_tasks = hw_tasks_;
-  cache_.begin_build(touched_resources);
+  cache_.begin_build(touched_resources, touched_tasks);
 
   // ---- 1. moved tasks: node weights, partition sums, incident
   // communication weights --------------------------------------------------
@@ -196,11 +232,15 @@ std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
   // ---- 2a. clear releases contributed by touched RCs' old first contexts
   // (before any re-set, so a task migrating between two touched first
   // contexts sees its release cleared before the new one lands, whatever
-  // the order of the touched list).
+  // the order of the touched list). Clears and re-sets are coalesced in
+  // release_pending_ and staged once at their *net* value below — a first
+  // context whose initials and load the move left alone then stages
+  // nothing, seeding no relaxation.
+  release_pending_.clear();
   for (ResourceId r : touched_snapshot_) {
     if (const RcRealization* old = cache_.committed_entry(r);
         old != nullptr && !old->bounds.empty()) {
-      for (TaskId t : old->bounds[0].initials) stage_release(t, 0);
+      for (TaskId t : old->bounds[0].initials) stage_release_pending(t, 0);
     }
   }
 
@@ -229,7 +269,7 @@ std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
           const auto& dev = cand_arch.reconfigurable(r);
           const TimeNs first_load = dev.reconfiguration_time(real.clbs[0]);
           for (TaskId t : real.bounds[0].initials) {
-            stage_release(t, first_load);
+            stage_release_pending(t, first_load);
           }
           for (std::size_t c = 0; c + 1 < n_ctx; ++c) {
             const TimeNs reconf = dev.reconfiguration_time(real.clbs[c + 1]);
@@ -243,6 +283,9 @@ std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
       }
     }
     reconcile_seq_edges(r);
+  }
+  for (const auto& [task, release] : release_pending_) {
+    stage_release(task, release);  // no-op (and no seed) when unchanged
   }
 
   // ---- 3. context accounting (only when a touched resource could change
@@ -315,18 +358,30 @@ std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
 }
 
 void IncrementalEvaluator::rollback() {
-  // Drop the candidate's inserted sequentialization edges (kept ones are
-  // committed state and stay) and restore the removed ones. Re-added edges
-  // get fresh ids — nothing outside the per-resource id lists holds
-  // sequentialization edge ids.
-  for (auto it = added_seq_.rbegin(); it != added_seq_.rend(); ++it) {
-    sg_.graph.remove_edge(it->second);
-    auto& list = seq_edges_[it->first];
-    list.erase(std::find(list.begin(), list.end(), it->second));
-  }
-  for (const RemovedSeqEdge& re : removed_seq_) {
-    const EdgeId id = sg_.add_weighted_edge(re.src, re.dst, re.weight, re.kind);
-    seq_edges_[re.res].push_back(id);
+  // Undo the chain splices in reverse: each record turns
+  // `prefix + added-window + suffix` back into
+  // `prefix + re-added removed-window + suffix`, so the list is restored in
+  // chain order exactly (re-added edges get fresh ids — nothing outside the
+  // per-resource id lists holds sequentialization edge ids).
+  for (auto it = reconcile_undo_.rbegin(); it != reconcile_undo_.rend();
+       ++it) {
+    auto& list = seq_edges_[it->res];
+    const std::size_t n_added = it->added_end - it->added_begin;
+    for (std::size_t k = it->added_begin; k < it->added_end; ++k) {
+      sg_.graph.remove_edge(added_ids_[k]);
+    }
+    splice_.clear();
+    splice_.insert(splice_.end(), list.begin(), list.begin() + it->prefix);
+    for (std::size_t k = it->removed_begin; k < it->removed_end; ++k) {
+      const RemovedSeqEdge& re = removed_seq_[k];
+      splice_.push_back(
+          sg_.add_weighted_edge(re.src, re.dst, re.weight, re.kind));
+    }
+    splice_.insert(
+        splice_.end(),
+        list.begin() + static_cast<std::ptrdiff_t>(it->prefix + n_added),
+        list.end());
+    list.swap(splice_);
   }
   for (auto it = comm_undo_.rbegin(); it != comm_undo_.rend(); ++it) {
     sg_.edge_weight[it->edge] = it->weight;
@@ -359,7 +414,9 @@ void IncrementalEvaluator::commit() {
   cache_.commit();
   for (ResourceId r : dead_resources_) {
     cache_.erase(r);
-    seq_edges_.erase(r);  // emptied by the reconcile against no edges
+    // Emptied by the reconcile against no desired edges; release the
+    // storage (the slot stays — resource ids are never reused).
+    std::vector<EdgeId>().swap(seq_list(r));
   }
   dead_resources_.clear();
   pending_ = false;
@@ -381,6 +438,12 @@ IncrementalEvalStats IncrementalEvaluator::stats() const {
   s.cache_misses = cache_.misses();
   s.bounds_reused = cache_.bounds_reused();
   s.bounds_computed = cache_.bounds_computed();
+  s.clbs_reused = cache_.clbs_reused();
+  s.clbs_computed = cache_.clbs_computed();
+  s.reconciles = reconciles_;
+  s.seq_edges_kept = seq_kept_;
+  s.seq_edges_removed = seq_removed_;
+  s.seq_edges_added = seq_added_;
   return s;
 }
 

@@ -9,7 +9,10 @@
 ///  - the committed search graph G' is edited in place — node weights and
 ///    communication-edge weights of the moved tasks are updated, and only
 ///    the sequentialization edges (Esw/Ehw) and release times of the
-///    resources the move touched are torn down and rebuilt;
+///    resources the move touched are reconciled: a two-pointer chain diff
+///    (common prefix/suffix of the old vs. new per-resource edge chain)
+///    touches only the differing window, so a local reorder costs O(window),
+///    not O(chain);
 ///  - per-RC context boundaries and CLB sums are memoized across moves
 ///    (SearchGraphCache) and recomputed only for touched RCs;
 ///  - only the affected region of G' is re-relaxed (DeltaRelaxer), seeded
@@ -21,7 +24,6 @@
 /// nothing. Results are bit-identical to Evaluator::evaluate
 /// (property-tested on random graphs x random move sequences).
 
-#include <map>
 #include <optional>
 #include <span>
 #include <vector>
@@ -40,6 +42,15 @@ struct IncrementalEvalStats {
   std::int64_t cache_misses = 0;
   std::int64_t bounds_reused = 0;    ///< boundaries copied (membership same)
   std::int64_t bounds_computed = 0;  ///< boundaries recomputed from scratch
+  std::int64_t clbs_reused = 0;      ///< context CLB sums served from the memo
+  std::int64_t clbs_computed = 0;    ///< context CLB sums re-summed
+  std::int64_t reconciles = 0;       ///< per-resource chain diffs performed
+  /// Chain edges matched by the two-pointer prefix/suffix diff (left in
+  /// place, seeding no relaxation) vs. torn down / inserted inside the
+  /// differing window. kept / (kept + removed) is the diff hit rate.
+  std::int64_t seq_edges_kept = 0;
+  std::int64_t seq_edges_removed = 0;
+  std::int64_t seq_edges_added = 0;
 };
 
 /// Stateful evaluator bound to one task graph; the architecture and solution
@@ -87,37 +98,57 @@ class IncrementalEvaluator {
   void stage_node_weight(NodeId v, TimeNs w);
   void stage_comm_weight(EdgeId e, TimeNs w);
   void stage_release(NodeId v, TimeNs r);
-  void add_seq_edge(ResourceId res, NodeId src, NodeId dst, TimeNs weight,
-                    SearchEdgeKind kind);
-  /// Replace resource `r`'s sequentialization edges with `desired_`, keeping
-  /// every committed edge whose (src, dst, weight, kind) is unchanged — a
-  /// local move perturbs only a few links of a chain, and kept edges seed
-  /// no relaxation.
+  /// Record a release in release_pending_ (last write per task wins); the
+  /// coalesced values are staged in one pass so a clear-then-reset to the
+  /// committed value stages nothing and seeds no relaxation.
+  void stage_release_pending(NodeId v, TimeNs r);
+  /// Replace resource `r`'s sequentialization chain with `desired_` via a
+  /// two-pointer diff: the common prefix and suffix of the old and new
+  /// chains stay untouched (and seed no relaxation); only the edges inside
+  /// the differing window are torn down and re-inserted. Cost is
+  /// proportional to the window, not the chain.
   void reconcile_seq_edges(ResourceId r);
+  /// The (possibly empty) edge-id chain of `r`, grown on demand — resource
+  /// ids are dense and never reused, so a flat vector replaces a map on the
+  /// hot path.
+  [[nodiscard]] std::vector<EdgeId>& seq_list(ResourceId r);
   void rollback();
 
   const TaskGraph* tg_ = nullptr;
   SearchGraph sg_;  ///< committed realization, surgically edited per move
   SearchGraphCache cache_;
   DeltaRelaxer relaxer_;
-  /// Esw/Ehw edge ids per owning resource.
-  std::map<ResourceId, std::vector<EdgeId>> seq_edges_;
+  /// Esw/Ehw edge ids per owning resource, indexed by ResourceId, each list
+  /// in chain order (Esw: the processor's total order; Ehw: context by
+  /// context). Chain order is what makes the two-pointer diff local.
+  std::vector<std::vector<EdgeId>> seq_edges_;
 
   // ---- per-candidate scratch and undo log --------------------------------
   std::vector<NodeId> seeds_;
   std::vector<EdgeId> new_edges_;
   struct RemovedSeqEdge {
-    ResourceId res;
     NodeId src;
     NodeId dst;
     TimeNs weight;
     SearchEdgeKind kind;
   };
   std::vector<RemovedSeqEdge> removed_seq_;
-  std::vector<std::pair<ResourceId, EdgeId>> added_seq_;
+  std::vector<EdgeId> added_ids_;  ///< edges inserted by reconciles, in order
+  /// One record per reconcile that changed anything: the splice window and
+  /// the ranges into removed_seq_ / added_ids_ it produced, so rollback can
+  /// restore the exact chain (prefix + re-added window + suffix).
+  struct ReconcileUndo {
+    ResourceId res;
+    std::uint32_t prefix;
+    std::uint32_t suffix;
+    std::uint32_t removed_begin;
+    std::uint32_t removed_end;
+    std::uint32_t added_begin;
+    std::uint32_t added_end;
+  };
+  std::vector<ReconcileUndo> reconcile_undo_;
   std::vector<DesiredEdge> desired_;  ///< reconciliation scratch
-  std::vector<char> desired_used_;
-  std::vector<EdgeId> kept_;
+  std::vector<EdgeId> splice_;        ///< chain-splice scratch
   struct EdgeUndo {
     EdgeId edge;
     TimeNs weight;
@@ -129,6 +160,7 @@ class IncrementalEvaluator {
   };
   std::vector<NodeUndo> node_weight_undo_;
   std::vector<NodeUndo> release_undo_;
+  std::vector<NodeUndo> release_pending_;  ///< coalesced release writes
   std::vector<ResourceId> touched_snapshot_;
   /// Resources removed by the staged move (m3): their cache and edge-list
   /// entries are dropped on commit so footprint stays bounded over long
@@ -158,6 +190,10 @@ class IncrementalEvaluator {
   int hw_tasks_ = 0;
 
   std::int64_t builds_ = 0;
+  std::int64_t reconciles_ = 0;
+  std::int64_t seq_kept_ = 0;
+  std::int64_t seq_removed_ = 0;
+  std::int64_t seq_added_ = 0;
   bool pending_ = false;
 };
 

@@ -259,6 +259,15 @@ TEST(IncrementalVsFullEval, BitIdenticalOn100RandomGraphs) {
     ASSERT_TRUE(stats.has_value());
     if (stats->relax.probes > 50) {
       EXPECT_LT(stats->relax.relaxed_nodes, stats->relax.total_nodes);
+      // Makespan tracking: the lazy O(V) rescan must be the exception,
+      // and every probe resolves exactly once (no double counting).
+      EXPECT_LE(stats->relax.makespan_rescans, stats->relax.probes);
+      // Chain-diff accounting: a diff never books more surgery than it
+      // booked reconciles' chains, and the counters move together.
+      EXPECT_GE(stats->reconciles, 1);
+      EXPECT_GE(stats->seq_edges_kept, 0);
+      EXPECT_EQ(stats->clbs_reused + stats->clbs_computed,
+                stats->bounds_reused + stats->bounds_computed);
     }
   }
   EXPECT_EQ(instances, 100);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "graph/generators.hpp"
 #include "graph/topo.hpp"
 #include "mapping/search_graph.hpp"
@@ -102,6 +104,58 @@ TEST(Incremental, CycleProbeMatchesReachability) {
       EXPECT_EQ(inc.would_create_cycle(u, v), reaches(g, v, u));
     }
   }
+}
+
+TEST(Incremental, MakespanTrackingAvoidsRescans) {
+  // Three independent nodes: a dominates. Edits that cannot move the
+  // maximum, or that raise it, must not fall back to the O(V) rescan; only
+  // emptying the argmax set may.
+  Digraph g(3);
+  IncrementalLongestPath inc(g, {10, 8, 4},
+                             std::vector<TimeNs>(g.edge_capacity(), 0), {});
+  EXPECT_EQ(inc.makespan(), 10);
+  EXPECT_EQ(inc.makespan_rescans(), 0);
+
+  inc.set_node_weight(2, 5);  // non-critical change: below the max
+  EXPECT_EQ(inc.makespan(), 10);
+  EXPECT_EQ(inc.makespan_rescans(), 0);
+
+  inc.set_node_weight(1, 12);  // new dominant node: known without a scan
+  EXPECT_EQ(inc.makespan(), 12);
+  EXPECT_EQ(inc.makespan_rescans(), 0);
+
+  inc.set_node_weight(1, 3);  // argmax set empties: the one rescan case
+  EXPECT_EQ(inc.makespan(), 10);
+  EXPECT_EQ(inc.makespan_rescans(), 1);
+}
+
+TEST(Incremental, LoweringOneOfTiedCriticalNodesKeepsMakespan) {
+  Digraph g(3);
+  IncrementalLongestPath inc(g, {10, 10, 4},
+                             std::vector<TimeNs>(g.edge_capacity(), 0), {});
+  EXPECT_EQ(inc.makespan(), 10);
+  inc.set_node_weight(0, 6);  // the tie survives: no rescan needed
+  EXPECT_EQ(inc.makespan(), 10);
+  EXPECT_EQ(inc.makespan_rescans(), 0);
+  inc.set_node_weight(1, 5);  // now the set empties
+  EXPECT_EQ(inc.makespan(), 6);
+  EXPECT_EQ(inc.makespan_rescans(), 1);
+}
+
+TEST(Incremental, RemoveEdgeOffCriticalPathAvoidsRescan) {
+  // 0 -> 1 carries the critical path; the side edge 0 -> 2 does not.
+  // Removing it changes no finish time, so the tracked makespan stands
+  // without any scan (the PR 2 path rescanned unconditionally).
+  Digraph g(3);
+  g.add_edge(0, 1);
+  IncrementalLongestPath inc(g, {5, 5, 1},
+                             std::vector<TimeNs>(g.edge_capacity(), 0), {});
+  const EdgeId side = inc.add_edge(0, 2, 0);
+  EXPECT_EQ(inc.makespan(), 10);
+  const std::int64_t before = inc.makespan_rescans();
+  inc.remove_edge(side);
+  EXPECT_EQ(inc.makespan(), 10);
+  EXPECT_EQ(inc.makespan_rescans(), before);
 }
 
 TEST(Incremental, AddCycleEdgeThrows) {
@@ -329,6 +383,9 @@ TEST(DeltaRelaxer, ProbeMatchesFullRelaxAndCommitAdvances) {
   EXPECT_GT(stats.commits, 80);
   // Local edits must not trigger whole-graph relaxation.
   EXPECT_LT(stats.relaxed_nodes, stats.total_nodes / 2);
+  // The incremental argmax tracking must resolve most probes' makespans
+  // from the relaxed delta alone; the lazy full rescan is the exception.
+  EXPECT_LT(stats.makespan_rescans, stats.probes / 2);
 }
 
 TEST(DeltaRelaxer, NoSeedsRelaxesNothing) {
@@ -347,6 +404,87 @@ TEST(DeltaRelaxer, NoSeedsRelaxesNothing) {
   ASSERT_TRUE(probed.has_value());
   EXPECT_EQ(*probed, relaxer.makespan());
   EXPECT_EQ(relaxer.last_relaxed(), 0u);
+}
+
+TEST(DeltaRelaxer, RankRepairHandlesDescendingInsertions) {
+  // Chain 0 -> 1 -> 2 -> 3 with an isolated node 4. Inserting 4 -> 1
+  // descends in any committed rank that places 4 last, so the probe must
+  // repair the ranks locally (never a full re-sort) and still match the
+  // full recomputation exactly.
+  Mirror m;
+  m.graph = Digraph(5);
+  m.graph.add_edge(0, 1);
+  m.graph.add_edge(1, 2);
+  m.graph.add_edge(2, 3);
+  m.node_weight = {2, 3, 4, 5, 7};
+  m.edge_weight.assign(m.graph.edge_capacity(), 0);
+  m.release.assign(5, 0);
+  DeltaRelaxer relaxer;
+  relaxer.reset(
+      WeightedDag{&m.graph, m.node_weight, m.edge_weight, m.release});
+
+  Mirror cand = m;
+  const EdgeId e = cand.graph.add_edge(4, 1);
+  if (e >= cand.edge_weight.size()) cand.edge_weight.resize(e + 1, 0);
+  const std::vector<NodeId> seeds{1};
+  const std::vector<EdgeId> new_edges{e};
+  const auto probed =
+      relaxer.probe(WeightedDag{&cand.graph, cand.node_weight,
+                                cand.edge_weight, cand.release},
+                    seeds, new_edges);
+  ASSERT_TRUE(probed.has_value());
+  EXPECT_EQ(*probed, cand.full_makespan());
+  EXPECT_GE(relaxer.stats().rank_repairs, 1);
+  EXPECT_GT(relaxer.stats().rank_repair_nodes, 0);
+
+  // Committing adopts the repaired ranks; further edits on top must keep
+  // matching the reference.
+  relaxer.commit();
+  m = cand;
+  Mirror next = m;
+  next.node_weight[4] = 1;
+  const auto again =
+      relaxer.probe(WeightedDag{&next.graph, next.node_weight,
+                                next.edge_weight, next.release},
+                    std::vector<NodeId>{4}, {});
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, next.full_makespan());
+}
+
+TEST(DeltaRelaxer, CycleAcrossTwoInsertedEdgesIsDetected) {
+  // Committed graph: 0 -> 1, plus isolated 2. The batch {1 -> 2, 2 -> 0}
+  // is only cyclic in combination with the committed edge — the repair
+  // must catch it once the second batch edge is adopted, whatever the
+  // committed rank order was.
+  Mirror m;
+  m.graph = Digraph(3);
+  m.graph.add_edge(0, 1);
+  m.node_weight = {1, 1, 1};
+  m.edge_weight.assign(m.graph.edge_capacity(), 0);
+  m.release.assign(3, 0);
+  DeltaRelaxer relaxer;
+  relaxer.reset(
+      WeightedDag{&m.graph, m.node_weight, m.edge_weight, m.release});
+
+  Mirror cand = m;
+  std::vector<EdgeId> new_edges;
+  new_edges.push_back(cand.graph.add_edge(1, 2));
+  new_edges.push_back(cand.graph.add_edge(2, 0));
+  const EdgeId max_e = *std::max_element(new_edges.begin(), new_edges.end());
+  if (max_e >= cand.edge_weight.size()) {
+    cand.edge_weight.resize(max_e + 1, 0);
+  }
+  const std::vector<NodeId> seeds{2, 0};
+  const std::int64_t cyclic_before = relaxer.stats().cyclic;
+  const auto probed =
+      relaxer.probe(WeightedDag{&cand.graph, cand.node_weight,
+                                cand.edge_weight, cand.release},
+                    seeds, new_edges);
+  EXPECT_FALSE(probed.has_value());
+  EXPECT_EQ(relaxer.stats().cyclic, cyclic_before + 1);
+
+  // The committed state survives the rejected probe untouched.
+  EXPECT_EQ(relaxer.makespan(), m.full_makespan());
 }
 
 TEST(DeltaRelaxer, CommitWithoutProbeThrows) {

@@ -1,0 +1,244 @@
+/// Chain-diff reconciliation edge cases: the two-pointer prefix/suffix diff
+/// of IncrementalEvaluator::reconcile_seq_edges must emit exactly the edges
+/// of the differing window — nothing for an unchanged order, a three-edge
+/// window for an adjacent swap, the whole chain for a reversal — while
+/// staying bit-identical to the from-scratch Evaluator, and rollback must
+/// restore the exact chain (order included) so later diffs stay local.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "model/generators.hpp"
+#include "sched/evaluator.hpp"
+#include "sched/incremental_eval.hpp"
+#include "util/rng.hpp"
+
+namespace rdse {
+namespace {
+
+/// Independent tasks (no precedence edges), so every processor order is
+/// feasible — reorder scenarios can permute freely.
+Application independent_app(std::size_t n, std::uint64_t seed) {
+  AppGenParams params;
+  params.dag.node_count = n;
+  params.dag.edge_probability = 0.0;
+  params.dag.connect_orphans = false;
+  Rng rng(seed);
+  return random_application(params, rng);
+}
+
+Application chained_app(std::size_t n, std::uint64_t seed) {
+  AppGenParams params;
+  params.dag.node_count = n;
+  params.dag.max_width = 3;
+  params.dag.edge_probability = 0.3;
+  Rng rng(seed);
+  return random_application(params, rng);
+}
+
+struct ChainCounters {
+  std::int64_t kept = 0;
+  std::int64_t removed = 0;
+  std::int64_t added = 0;
+};
+
+ChainCounters counters(const IncrementalEvaluator& inc) {
+  const IncrementalEvalStats s = inc.stats();
+  return {s.seq_edges_kept, s.seq_edges_removed, s.seq_edges_added};
+}
+
+ChainCounters delta(const ChainCounters& before,
+                    const ChainCounters& after) {
+  return {after.kept - before.kept, after.removed - before.removed,
+          after.added - before.added};
+}
+
+void expect_matches_full(const TaskGraph& tg, const Architecture& arch,
+                         const Solution& cand,
+                         const std::optional<Metrics>& got) {
+  const Evaluator ev(tg, arch);
+  const auto want = ev.evaluate(cand);
+  ASSERT_EQ(got.has_value(), want.has_value());
+  if (got.has_value()) {
+    EXPECT_EQ(got->makespan, want->makespan);
+    EXPECT_EQ(got->comm_cross, want->comm_cross);
+    EXPECT_EQ(got->sw_busy, want->sw_busy);
+    EXPECT_EQ(got->hw_busy, want->hw_busy);
+  }
+}
+
+TEST(ChainDiff, UnchangedOrderEmitsNoEdges) {
+  const Application app = independent_app(8, 11);
+  const Architecture arch =
+      make_cpu_fpga_architecture(1000, from_us(10.0), 20'000'000);
+  const Solution sol = Solution::all_software(app.graph, 0);
+
+  IncrementalEvaluator inc(app.graph);
+  inc.reset(arch, sol);
+
+  Solution cand = sol;
+  cand.clear_touched();
+  const TaskId t = cand.processor_order(0)[3];
+  cand.reposition(t, 3);  // same slot: order is untouched, journal is not
+
+  const ChainCounters before = counters(inc);
+  const auto m = inc.evaluate_candidate(arch, cand, cand.touched_resources(),
+                                        cand.touched_tasks());
+  ASSERT_TRUE(m.has_value());
+  const ChainCounters d = delta(before, counters(inc));
+  EXPECT_EQ(d.removed, 0);
+  EXPECT_EQ(d.added, 0);
+  EXPECT_EQ(d.kept, 7);  // the full 8-task chain matched in the prefix
+  expect_matches_full(app.graph, arch, cand, m);
+  inc.commit();
+}
+
+TEST(ChainDiff, AdjacentSwapMidChainRebuildsThreeEdgeWindow) {
+  const Application app = independent_app(8, 23);
+  const Architecture arch =
+      make_cpu_fpga_architecture(1000, from_us(10.0), 20'000'000);
+  const Solution sol = Solution::all_software(app.graph, 0);
+
+  IncrementalEvaluator inc(app.graph);
+  inc.reset(arch, sol);
+
+  Solution cand = sol;
+  cand.clear_touched();
+  // Swap order slots 2 and 3 of the 8-task chain: edges (1,2), (2,3),
+  // (3,4) become (1,3), (3,2), (2,4) — a three-edge window between the
+  // one-edge prefix (0,1) and the three-edge suffix (4,5), (5,6), (6,7).
+  const TaskId t = cand.processor_order(0)[2];
+  cand.reposition(t, 3);
+
+  const ChainCounters before = counters(inc);
+  const auto m = inc.evaluate_candidate(arch, cand, cand.touched_resources(),
+                                        cand.touched_tasks());
+  ASSERT_TRUE(m.has_value());
+  const ChainCounters d = delta(before, counters(inc));
+  EXPECT_EQ(d.removed, 3);
+  EXPECT_EQ(d.added, 3);
+  EXPECT_EQ(d.kept, 4);  // prefix (0,1); suffix (4,5), (5,6), (6,7)
+  expect_matches_full(app.graph, arch, cand, m);
+  inc.commit();
+}
+
+TEST(ChainDiff, FullReversalRebuildsWholeChain) {
+  const std::size_t n = 9;
+  const Application app = independent_app(n, 37);
+  const Architecture arch =
+      make_cpu_fpga_architecture(1000, from_us(10.0), 20'000'000);
+  const Solution sol = Solution::all_software(app.graph, 0);
+
+  IncrementalEvaluator inc(app.graph);
+  inc.reset(arch, sol);
+
+  Solution cand = sol;
+  cand.clear_touched();
+  std::vector<TaskId> order(cand.processor_order(0).begin(),
+                            cand.processor_order(0).end());
+  for (const TaskId t : order) cand.remove_task(t);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    cand.insert_on_processor(order[order.size() - 1 - i], 0, i);
+  }
+
+  const ChainCounters before = counters(inc);
+  const auto m = inc.evaluate_candidate(arch, cand, cand.touched_resources(),
+                                        cand.touched_tasks());
+  ASSERT_TRUE(m.has_value());
+  const ChainCounters d = delta(before, counters(inc));
+  EXPECT_EQ(d.kept, 0);  // no common prefix or suffix survives a reversal
+  EXPECT_EQ(d.removed, static_cast<std::int64_t>(n - 1));
+  EXPECT_EQ(d.added, static_cast<std::int64_t>(n - 1));
+  expect_matches_full(app.graph, arch, cand, m);
+  inc.commit();
+}
+
+TEST(ChainDiff, EmptyAndSingleTaskChains) {
+  const Application app = independent_app(6, 41);
+  Architecture arch =
+      make_cpu_fpga_architecture(1000, from_us(10.0), 20'000'000);
+  const ResourceId spare = arch.add_processor("cpu1");
+  const Solution sol = Solution::all_software(app.graph, 0);
+
+  IncrementalEvaluator inc(app.graph);
+  inc.reset(arch, sol);
+
+  // A touched resource with no tasks at all: reconcile of an empty chain
+  // against an empty desired set must be a no-op.
+  {
+    const ChainCounters before = counters(inc);
+    const ResourceId touched[] = {spare};
+    const auto m = inc.evaluate_candidate(arch, sol, touched, {});
+    ASSERT_TRUE(m.has_value());
+    const ChainCounters d = delta(before, counters(inc));
+    EXPECT_EQ(d.kept, 0);
+    EXPECT_EQ(d.removed, 0);
+    EXPECT_EQ(d.added, 0);
+    expect_matches_full(app.graph, arch, sol, m);
+    inc.commit();
+  }
+
+  // One task on the spare processor: a single-task chain has no
+  // sequentialization edges in either direction of the move.
+  Solution cand = sol;
+  cand.clear_touched();
+  const TaskId t = cand.processor_order(0)[2];
+  cand.remove_task(t);
+  cand.insert_on_processor(t, spare, 0);
+  {
+    const ChainCounters before = counters(inc);
+    const auto m = inc.evaluate_candidate(
+        arch, cand, cand.touched_resources(), cand.touched_tasks());
+    ASSERT_TRUE(m.has_value());
+    const ChainCounters d = delta(before, counters(inc));
+    // Donor chain: the two edges around the removed slot collapse into one
+    // bridging edge; the single-task spare chain contributes nothing.
+    EXPECT_EQ(d.removed, 2);
+    EXPECT_EQ(d.added, 1);
+    EXPECT_EQ(d.kept, 3);  // donor prefix (0,1) + suffix (3,4), (4,5)
+    expect_matches_full(app.graph, arch, cand, m);
+    inc.commit();
+  }
+}
+
+TEST(ChainDiff, RollbackRestoresChainOrderExactly) {
+  const Application app = chained_app(12, 53);
+  const Architecture arch =
+      make_cpu_fpga_architecture(1200, from_us(10.0), 20'000'000);
+  const Solution sol = Solution::all_software(app.graph, 0);
+
+  IncrementalEvaluator inc(app.graph);
+  inc.reset(arch, sol);
+
+  // Stage a reorder, discard it, then re-evaluate the identical committed
+  // order: the chain list must have been restored in order, so the diff
+  // finds a full prefix match and emits nothing.
+  Rng rng(7);
+  for (int step = 0; step < 40; ++step) {
+    Solution cand = sol;
+    cand.clear_touched();
+    const auto order = cand.processor_order(0);
+    const TaskId t = order[rng.index(order.size())];
+    cand.reposition(t, rng.index(order.size()));
+    const auto staged = inc.evaluate_candidate(
+        arch, cand, cand.touched_resources(), cand.touched_tasks());
+    expect_matches_full(app.graph, arch, cand, staged);
+    if (staged.has_value()) inc.discard();
+
+    Solution same = sol;
+    same.clear_touched();
+    same.reposition(sol.processor_order(0)[0], 0);  // no-op touch
+    const ChainCounters before = counters(inc);
+    const auto m = inc.evaluate_candidate(
+        arch, same, same.touched_resources(), same.touched_tasks());
+    ASSERT_TRUE(m.has_value()) << "step " << step;
+    const ChainCounters d = delta(before, counters(inc));
+    EXPECT_EQ(d.removed, 0) << "step " << step;
+    EXPECT_EQ(d.added, 0) << "step " << step;
+    inc.discard();
+  }
+}
+
+}  // namespace
+}  // namespace rdse

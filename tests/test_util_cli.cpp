@@ -276,5 +276,131 @@ TEST(RdseCli, MalformedNumericFlagFailsCleanly) {
   EXPECT_NE(r.err.find("expected integer"), std::string::npos);
 }
 
+// ------------------------------------------------------------ rdse compare
+
+/// Minimal rdse.bench.v1 artifact with one result row; `eval_ns` and
+/// `speedup` parameterize the two metrics the regression tests vary.
+std::string write_bench_artifact(const std::string& name, double eval_ns,
+                                 double speedup) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "rdse.bench.v1");
+  doc.set("benchmark", "hotpath");
+  JsonValue row = JsonValue::object();
+  row.set("model", "motion_detection");
+  row.set("incremental_ns_per_evaluated_move", eval_ns);
+  row.set("evaluated_move_speedup", speedup);
+  JsonValue results = JsonValue::array();
+  results.push_back(std::move(row));
+  doc.set("results", std::move(results));
+  const std::string path = temp_path(name);
+  std::ofstream file(path);
+  file << doc.dump(2) << "\n";
+  return path;
+}
+
+TEST(RdseCli, CompareAcceptsIdenticalBenchArtifacts) {
+  const std::string base =
+      write_bench_artifact("cmp-base.json", 1500.0, 3.0);
+  const std::string cur = write_bench_artifact("cmp-cur.json", 1500.0, 3.0);
+  const CliOutcome r = run_cli({"compare", base.c_str(), cur.c_str()});
+  EXPECT_EQ(r.status, 0) << r.err;
+  EXPECT_NE(r.out.find("no regressions"), std::string::npos);
+}
+
+TEST(RdseCli, CompareFlagsLowerIsBetterRegression) {
+  // 10x slower per evaluated move: beyond any sane tolerance.
+  const std::string base =
+      write_bench_artifact("cmp-base2.json", 1500.0, 3.0);
+  const std::string cur =
+      write_bench_artifact("cmp-cur2.json", 15000.0, 3.0);
+  const CliOutcome r = run_cli({"compare", base.c_str(), cur.c_str()});
+  EXPECT_EQ(r.status, 1);
+  EXPECT_NE(r.out.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(r.err.find("regressed beyond tolerance"), std::string::npos);
+  // ...but within an explicitly generous tolerance it passes.
+  const CliOutcome ok = run_cli(
+      {"compare", base.c_str(), cur.c_str(), "--tolerance", "20"});
+  EXPECT_EQ(ok.status, 0) << ok.err;
+}
+
+TEST(RdseCli, CompareFlagsHigherIsBetterRegression) {
+  // The speedup metric regresses by *dropping*; the slowdown direction of
+  // the gate must flip for higher-is-better metrics.
+  const std::string base =
+      write_bench_artifact("cmp-base3.json", 1500.0, 3.0);
+  const std::string cur =
+      write_bench_artifact("cmp-cur3.json", 1500.0, 0.2);
+  const CliOutcome r = run_cli({"compare", base.c_str(), cur.c_str()});
+  EXPECT_EQ(r.status, 1);
+  EXPECT_NE(r.out.find("evaluated_move_speedup"), std::string::npos);
+}
+
+TEST(RdseCli, CompareRejectsSchemaMismatchAndMissingEntries) {
+  const std::string bench =
+      write_bench_artifact("cmp-bench.json", 1500.0, 3.0);
+  const std::string sweep = temp_path("cmp-sweep-dry.json");
+  ASSERT_EQ(run_cli({"sweep", "--model", "motion", "--dry-run", "--json",
+                     sweep.c_str()})
+                .status,
+            0);
+  const CliOutcome mismatch =
+      run_cli({"compare", bench.c_str(), sweep.c_str()});
+  EXPECT_EQ(mismatch.status, 1);
+  EXPECT_NE(mismatch.err.find("schema mismatch"), std::string::npos);
+
+  // A current artifact missing the baseline's model row must fail loudly,
+  // not silently gate on zero metrics.
+  const std::string empty = temp_path("cmp-empty.json");
+  {
+    std::ofstream file(empty);
+    file << R"({"schema": "rdse.bench.v1", "results": []})";
+  }
+  const CliOutcome missing =
+      run_cli({"compare", bench.c_str(), empty.c_str()});
+  EXPECT_EQ(missing.status, 1);
+  EXPECT_NE(missing.err.find("missing bench result"), std::string::npos);
+}
+
+TEST(RdseCli, CompareSweepArtifactsAndDryRunPlans) {
+  // Two identical real sweeps: every paired metric is unchanged.
+  const std::string a = temp_path("cmp-sweep-a.json");
+  const std::string b = temp_path("cmp-sweep-b.json");
+  for (const std::string& path : {a, b}) {
+    ASSERT_EQ(run_cli({"sweep", "--model", "motion", "--sizes", "400",
+                       "--runs=1", "--iters=300", "--warmup=60", "--json",
+                       path.c_str()})
+                  .status,
+              0);
+  }
+  const CliOutcome r = run_cli({"compare", a.c_str(), b.c_str()});
+  EXPECT_EQ(r.status, 0) << r.err;
+  EXPECT_NE(r.out.find("no regressions"), std::string::npos);
+
+  // Dry-run plans carry no measurements (runs == 0): compare must treat
+  // them as vacuously clean rather than failing on absent metrics.
+  const std::string dry = temp_path("cmp-sweep-dry2.json");
+  ASSERT_EQ(run_cli({"sweep", "--model", "motion", "--dry-run", "--json",
+                     dry.c_str()})
+                .status,
+            0);
+  const CliOutcome plans =
+      run_cli({"compare", dry.c_str(), dry.c_str(), "--quiet"});
+  EXPECT_EQ(plans.status, 0) << plans.err;
+}
+
+TEST(RdseCli, CompareRejectsBadInputs) {
+  EXPECT_EQ(run_cli({"compare"}).status, 1);
+  EXPECT_EQ(run_cli({"compare", "/nonexistent/a.json",
+                     "/nonexistent/b.json"})
+                .status,
+            1);
+  const std::string bench =
+      write_bench_artifact("cmp-bench2.json", 1500.0, 3.0);
+  const CliOutcome negative = run_cli(
+      {"compare", bench.c_str(), bench.c_str(), "--tolerance", "-0.5"});
+  EXPECT_EQ(negative.status, 1);
+  EXPECT_NE(negative.err.find("negative tolerance"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rdse

@@ -59,7 +59,7 @@ BENCHMARK(BM_FullEvaluation);
 void BM_LongestPathFull(benchmark::State& state) {
   auto& s = setup();
   const SearchGraph sg = build_search_graph(s.app.graph, s.arch, s.solution);
-  const WeightedDag dag{&sg.graph, sg.node_weight, sg.edge_weight,
+  const WeightedDag dag{&sg.graph, sg.node_weight, sg.graph.edge_weights(),
                         sg.release};
   for (auto _ : state) {
     benchmark::DoNotOptimize(longest_path(dag));
@@ -73,7 +73,8 @@ void BM_IncrementalWeightUpdate(benchmark::State& state) {
   IncrementalLongestPath inc(
       sg.graph,
       std::vector<TimeNs>(sg.node_weight.begin(), sg.node_weight.end()),
-      std::vector<TimeNs>(sg.edge_weight.begin(), sg.edge_weight.end()),
+      std::vector<TimeNs>(sg.graph.edge_weights().begin(),
+                          sg.graph.edge_weights().end()),
       std::vector<TimeNs>(sg.release.begin(), sg.release.end()));
   TimeNs w = sg.node_weight[5];
   for (auto _ : state) {

@@ -96,6 +96,7 @@ struct ModelReport {
   double eval_speedup = 0.0;  ///< per evaluated proposal (the §4.4 cost)
   double relaxed_per_probe = 0.0;
   double relax_reduction = 0.0;  ///< nodes / relaxed-per-probe
+  double journal_entries_per_probe = 0.0;  ///< undo-journal records staged
   double bounds_reuse_rate = 0.0;
   double clbs_reuse_rate = 0.0;
   double rank_refresh_rate = 0.0;
@@ -103,6 +104,7 @@ struct ModelReport {
   double makespan_rescan_rate = 0.0;  ///< probes that fell back to O(V) scan
   double seq_diff_hit_rate = 0.0;     ///< chain edges kept / chain edges seen
   double seq_edges_added_per_eval = 0.0;
+  double seq_edges_reweighted_per_eval = 0.0;  ///< in-place weight patches
 };
 
 ModelReport compare(const std::string& name, const TaskGraph& tg,
@@ -151,6 +153,9 @@ ModelReport compare(const std::string& name, const TaskGraph& tg,
     rep.relax_reduction =
         static_cast<double>(tg.task_count()) /
         std::max(rep.relaxed_per_probe, 1e-9);
+    rep.journal_entries_per_probe =
+        static_cast<double>(stats->relax.journal_entries) /
+        static_cast<double>(stats->relax.probes);
     const auto bounds = stats->bounds_reused + stats->bounds_computed;
     rep.bounds_reuse_rate =
         bounds > 0 ? static_cast<double>(stats->bounds_reused) /
@@ -178,23 +183,26 @@ ModelReport compare(const std::string& name, const TaskGraph& tg,
     rep.seq_edges_added_per_eval =
         static_cast<double>(stats->seq_edges_added) /
         static_cast<double>(stats->builds);
+    rep.seq_edges_reweighted_per_eval =
+        static_cast<double>(stats->seq_edges_reweighted) /
+        static_cast<double>(stats->builds);
   }
   return rep;
 }
 
 void print_table(const std::vector<ModelReport>& reports) {
   std::printf(
-      "\n%-16s %5s | %8s %8s %7s | %9s %9s %7s | %8s %6s %6s\n", "model",
-      "tasks", "full/mv", "inc/mv", "speedup", "full/eval", "inc/eval",
-      "evalspd", "relax/ev", "diff%", "scan%");
+      "\n%-16s %5s | %8s %8s %7s | %9s %9s %7s | %8s %7s %6s %6s\n",
+      "model", "tasks", "full/mv", "inc/mv", "speedup", "full/eval",
+      "inc/eval", "evalspd", "relax/ev", "jrnl/ev", "diff%", "scan%");
   for (const ModelReport& r : reports) {
     std::printf(
         "%-16s %5zu | %7.0fn %7.0fn %6.2fx | %8.0fn %8.0fn %6.2fx | "
-        "%8.2f %5.1f%% %5.1f%%\n",
+        "%8.2f %7.2f %5.1f%% %5.1f%%\n",
         r.model.c_str(), r.tasks, r.full_ns_per_move, r.inc_ns_per_move,
         r.speedup, r.full_ns_per_eval, r.inc_ns_per_eval, r.eval_speedup,
-        r.relaxed_per_probe, 100.0 * r.seq_diff_hit_rate,
-        100.0 * r.makespan_rescan_rate);
+        r.relaxed_per_probe, r.journal_entries_per_probe,
+        100.0 * r.seq_diff_hit_rate, 100.0 * r.makespan_rescan_rate);
   }
   std::printf("\n");
 }
@@ -224,6 +232,7 @@ void write_json(const std::string& path, std::int64_t moves,
     row.set("evaluated_move_speedup", r.eval_speedup);
     row.set("relaxed_nodes_per_probe", r.relaxed_per_probe);
     row.set("relax_reduction", r.relax_reduction);
+    row.set("journal_entries_per_probe", r.journal_entries_per_probe);
     row.set("bounds_reuse_rate", r.bounds_reuse_rate);
     row.set("clbs_reuse_rate", r.clbs_reuse_rate);
     row.set("rank_refresh_rate", r.rank_refresh_rate);
@@ -231,6 +240,7 @@ void write_json(const std::string& path, std::int64_t moves,
     row.set("makespan_rescan_rate", r.makespan_rescan_rate);
     row.set("seq_diff_hit_rate", r.seq_diff_hit_rate);
     row.set("seq_edges_added_per_eval", r.seq_edges_added_per_eval);
+    row.set("seq_edges_reweighted_per_eval", r.seq_edges_reweighted_per_eval);
     results.push_back(std::move(row));
   }
   doc.set("results", std::move(results));

@@ -37,17 +37,15 @@ double BipartitionProblem::cost() const { return cost_of(cut_, side1_count_); }
 bool BipartitionProblem::propose(Rng& rng) {
   pending_ = static_cast<NodeId>(rng.index(side_.size()));
   int delta_cut = 0;
-  auto scan = [&](std::span<const EdgeId> edges, bool incoming) {
-    for (EdgeId e : edges) {
-      const auto& ed = graph_->edge(e);
-      const NodeId other = incoming ? ed.src : ed.dst;
-      if (other == pending_) continue;
-      const bool was_cut = side_[other] != side_[pending_];
+  auto scan = [&](std::span<const HalfEdge> edges) {
+    for (const HalfEdge& h : edges) {
+      if (h.node == pending_) continue;
+      const bool was_cut = side_[h.node] != side_[pending_];
       delta_cut += was_cut ? -1 : 1;
     }
   };
-  scan(graph_->out_edges(pending_), false);
-  scan(graph_->in_edges(pending_), true);
+  scan(graph_->out_half(pending_));
+  scan(graph_->in_half(pending_));
   pending_cut_ = cut_ + delta_cut;
   pending_side1_ = side1_count_ + (side_[pending_] ? -1 : 1);
   return true;

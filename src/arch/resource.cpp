@@ -36,9 +36,4 @@ ReconfigurableCircuit::ReconfigurableCircuit(std::string name,
                "ReconfigurableCircuit: negative reconfiguration time");
 }
 
-TimeNs ReconfigurableCircuit::reconfiguration_time(std::int32_t clbs) const {
-  RDSE_REQUIRE(clbs >= 0, "reconfiguration_time: negative CLB count");
-  return tr_per_clb_ * static_cast<TimeNs>(clbs);
-}
-
 }  // namespace rdse

@@ -148,7 +148,12 @@ class ReconfigurableCircuit final : public Resource {
   /// Reconfiguration time per CLB.
   [[nodiscard]] TimeNs tr_per_clb() const { return tr_per_clb_; }
   /// Time to (re)configure a context occupying `clbs` logic blocks.
-  [[nodiscard]] TimeNs reconfiguration_time(std::int32_t clbs) const;
+  /// Inline: the incremental evaluator calls this for every context of
+  /// every touched RC on every move.
+  [[nodiscard]] TimeNs reconfiguration_time(std::int32_t clbs) const {
+    RDSE_DCHECK(clbs >= 0, "reconfiguration_time: negative CLB count");
+    return tr_per_clb_ * static_cast<TimeNs>(clbs);
+  }
 
  private:
   std::int32_t n_clbs_;

@@ -13,7 +13,7 @@ NodeId Digraph::add_node() {
   return static_cast<NodeId>(out_.size() - 1);
 }
 
-EdgeId Digraph::add_edge(NodeId src, NodeId dst) {
+EdgeId Digraph::add_edge(NodeId src, NodeId dst, TimeNs weight) {
   RDSE_REQUIRE(src < node_count() && dst < node_count(),
                "Digraph::add_edge: node id out of range");
   RDSE_REQUIRE(src != dst, "Digraph::add_edge: self loops are not allowed");
@@ -22,22 +22,33 @@ EdgeId Digraph::add_edge(NodeId src, NodeId dst) {
     id = free_.back();
     free_.pop_back();
     edges_[id] = Edge{src, dst};
+    weight_[id] = weight;
     alive_[id] = true;
   } else {
     id = static_cast<EdgeId>(edges_.size());
     edges_.push_back(Edge{src, dst});
+    weight_.push_back(weight);
     alive_.push_back(true);
+    out_pos_.push_back(0);
+    in_pos_.push_back(0);
   }
-  out_[src].push_back(id);
-  in_[dst].push_back(id);
+  out_pos_[id] = static_cast<std::uint32_t>(out_[src].size());
+  out_[src].push_back(HalfEdge{dst, id, weight});
+  in_pos_[id] = static_cast<std::uint32_t>(in_[dst].size());
+  in_[dst].push_back(HalfEdge{src, id, weight});
   ++live_edges_;
   return id;
 }
 
-void Digraph::detach(std::vector<EdgeId>& list, EdgeId edge) {
-  const auto it = std::find(list.begin(), list.end(), edge);
-  RDSE_ASSERT(it != list.end());
-  *it = list.back();
+void Digraph::detach(std::vector<std::vector<HalfEdge>>& lists,
+                     std::vector<std::uint32_t>& pos, NodeId node,
+                     EdgeId edge) {
+  std::vector<HalfEdge>& list = lists[node];
+  const std::uint32_t at = pos[edge];
+  RDSE_ASSERT(at < list.size() && list[at].edge == edge);
+  const HalfEdge moved = list.back();
+  list[at] = moved;
+  pos[moved.edge] = at;  // self-assignment when `edge` was last: harmless
   list.pop_back();
 }
 
@@ -45,8 +56,8 @@ void Digraph::remove_edge(EdgeId edge) {
   RDSE_REQUIRE(edge < edges_.size() && alive_[edge],
                "Digraph::remove_edge: edge not alive");
   const Edge e = edges_[edge];
-  detach(out_[e.src], edge);
-  detach(in_[e.dst], edge);
+  detach(out_, out_pos_, e.src, edge);
+  detach(in_, in_pos_, e.dst, edge);
   alive_[edge] = false;
   free_.push_back(edge);
   --live_edges_;
@@ -57,9 +68,9 @@ bool Digraph::has_edge(NodeId src, NodeId dst) const {
 }
 
 EdgeId Digraph::find_edge(NodeId src, NodeId dst) const {
-  for (EdgeId id : out_edges(src)) {
-    if (edges_[id].dst == dst) {
-      return id;
+  for (const HalfEdge& h : out_half(src)) {
+    if (h.node == dst) {
+      return h.edge;
     }
   }
   return kInvalidEdge;
@@ -69,6 +80,9 @@ void Digraph::clear_edges() {
   for (auto& lst : out_) lst.clear();
   for (auto& lst : in_) lst.clear();
   edges_.clear();
+  weight_.clear();
+  out_pos_.clear();
+  in_pos_.clear();
   alive_.clear();
   free_.clear();
   live_edges_ = 0;
@@ -81,18 +95,33 @@ void Digraph::check_consistency() const {
     ++live;
     const Edge& e = edges_[id];
     RDSE_ASSERT(e.src < node_count() && e.dst < node_count());
-    RDSE_ASSERT(std::count(out_[e.src].begin(), out_[e.src].end(), id) == 1);
-    RDSE_ASSERT(std::count(in_[e.dst].begin(), in_[e.dst].end(), id) == 1);
+    // The back-index must point at this edge's half-edge record in each
+    // adjacency array, and the record must mirror endpoint and weight.
+    RDSE_ASSERT(out_pos_[id] < out_[e.src].size());
+    const HalfEdge& ho = out_[e.src][out_pos_[id]];
+    RDSE_ASSERT(ho.edge == id && ho.node == e.dst &&
+                ho.weight == weight_[id]);
+    RDSE_ASSERT(in_pos_[id] < in_[e.dst].size());
+    const HalfEdge& hi = in_[e.dst][in_pos_[id]];
+    RDSE_ASSERT(hi.edge == id && hi.node == e.src &&
+                hi.weight == weight_[id]);
   }
   RDSE_ASSERT(live == live_edges_);
+  std::size_t half_out = 0;
+  std::size_t half_in = 0;
   for (NodeId v = 0; v < node_count(); ++v) {
-    for (EdgeId id : out_[v]) {
-      RDSE_ASSERT(alive_[id] && edges_[id].src == v);
+    half_out += out_[v].size();
+    half_in += in_[v].size();
+    for (const HalfEdge& h : out_[v]) {
+      RDSE_ASSERT(alive_[h.edge] && edges_[h.edge].src == v &&
+                  edges_[h.edge].dst == h.node);
     }
-    for (EdgeId id : in_[v]) {
-      RDSE_ASSERT(alive_[id] && edges_[id].dst == v);
+    for (const HalfEdge& h : in_[v]) {
+      RDSE_ASSERT(alive_[h.edge] && edges_[h.edge].dst == v &&
+                  edges_[h.edge].src == h.node);
     }
   }
+  RDSE_ASSERT(half_out == live_edges_ && half_in == live_edges_);
 }
 
 }  // namespace rdse

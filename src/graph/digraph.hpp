@@ -9,12 +9,25 @@
 /// stay valid until their own edge is removed. Node count is fixed after
 /// construction growth (nodes are never deleted; the search graph always
 /// covers all application tasks).
+///
+/// Adjacency is stored as packed half-edge arrays: each node owns one
+/// contiguous array of (neighbor node, edge id, weight) records per
+/// direction, so the relaxation inner loops walk a single flat array
+/// instead of chasing an edge-id list into the edge table and a separate
+/// weight array (three dependent loads per edge collapse into one
+/// sequential stream). The per-edge weight is first-class graph state —
+/// `add_edge` takes it, `set_edge_weight` updates it — and the dense
+/// `edge_weights()` view keeps the full-evaluation reference path on the
+/// same values, so the mirror cannot drift from what full recomputation
+/// sees. A per-edge back-index into each adjacency array makes
+/// `remove_edge` and weight updates O(1) (swap-and-pop, no linear scan).
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/time.hpp"
 
 namespace rdse {
 
@@ -23,6 +36,61 @@ using EdgeId = std::uint32_t;
 
 constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// One packed adjacency record: the far endpoint of an incident edge, the
+/// edge's stable id, and a mirror of its weight. 16 bytes, four records per
+/// cache line — the unit the relax/reconcile hot loops stream over.
+struct HalfEdge {
+  NodeId node = kInvalidNode;  ///< src for in-lists, dst for out-lists
+  EdgeId edge = kInvalidEdge;
+  TimeNs weight = 0;
+};
+
+/// Thin view adapting a packed half-edge array back to the historical
+/// "span of edge ids" shape, so non-hot callers (topological sorts,
+/// boundary scans, DOT export, ...) iterate edge ids exactly as before.
+class EdgeIdView {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = EdgeId;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;
+    explicit iterator(const HalfEdge* p) : p_(p) {}
+    EdgeId operator*() const { return p_->edge; }
+    iterator& operator++() {
+      ++p_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator t = *this;
+      ++p_;
+      return t;
+    }
+    friend bool operator==(iterator a, iterator b) = default;
+
+   private:
+    const HalfEdge* p_ = nullptr;
+  };
+
+  EdgeIdView() = default;
+  explicit EdgeIdView(std::span<const HalfEdge> half) : half_(half) {}
+
+  [[nodiscard]] iterator begin() const { return iterator(half_.data()); }
+  [[nodiscard]] iterator end() const {
+    return iterator(half_.data() + half_.size());
+  }
+  [[nodiscard]] std::size_t size() const { return half_.size(); }
+  [[nodiscard]] bool empty() const { return half_.empty(); }
+  [[nodiscard]] EdgeId operator[](std::size_t i) const {
+    return half_[i].edge;
+  }
+
+ private:
+  std::span<const HalfEdge> half_;
+};
 
 class Digraph {
  public:
@@ -43,18 +111,30 @@ class Digraph {
   /// Upper bound over edge ids ever allocated (for dense per-edge arrays).
   [[nodiscard]] std::size_t edge_capacity() const { return edges_.size(); }
 
-  /// Insert an edge src -> dst. Parallel edges are allowed (the search graph
-  /// may stack a communication edge and a sequentialization edge on the same
-  /// node pair). Self-loops are rejected.
-  EdgeId add_edge(NodeId src, NodeId dst);
+  /// Insert an edge src -> dst carrying `weight`. Parallel edges are allowed
+  /// (the search graph may stack a communication edge and a
+  /// sequentialization edge on the same node pair). Self-loops are rejected.
+  EdgeId add_edge(NodeId src, NodeId dst, TimeNs weight = 0);
 
-  /// Remove a live edge by id (O(out-degree + in-degree)).
+  /// Remove a live edge by id — O(1) via the per-edge back-index
+  /// (swap-and-pop in both adjacency arrays).
   void remove_edge(EdgeId edge);
+
+  /// Update a live edge's weight in the dense array and both half-edge
+  /// mirrors — O(1) via the back-index.
+  void set_edge_weight(EdgeId edge, TimeNs weight) {
+    RDSE_DCHECK(edge_alive(edge), "Digraph::set_edge_weight: edge not alive");
+    weight_[edge] = weight;
+    const Edge& e = edges_[edge];
+    out_[e.src][out_pos_[edge]].weight = weight;
+    in_[e.dst][in_pos_[edge]].weight = weight;
+  }
 
   // The per-edge/per-node accessors below are the innermost operations of
   // the relaxation and reconciliation hot loops (tens of millions of calls
-  // per sweep); they are defined inline so they cost a bounds check, not a
-  // function call.
+  // per sweep); they are inline, and their bounds checks compile away in
+  // Release (RDSE_DCHECK — full checks stay on in Debug and sanitizer
+  // builds).
   [[nodiscard]] bool edge_alive(EdgeId edge) const {
     return edge < edges_.size() && alive_[edge];
   }
@@ -66,24 +146,47 @@ class Digraph {
   /// in_edges()/out_edges() of the same graph (relaxation and chain-diff
   /// inner loops — the liveness re-check is measurable there).
   [[nodiscard]] const Edge& edge_unchecked(EdgeId edge) const {
+    RDSE_DCHECK(edge_alive(edge), "Digraph::edge_unchecked: edge not alive");
     return edges_[edge];
   }
+  [[nodiscard]] TimeNs edge_weight(EdgeId edge) const {
+    RDSE_DCHECK(edge_alive(edge), "Digraph::edge_weight: edge not alive");
+    return weight_[edge];
+  }
+  /// Dense per-edge weights, indexed by EdgeId up to edge_capacity() (dead
+  /// slots keep their last value). This is the array the full-evaluation
+  /// reference path reads, so mirror and reference see identical values.
+  [[nodiscard]] std::span<const TimeNs> edge_weights() const {
+    return weight_;
+  }
 
-  /// Outgoing / incoming live edge ids of a node.
-  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId node) const {
-    RDSE_REQUIRE(node < node_count(), "Digraph::out_edges: node out of range");
+  /// Packed half-edge adjacency — the hot-loop view: one contiguous array
+  /// of (neighbor, edge id, weight) records per node and direction.
+  [[nodiscard]] std::span<const HalfEdge> out_half(NodeId node) const {
+    RDSE_DCHECK(node < node_count(), "Digraph::out_half: node out of range");
     return out_[node];
   }
-  [[nodiscard]] std::span<const EdgeId> in_edges(NodeId node) const {
-    RDSE_REQUIRE(node < node_count(), "Digraph::in_edges: node out of range");
+  [[nodiscard]] std::span<const HalfEdge> in_half(NodeId node) const {
+    RDSE_DCHECK(node < node_count(), "Digraph::in_half: node out of range");
     return in_[node];
   }
 
+  /// Outgoing / incoming live edge ids of a node (thin view over the packed
+  /// arrays; non-hot callers are untouched by the layout change).
+  [[nodiscard]] EdgeIdView out_edges(NodeId node) const {
+    RDSE_DCHECK(node < node_count(), "Digraph::out_edges: node out of range");
+    return EdgeIdView(out_[node]);
+  }
+  [[nodiscard]] EdgeIdView in_edges(NodeId node) const {
+    RDSE_DCHECK(node < node_count(), "Digraph::in_edges: node out of range");
+    return EdgeIdView(in_[node]);
+  }
+
   [[nodiscard]] std::size_t out_degree(NodeId node) const {
-    return out_edges(node).size();
+    return out_half(node).size();
   }
   [[nodiscard]] std::size_t in_degree(NodeId node) const {
-    return in_edges(node).size();
+    return in_half(node).size();
   }
 
   /// True if at least one live edge src -> dst exists (linear in degree).
@@ -94,15 +197,22 @@ class Digraph {
   /// Remove all edges, keeping nodes.
   void clear_edges();
 
-  /// Validate internal adjacency consistency (tests / debugging).
+  /// Validate internal adjacency consistency, including the half-edge
+  /// mirrors and back-indexes (tests / debugging).
   void check_consistency() const;
 
  private:
-  void detach(std::vector<EdgeId>& list, EdgeId edge);
+  void detach(std::vector<std::vector<HalfEdge>>& lists,
+              std::vector<std::uint32_t>& pos, NodeId node, EdgeId edge);
 
-  std::vector<std::vector<EdgeId>> out_;
-  std::vector<std::vector<EdgeId>> in_;
+  std::vector<std::vector<HalfEdge>> out_;
+  std::vector<std::vector<HalfEdge>> in_;
   std::vector<Edge> edges_;
+  std::vector<TimeNs> weight_;
+  /// Back-indexes: position of edge id `e` inside out_[src(e)] / in_[dst(e)]
+  /// — what makes detach and weight updates O(1).
+  std::vector<std::uint32_t> out_pos_;
+  std::vector<std::uint32_t> in_pos_;
   std::vector<bool> alive_;
   std::vector<EdgeId> free_;
   std::size_t live_edges_ = 0;

@@ -233,11 +233,7 @@ TimeNs assigned_exec_time(const TaskGraph& tg, const Architecture& arch,
 TimeNs comm_edge_weight(const TaskGraph& tg, const Bus& bus,
                         const Solution& sol, EdgeId e) {
   const CommEdge& c = tg.comm(e);
-  const Placement& ps = sol.placement(c.src);
-  const Placement& pd = sol.placement(c.dst);
-  const bool same_place =
-      ps.resource == pd.resource && ps.context == pd.context;
-  return same_place ? 0 : bus.transfer_time(c.bytes);
+  return co_located(sol, c.src, c.dst) ? 0 : bus.transfer_time(c.bytes);
 }
 
 SearchGraph build_search_graph(const TaskGraph& tg, const Architecture& arch,
@@ -269,11 +265,10 @@ void build_search_graph_into(SearchGraph& sg, const TaskGraph& tg,
 
   // --- application edges: bus time when crossing -------------------------
   const Bus& bus = arch.bus();
-  sg.edge_weight.assign(sg.graph.edge_capacity(), 0);
   sg.edge_kind.assign(sg.graph.edge_capacity(), SearchEdgeKind::kComm);
   for (EdgeId e = 0; e < tg.comm_count(); ++e) {
     const TimeNs w = comm_edge_weight(tg, bus, sol, e);
-    sg.edge_weight[e] = w;
+    sg.graph.set_edge_weight(e, w);
     sg.comm_cross += w;
   }
 

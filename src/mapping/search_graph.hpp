@@ -40,11 +40,13 @@ enum class SearchEdgeKind : std::uint8_t {
 };
 
 /// G' plus the per-node/per-edge weights needed for longest-path evaluation
-/// and the aggregate reconfiguration/communication statistics.
+/// and the aggregate reconfiguration/communication statistics. Edge weights
+/// are first-class Digraph state (dense array + packed half-edge mirrors,
+/// see graph/digraph.hpp) — read them via `graph.edge_weight(e)` /
+/// `graph.edge_weights()`, write via `graph.set_edge_weight(e, w)`.
 struct SearchGraph {
   Digraph graph;
   std::vector<TimeNs> node_weight;       ///< execution time per task
-  std::vector<TimeNs> edge_weight;       ///< indexed by EdgeId
   std::vector<SearchEdgeKind> edge_kind; ///< indexed by EdgeId
   std::vector<TimeNs> release;           ///< earliest start per task
 
@@ -60,16 +62,15 @@ struct SearchGraph {
   std::int32_t max_context_clbs = 0;
 
   /// Insert an edge together with its weight/kind, growing the per-edge
-  /// arrays as needed (shared by the builder, the incremental evaluator's
-  /// surgery and its rollback).
+  /// kind array as needed (shared by the builder, the incremental
+  /// evaluator's surgery and its rollback). The weight travels with the
+  /// edge into the graph's packed adjacency.
   EdgeId add_weighted_edge(NodeId src, NodeId dst, TimeNs weight,
                            SearchEdgeKind kind) {
-    const EdgeId id = graph.add_edge(src, dst);
-    if (id >= edge_weight.size()) {
-      edge_weight.resize(id + 1, 0);
+    const EdgeId id = graph.add_edge(src, dst, weight);
+    if (id >= edge_kind.size()) {
       edge_kind.resize(id + 1, SearchEdgeKind::kComm);
     }
-    edge_weight[id] = weight;
     edge_kind[id] = kind;
     return id;
   }
@@ -171,6 +172,16 @@ class SearchGraphCache {
 [[nodiscard]] TimeNs assigned_exec_time(const TaskGraph& tg,
                                         const Architecture& arch,
                                         const Solution& sol, TaskId t);
+
+/// True when two tasks share a placement (same resource and context) — the
+/// single definition of "no bus transfer needed", shared by the builder's
+/// comm_edge_weight and the incremental evaluator's memoized-bus fast path.
+[[nodiscard]] inline bool co_located(const Solution& sol, TaskId a,
+                                     TaskId b) {
+  const Placement& pa = sol.placement(a);
+  const Placement& pb = sol.placement(b);
+  return pa.resource == pb.resource && pa.context == pb.context;
+}
 
 /// Weight of application edge `e` under `sol`: the bus transfer time iff
 /// the endpoints are not co-located (same resource and context).

@@ -7,7 +7,42 @@
 
 namespace rdse {
 
+namespace {
+
+/// Grow-on-demand access to a flat resource-id-indexed slot vector.
+template <typename Slots>
+typename Slots::value_type& slot_at(Slots& slots, ResourceId id) {
+  if (id >= slots.size()) {
+    slots.resize(static_cast<std::size_t>(id) + 1);
+  }
+  return slots[id];
+}
+
+/// Slot-vector equality that ignores absent/empty slots: an empty slot only
+/// records that a resource id was once used, which is not a semantic
+/// difference between solutions.
+template <typename Slots>
+bool slots_equal(const Slots& a, const Slots& b) {
+  const typename Slots::value_type empty{};
+  const std::size_t n = std::max(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& va = i < a.size() ? a[i] : empty;
+    const auto& vb = i < b.size() ? b[i] : empty;
+    if (va != vb) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 Solution::Solution(std::size_t task_count) : placement_(task_count) {}
+
+bool Solution::operator==(const Solution& other) const {
+  return placement_ == other.placement_ &&
+         slots_equal(proc_order_, other.proc_order_) &&
+         slots_equal(rc_contexts_, other.rc_contexts_) &&
+         slots_equal(asic_tasks_, other.asic_tasks_);
+}
 
 Solution Solution::all_software(const TaskGraph& tg, ResourceId processor) {
   Solution sol(tg.task_count());
@@ -94,34 +129,13 @@ ResourceId Solution::resource_of(TaskId task) const {
   return placement(task).resource;
 }
 
-std::span<const TaskId> Solution::processor_order(ResourceId processor) const {
-  const auto it = proc_order_.find(processor);
-  if (it == proc_order_.end()) return {};
-  return it->second;
-}
-
 std::size_t Solution::order_position(TaskId task) const {
   const Placement& p = placement(task);
-  const auto it = proc_order_.find(p.resource);
-  RDSE_REQUIRE(it != proc_order_.end(),
-               "order_position: task is not on a processor");
-  const auto& order = it->second;
+  const auto order = processor_order(p.resource);
+  RDSE_REQUIRE(!order.empty(), "order_position: task is not on a processor");
   const auto pos = std::find(order.begin(), order.end(), task);
   RDSE_ASSERT(pos != order.end());
   return static_cast<std::size_t>(pos - order.begin());
-}
-
-std::size_t Solution::context_count(ResourceId rc) const {
-  const auto it = rc_contexts_.find(rc);
-  return it == rc_contexts_.end() ? 0 : it->second.size();
-}
-
-std::span<const TaskId> Solution::context_tasks(ResourceId rc,
-                                                std::size_t ctx) const {
-  const auto it = rc_contexts_.find(rc);
-  RDSE_REQUIRE(it != rc_contexts_.end() && ctx < it->second.size(),
-               "context_tasks: no such context");
-  return it->second[ctx];
 }
 
 std::int32_t Solution::context_clbs(const TaskGraph& tg, ResourceId rc,
@@ -135,9 +149,8 @@ std::int32_t Solution::context_clbs(const TaskGraph& tg, ResourceId rc,
 }
 
 std::span<const TaskId> Solution::asic_tasks(ResourceId asic) const {
-  const auto it = asic_tasks_.find(asic);
-  if (it == asic_tasks_.end()) return {};
-  return it->second;
+  if (asic >= asic_tasks_.size()) return {};
+  return asic_tasks_[asic];
 }
 
 std::size_t Solution::tasks_on(ResourceId id) const {
@@ -168,8 +181,8 @@ void Solution::remove_task(TaskId task) {
   touch(p.resource);
   touch_task(task);
 
-  if (auto it = proc_order_.find(p.resource); it != proc_order_.end()) {
-    auto& order = it->second;
+  if (p.resource < proc_order_.size()) {
+    auto& order = proc_order_[p.resource];
     const auto pos = std::find(order.begin(), order.end(), task);
     if (pos != order.end()) {
       order.erase(pos);
@@ -177,10 +190,10 @@ void Solution::remove_task(TaskId task) {
       return;
     }
   }
-  if (auto it = rc_contexts_.find(p.resource); it != rc_contexts_.end()) {
-    auto& contexts = it->second;
-    RDSE_ASSERT(p.context >= 0 &&
-                static_cast<std::size_t>(p.context) < contexts.size());
+  if (p.context >= 0) {
+    RDSE_ASSERT(p.resource < rc_contexts_.size());
+    auto& contexts = rc_contexts_[p.resource];
+    RDSE_ASSERT(static_cast<std::size_t>(p.context) < contexts.size());
     auto& members = contexts[static_cast<std::size_t>(p.context)];
     const auto pos = std::find(members.begin(), members.end(), task);
     RDSE_ASSERT(pos != members.end());
@@ -198,13 +211,14 @@ void Solution::remove_task(TaskId task) {
     p = Placement{};
     return;
   }
-  if (auto it = asic_tasks_.find(p.resource); it != asic_tasks_.end()) {
-    auto& members = it->second;
+  if (p.resource < asic_tasks_.size()) {
+    auto& members = asic_tasks_[p.resource];
     const auto pos = std::find(members.begin(), members.end(), task);
-    RDSE_ASSERT(pos != members.end());
-    members.erase(pos);
-    p = Placement{};
-    return;
+    if (pos != members.end()) {
+      members.erase(pos);
+      p = Placement{};
+      return;
+    }
   }
   RDSE_ASSERT_MSG(false, "Solution::remove_task: placement without mirror");
 }
@@ -216,7 +230,7 @@ void Solution::insert_on_processor(TaskId task, ResourceId processor,
                "insert_on_processor: task already assigned");
   touch(processor);
   touch_task(task);
-  auto& order = proc_order_[processor];
+  auto& order = slot_at(proc_order_, processor);
   position = std::min(position, order.size());
   order.insert(order.begin() + static_cast<std::ptrdiff_t>(position), task);
   placement_[task] = Placement{processor, -1, 0};
@@ -227,17 +241,13 @@ void Solution::insert_in_context(TaskId task, ResourceId rc, std::size_t ctx,
   RDSE_REQUIRE(task < placement_.size(), "Solution: task id out of range");
   RDSE_REQUIRE(!placement_[task].assigned(),
                "insert_in_context: task already assigned");
-  auto it = rc_contexts_.find(rc);
-  RDSE_REQUIRE(it != rc_contexts_.end() && ctx < it->second.size(),
+  RDSE_REQUIRE(ctx < context_count(rc),
                "insert_in_context: no context " + std::to_string(ctx) +
                    " on resource " + std::to_string(rc) + " (" +
-                   std::to_string(it == rc_contexts_.end()
-                                      ? 0
-                                      : it->second.size()) +
-                   " contexts)");
+                   std::to_string(context_count(rc)) + " contexts)");
   touch(rc);
   touch_task(task);
-  it->second[ctx].push_back(task);
+  rc_contexts_[rc][ctx].push_back(task);
   placement_[task] = Placement{rc, static_cast<std::int32_t>(ctx), impl};
 }
 
@@ -248,13 +258,13 @@ void Solution::insert_on_asic(TaskId task, ResourceId asic,
                "insert_on_asic: task already assigned");
   touch(asic);
   touch_task(task);
-  asic_tasks_[asic].push_back(task);
+  slot_at(asic_tasks_, asic).push_back(task);
   placement_[task] = Placement{asic, -1, impl};
 }
 
 std::size_t Solution::spawn_context_after(ResourceId rc, std::size_t after) {
   touch(rc);
-  auto& contexts = rc_contexts_[rc];
+  auto& contexts = slot_at(rc_contexts_, rc);
   std::size_t pos;
   if (after == kFront) {
     pos = 0;
@@ -277,12 +287,12 @@ std::size_t Solution::spawn_context_after(ResourceId rc, std::size_t after) {
 
 void Solution::reposition(TaskId task, std::size_t new_position) {
   const Placement p = placement(task);
-  auto it = proc_order_.find(p.resource);
-  RDSE_REQUIRE(it != proc_order_.end(),
+  RDSE_REQUIRE(p.resource < proc_order_.size() &&
+                   !proc_order_[p.resource].empty(),
                "reposition: task is not on a processor");
   touch(p.resource);
   touch_task(task);
-  auto& order = it->second;
+  auto& order = proc_order_[p.resource];
   const auto pos = std::find(order.begin(), order.end(), task);
   RDSE_ASSERT(pos != order.end());
   order.erase(pos);
@@ -301,13 +311,11 @@ void Solution::set_impl(TaskId task, std::uint32_t impl) {
 }
 
 void Solution::swap_contexts(ResourceId rc, std::size_t a, std::size_t b) {
-  auto it = rc_contexts_.find(rc);
-  RDSE_REQUIRE(it != rc_contexts_.end() && a < it->second.size() &&
-                   b < it->second.size(),
+  RDSE_REQUIRE(a < context_count(rc) && b < context_count(rc),
                "swap_contexts: context index out of range");
   if (a == b) return;
   touch(rc);
-  std::swap(it->second[a], it->second[b]);
+  std::swap(rc_contexts_[rc][a], rc_contexts_[rc][b]);
   for (Placement& q : placement_) {
     if (q.resource != rc) continue;
     if (q.context == static_cast<std::int32_t>(a)) {
@@ -320,15 +328,16 @@ void Solution::swap_contexts(ResourceId rc, std::size_t a, std::size_t b) {
 
 void Solution::check_mirrors() const {
   std::vector<int> seen(placement_.size(), 0);
-  for (const auto& [proc, order] : proc_order_) {
-    for (TaskId t : order) {
+  for (ResourceId proc = 0; proc < proc_order_.size(); ++proc) {
+    for (TaskId t : proc_order_[proc]) {
       RDSE_ASSERT(t < placement_.size());
       RDSE_ASSERT(placement_[t].resource == proc);
       RDSE_ASSERT(placement_[t].context == -1);
       ++seen[t];
     }
   }
-  for (const auto& [rc, contexts] : rc_contexts_) {
+  for (ResourceId rc = 0; rc < rc_contexts_.size(); ++rc) {
+    const auto& contexts = rc_contexts_[rc];
     for (std::size_t c = 0; c < contexts.size(); ++c) {
       RDSE_ASSERT_MSG(!contexts[c].empty(),
                       "Solution: empty context not collapsed");
@@ -340,8 +349,8 @@ void Solution::check_mirrors() const {
       }
     }
   }
-  for (const auto& [asic, members] : asic_tasks_) {
-    for (TaskId t : members) {
+  for (ResourceId asic = 0; asic < asic_tasks_.size(); ++asic) {
+    for (TaskId t : asic_tasks_[asic]) {
       RDSE_ASSERT(t < placement_.size());
       RDSE_ASSERT(placement_[t].resource == asic);
       ++seen[t];

@@ -18,7 +18,6 @@
 /// them as parameters, so a Solution can outlive architecture snapshots.
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <vector>
 
@@ -64,17 +63,29 @@ class Solution {
   }
   [[nodiscard]] ResourceId resource_of(TaskId task) const;
 
+  // The three accessors below sit on the annealing hot path (realization,
+  // reconciliation, move generation) — with flat id-indexed mirrors they
+  // are single indexed loads, defined inline.
   /// Total order of tasks on a processor (empty if none assigned).
   [[nodiscard]] std::span<const TaskId> processor_order(
-      ResourceId processor) const;
+      ResourceId processor) const {
+    if (processor >= proc_order_.size()) return {};
+    return proc_order_[processor];
+  }
   /// Position of a processor task within its order.
   [[nodiscard]] std::size_t order_position(TaskId task) const;
 
   /// Number of contexts currently allocated on an RC.
-  [[nodiscard]] std::size_t context_count(ResourceId rc) const;
+  [[nodiscard]] std::size_t context_count(ResourceId rc) const {
+    return rc < rc_contexts_.size() ? rc_contexts_[rc].size() : 0;
+  }
   /// Members of one context (unordered — locally partial order).
-  [[nodiscard]] std::span<const TaskId> context_tasks(ResourceId rc,
-                                                      std::size_t ctx) const;
+  [[nodiscard]] std::span<const TaskId> context_tasks(
+      ResourceId rc, std::size_t ctx) const {
+    RDSE_REQUIRE(rc < rc_contexts_.size() && ctx < rc_contexts_[rc].size(),
+                 "context_tasks: no such context");
+    return rc_contexts_[rc][ctx];
+  }
   /// CLBs occupied by a context under the current implementation choices.
   [[nodiscard]] std::int32_t context_clbs(const TaskGraph& tg, ResourceId rc,
                                           std::size_t ctx) const;
@@ -141,25 +152,27 @@ class Solution {
     touched_tasks_.clear();
   }
 
-  /// Semantic equality (placements and mirrors; the journal is ignored).
-  [[nodiscard]] bool operator==(const Solution& other) const {
-    return placement_ == other.placement_ &&
-           proc_order_ == other.proc_order_ &&
-           rc_contexts_ == other.rc_contexts_ &&
-           asic_tasks_ == other.asic_tasks_;
-  }
+  /// Semantic equality (placements and mirrors; the journal is ignored —
+  /// and so are trailing/empty mirror slots, which only record that a
+  /// resource id was once used).
+  [[nodiscard]] bool operator==(const Solution& other) const;
 
  private:
   void touch(ResourceId id);
   void touch_task(TaskId id);
 
   std::vector<Placement> placement_;
+  // The mirrors are flat slots indexed by the dense, never-reused resource
+  // ids (a slot for a resource the solution never saw is simply empty) —
+  // the accessors on the annealing hot path (processor_order,
+  // context_tasks, context_count) are one indexed load instead of a tree
+  // walk, and the per-move candidate copy reuses inner capacity.
   /// processor id -> total order
-  std::map<ResourceId, std::vector<TaskId>> proc_order_;
+  std::vector<std::vector<TaskId>> proc_order_;
   /// rc id -> ordered context list (members unordered within a context)
-  std::map<ResourceId, std::vector<std::vector<TaskId>>> rc_contexts_;
+  std::vector<std::vector<std::vector<TaskId>>> rc_contexts_;
   /// asic id -> members
-  std::map<ResourceId, std::vector<TaskId>> asic_tasks_;
+  std::vector<std::vector<TaskId>> asic_tasks_;
   /// Resources / tasks modified since clear_touched() (deduplicated, tiny).
   std::vector<ResourceId> touched_;
   std::vector<TaskId> touched_tasks_;

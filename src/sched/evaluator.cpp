@@ -43,7 +43,8 @@ std::optional<EvalDetail> Evaluator::evaluate_detailed(
     return std::nullopt;
   }
   const WeightedDag dag{&d.search_graph.graph, d.search_graph.node_weight,
-                        d.search_graph.edge_weight, d.search_graph.release};
+                        d.search_graph.graph.edge_weights(),
+                        d.search_graph.release};
   d.lp = longest_path(dag);
   d.metrics.makespan = d.lp.makespan;
   fill_static_metrics(*tg_, *arch_, sol, d.search_graph, d.metrics);

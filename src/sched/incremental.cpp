@@ -40,12 +40,16 @@ IncrementalLongestPath::IncrementalLongestPath(
     std::vector<TimeNs> edge_weight, std::vector<TimeNs> release)
     : graph_(std::move(graph)),
       node_weight_(std::move(node_weight)),
-      edge_weight_(std::move(edge_weight)),
       release_(std::move(release)) {
   RDSE_REQUIRE(node_weight_.size() == graph_.node_count(),
                "IncrementalLongestPath: node weight size mismatch");
-  RDSE_REQUIRE(edge_weight_.size() >= graph_.edge_capacity(),
+  RDSE_REQUIRE(edge_weight.size() >= graph_.edge_capacity(),
                "IncrementalLongestPath: edge weight size mismatch");
+  // Fold the caller's weight array into the graph's own per-edge weights
+  // (and their half-edge mirrors) — the authoritative store from here on.
+  for (EdgeId e = 0; e < graph_.edge_capacity(); ++e) {
+    if (graph_.edge_alive(e)) graph_.set_edge_weight(e, edge_weight[e]);
+  }
   if (release_.empty()) {
     release_.assign(graph_.node_count(), 0);
   }
@@ -58,9 +62,8 @@ bool IncrementalLongestPath::would_create_cycle(NodeId src, NodeId dst) const {
 
 TimeNs IncrementalLongestPath::relax(NodeId v) const {
   TimeNs s = release_[v];
-  for (EdgeId e : graph_.in_edges(v)) {
-    const NodeId u = graph_.edge_unchecked(e).src;
-    s = std::max(s, finish_[u] + edge_weight_[e]);
+  for (const HalfEdge& h : graph_.in_half(v)) {
+    s = std::max(s, finish_[h.node] + h.weight);
   }
   return s;
 }
@@ -106,11 +109,10 @@ void IncrementalLongestPath::propagate_from(NodeId seed) {
     } else if (f == changed_max) {
       ++changed_max_count;
     }
-    for (EdgeId e : graph_.out_edges(v)) {
-      const NodeId w = graph_.edge_unchecked(e).dst;
-      if (!queued[w]) {
-        queued[w] = true;
-        heap.emplace(rank_[w], w);
+    for (const HalfEdge& h : graph_.out_half(v)) {
+      if (!queued[h.node]) {
+        queued[h.node] = true;
+        heap.emplace(rank_[h.node], h.node);
       }
     }
   }
@@ -139,11 +141,7 @@ EdgeId IncrementalLongestPath::add_edge(NodeId src, NodeId dst,
                                         TimeNs weight) {
   RDSE_REQUIRE(!would_create_cycle(src, dst),
                "IncrementalLongestPath::add_edge: would create a cycle");
-  const EdgeId id = graph_.add_edge(src, dst);
-  if (id >= edge_weight_.size()) {
-    edge_weight_.resize(id + 1, 0);
-  }
-  edge_weight_[id] = weight;
+  const EdgeId id = graph_.add_edge(src, dst, weight);
   closure_.add_edge(src, dst);
   refresh_ranks();  // structure changed
   propagate_from(dst);
@@ -172,7 +170,8 @@ void IncrementalLongestPath::set_release(NodeId node, TimeNs release) {
 }
 
 void IncrementalLongestPath::rebuild() {
-  const WeightedDag dag{&graph_, node_weight_, edge_weight_, release_};
+  const WeightedDag dag{&graph_, node_weight_, graph_.edge_weights(),
+                        release_};
   const LongestPathResult r = longest_path(dag);
   start_ = r.start;
   finish_ = r.finish;
@@ -201,53 +200,82 @@ void DeltaRelaxer::reset(const WeightedDag& dag) {
     rank_[(*order)[i]] = static_cast<std::uint32_t>(i);
   }
 
+  journal_.clear();
+  rank_journal_.clear();
+  order_journal_.clear();
   probe_valid_ = false;
 }
+
+void DeltaRelaxer::rollback_ranks() {
+  for (auto it = rank_journal_.rbegin(); it != rank_journal_.rend(); ++it) {
+    rank_[it->node] = it->rank;
+  }
+  for (auto it = order_journal_.rbegin(); it != order_journal_.rend();
+       ++it) {
+    order_[it->slot] = it->node;
+  }
+  rank_journal_.clear();
+  order_journal_.clear();
+}
+
+void DeltaRelaxer::rollback_probe() {
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    start_[it->node] = it->start;
+    finish_[it->node] = it->finish;
+  }
+  journal_.clear();
+  rollback_ranks();
+  probe_valid_ = false;
+}
+
+void DeltaRelaxer::discard() { rollback_probe(); }
 
 std::optional<TimeNs> DeltaRelaxer::probe(const WeightedDag& dag,
                                           std::span<const NodeId> seeds,
                                           std::span<const EdgeId> new_edges) {
+  // An unresolved previous probe left its candidate values in place —
+  // restore the committed fixed point before staging a new candidate.
+  rollback_probe();
+
   const Digraph& g = *dag.graph;
   const std::size_t n = g.node_count();
   RDSE_REQUIRE(n == rank_.size(), "DeltaRelaxer::probe: node count changed");
   ++stats_.probes;
   stats_.total_nodes += static_cast<std::int64_t>(n);
-  probe_valid_ = false;
 
   // 1. Topological ranks. Deletions and weight changes cannot introduce a
   // cycle or invalidate the committed ranks — only the inserted edges can.
   // If every inserted edge ascends, the committed ranks remain a valid
   // numbering of the edited graph; otherwise repair the ranks locally
-  // (Pearce–Kelly), which also decides acyclicity.
+  // (Pearce–Kelly), which also decides acyclicity. This happens before any
+  // value is written, so a cyclic candidate leaves no journal to unwind.
   bool ranks_ok = true;
   for (EdgeId e : new_edges) {
-    const Digraph::Edge& ed = g.edge(e);
+    const Digraph::Edge& ed = g.edge_unchecked(e);
     if (rank_[ed.src] >= rank_[ed.dst]) {
       ranks_ok = false;
       break;
     }
   }
-  cand_ranks_fresh_ = !ranks_ok;
   if (!ranks_ok) {
     ++stats_.rank_refreshes;
     if (!repair_ranks(g, new_edges)) {
-      ++stats_.cyclic;
+      ++stats_.cyclic;  // repair_ranks already rolled its edits back
       return std::nullopt;
     }
   }
-  const std::vector<std::uint32_t>& rank = ranks_ok ? rank_ : cand_rank_;
-  const std::vector<NodeId>& order = ranks_ok ? order_ : cand_order_;
+  const std::vector<std::uint32_t>& rank = rank_;
+  const std::vector<NodeId>& order = order_;
   stats_.seed_nodes += static_cast<std::int64_t>(seeds.size());
 
-  // 2. Warm start: inherit the committed fixed point.
-  cand_start_ = start_;
-  cand_finish_ = finish_;
-
-  // 3. Multi-seed dirty propagation in ascending rank order via the
+  // 2. Multi-seed dirty propagation in ascending rank order via the
   // schedule bitmask. Every node is processed at most once: its
   // predecessors (lower rank) are final when its bit is consumed, because
   // bits are only ever set above the scan position (edges ascend in rank)
-  // or by the up-front seeding.
+  // or by the up-front seeding. Candidate values are written directly over
+  // the committed arrays; each changed node's committed values go into the
+  // journal first, so a rejected probe replays it backwards instead of a
+  // v3-style O(V) buffer copy per probe.
   queued_.assign((n + 63) / 64, 0);
   for (NodeId v : seeds) {
     const std::uint32_t r = rank[v];
@@ -270,17 +298,19 @@ std::optional<TimeNs> DeltaRelaxer::probe(const WeightedDag& dag,
       const NodeId v = order[(w << 6) | bit];
       ++relaxed;
       TimeNs s = dag.release.empty() ? 0 : dag.release[v];
-      for (EdgeId e : g.in_edges(v)) {
-        const NodeId u = g.edge_unchecked(e).src;
-        s = std::max(s, cand_finish_[u] + dag.edge_weight[e]);
+      for (const HalfEdge& h : g.in_half(v)) {
+        RDSE_DCHECK(h.weight == dag.edge_weight[h.edge],
+                    "DeltaRelaxer::probe: half-edge weight mirror desynced");
+        s = std::max(s, finish_[h.node] + h.weight);
       }
       const TimeNs f = s + dag.node_weight[v];
-      if (s == cand_start_[v] && f == cand_finish_[v]) {
+      if (s == start_[v] && f == finish_[v]) {
         continue;  // unchanged: downstream unaffected through this node
       }
-      if (cand_finish_[v] == makespan_) --at_max;
-      cand_start_[v] = s;
-      cand_finish_[v] = f;
+      journal_.push_back({v, start_[v], finish_[v]});
+      if (finish_[v] == makespan_) --at_max;
+      start_[v] = s;
+      finish_[v] = f;
       if (f == makespan_) ++at_max;
       if (f > changed_max) {
         changed_max = f;
@@ -288,14 +318,15 @@ std::optional<TimeNs> DeltaRelaxer::probe(const WeightedDag& dag,
       } else if (f == changed_max) {
         ++changed_max_count;
       }
-      for (EdgeId e : g.out_edges(v)) {
-        const std::uint32_t r = rank[g.edge_unchecked(e).dst];
+      for (const HalfEdge& h : g.out_half(v)) {
+        const std::uint32_t r = rank[h.node];
         queued_[r >> 6] |= std::uint64_t{1} << (r & 63);
       }
     }
   }
   last_relaxed_ = relaxed;
   stats_.relaxed_nodes += relaxed;
+  stats_.journal_entries += static_cast<std::int64_t>(journal_.size());
 
   if (changed_max > makespan_) {
     // A changed node dominates every untouched one (all <= the committed
@@ -309,9 +340,10 @@ std::optional<TimeNs> DeltaRelaxer::probe(const WeightedDag& dag,
     cand_count_at_max_ = at_max;
   } else {
     // Argmax set emptied and no changed node reached it: the new maximum
-    // may hide among untouched nodes — the lazy full-rescan fallback.
+    // may hide among untouched nodes — the lazy full-rescan fallback
+    // (finish_ holds the candidate values in place).
     ++stats_.makespan_rescans;
-    const MaxMultiplicity m = max_and_multiplicity(cand_finish_);
+    const MaxMultiplicity m = max_and_multiplicity(finish_);
     cand_makespan_ = m.max;
     cand_count_at_max_ = m.count;
   }
@@ -322,37 +354,52 @@ std::optional<TimeNs> DeltaRelaxer::probe(const WeightedDag& dag,
 bool DeltaRelaxer::repair_ranks(const Digraph& g,
                                 std::span<const EdgeId> new_edges) {
   // Pearce–Kelly dynamic topological sort, batched: adopt the inserted
-  // edges one at a time into cand_rank_/cand_order_ (seeded from the
-  // committed numbering, which deletions and weight changes left valid).
-  // The loop invariant is the textbook single-insertion one — before edge
-  // i is adopted, the candidate numbering is valid for the whole edited
-  // graph *minus* new_edges[i..] — so both bounded sweeps below may
-  // traverse every edge except that not-yet-adopted suffix, and the
-  // forward sweep reaching `x` is an exact cycle certificate.
-  cand_rank_ = rank_;
-  cand_order_ = order_;
+  // edges one at a time into rank_/order_ *in place*, journaling every
+  // write (the committed numbering stayed valid under deletions and weight
+  // changes, so it is the correct starting point — and the journal is what
+  // v3's two O(V) candidate copies became). The loop invariant is the
+  // textbook single-insertion one — before edge i is adopted, the repaired
+  // numbering is valid for the whole edited graph *minus* new_edges[i..] —
+  // so both bounded sweeps below may traverse every edge except that
+  // not-yet-adopted suffix, and the forward sweep reaching `x` is an exact
+  // cycle certificate. On a detected cycle the partial repair is rolled
+  // back here, leaving the committed numbering bit-intact.
+  //
   // Each violating edge advances the epoch twice; re-zero the marks when
   // the remaining headroom could not cover this whole batch (wrapping
   // mid-call would alias stale marks and corrupt the sweeps).
   const std::uint32_t needed =
       2 * static_cast<std::uint32_t>(new_edges.size()) + 2;
-  if (visit_mark_.size() != cand_rank_.size() ||
+  if (visit_mark_.size() != rank_.size() ||
       visit_epoch_ >= std::numeric_limits<std::uint32_t>::max() - needed) {
-    visit_mark_.assign(cand_rank_.size(), 0);
+    visit_mark_.assign(rank_.size(), 0);
     visit_epoch_ = 0;
   }
+  // Stamp each inserted edge with its batch position so the sweeps decide
+  // "still pending?" with one epoch-checked load instead of scanning
+  // new_edges per visited half-edge. Ascending writes keep the max position
+  // for a (theoretical) duplicate id, matching the scan's any-of semantics.
+  if (edge_batch_mark_.size() < g.edge_capacity() ||
+      edge_batch_epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    edge_batch_pos_.assign(g.edge_capacity(), 0);
+    edge_batch_mark_.assign(g.edge_capacity(), 0);
+    edge_batch_epoch_ = 0;
+  }
+  ++edge_batch_epoch_;
+  for (std::size_t j = 0; j < new_edges.size(); ++j) {
+    edge_batch_pos_[new_edges[j]] = static_cast<std::uint32_t>(j);
+    edge_batch_mark_[new_edges[j]] = edge_batch_epoch_;
+  }
   const auto pending = [&](EdgeId e, std::size_t next) {
-    for (std::size_t j = next; j < new_edges.size(); ++j) {
-      if (new_edges[j] == e) return true;
-    }
-    return false;
+    return edge_batch_mark_[e] == edge_batch_epoch_ &&
+           edge_batch_pos_[e] >= next;
   };
   for (std::size_t i = 0; i < new_edges.size(); ++i) {
-    const Digraph::Edge& ed = g.edge(new_edges[i]);
+    const Digraph::Edge& ed = g.edge_unchecked(new_edges[i]);
     const NodeId x = ed.src;
     const NodeId y = ed.dst;
-    const std::uint32_t lb = cand_rank_[y];
-    const std::uint32_t ub = cand_rank_[x];
+    const std::uint32_t lb = rank_[y];
+    const std::uint32_t ub = rank_[x];
     if (ub < lb) continue;  // already ascends under the repaired numbering
     ++stats_.rank_repairs;
 
@@ -366,11 +413,14 @@ bool DeltaRelaxer::repair_ranks(const Digraph& g,
       const NodeId v = dfs_stack_.back();
       dfs_stack_.pop_back();
       delta_fwd_.push_back(v);
-      for (EdgeId e : g.out_edges(v)) {
-        if (pending(e, i)) continue;
-        const NodeId w = g.edge_unchecked(e).dst;
-        if (w == x) return false;  // y reaches x: inserting x->y cycles
-        if (cand_rank_[w] > ub || visit_mark_[w] == visit_epoch_) continue;
+      for (const HalfEdge& h : g.out_half(v)) {
+        if (pending(h.edge, i)) continue;
+        const NodeId w = h.node;
+        if (w == x) {
+          rollback_ranks();  // y reaches x: inserting x->y cycles
+          return false;
+        }
+        if (rank_[w] > ub || visit_mark_[w] == visit_epoch_) continue;
         visit_mark_[w] = visit_epoch_;
         dfs_stack_.push_back(w);
       }
@@ -387,10 +437,10 @@ bool DeltaRelaxer::repair_ranks(const Digraph& g,
       const NodeId v = dfs_stack_.back();
       dfs_stack_.pop_back();
       delta_back_.push_back(v);
-      for (EdgeId e : g.in_edges(v)) {
-        if (pending(e, i)) continue;
-        const NodeId w = g.edge_unchecked(e).src;
-        if (cand_rank_[w] < lb || visit_mark_[w] == visit_epoch_) continue;
+      for (const HalfEdge& h : g.in_half(v)) {
+        if (pending(h.edge, i)) continue;
+        const NodeId w = h.node;
+        if (rank_[w] < lb || visit_mark_[w] == visit_epoch_) continue;
         visit_mark_[w] = visit_epoch_;
         dfs_stack_.push_back(w);
       }
@@ -399,24 +449,51 @@ bool DeltaRelaxer::repair_ranks(const Digraph& g,
     // Re-pack the union into its own rank slots: x's ancestors first (in
     // their old relative order), then y's descendants — every other node
     // keeps its rank, so all previously-ascending edges still ascend.
-    const auto by_rank = [&](NodeId a, NodeId b) {
-      return cand_rank_[a] < cand_rank_[b];
+    // The affected sets are tiny (a handful of nodes per repair), so plain
+    // insertion sorts beat std::sort's dispatch overhead here, and the
+    // slot pool is just the merge of the two already-sorted rank runs.
+    const auto insertion_by_rank = [&](std::vector<NodeId>& v) {
+      for (std::size_t a = 1; a < v.size(); ++a) {
+        const NodeId n = v[a];
+        const std::uint32_t r = rank_[n];
+        std::size_t b = a;
+        for (; b > 0 && rank_[v[b - 1]] > r; --b) v[b] = v[b - 1];
+        v[b] = n;
+      }
     };
-    std::sort(delta_fwd_.begin(), delta_fwd_.end(), by_rank);
-    std::sort(delta_back_.begin(), delta_back_.end(), by_rank);
+    insertion_by_rank(delta_fwd_);
+    insertion_by_rank(delta_back_);
     rank_pool_.clear();
-    for (NodeId v : delta_fwd_) rank_pool_.push_back(cand_rank_[v]);
-    for (NodeId v : delta_back_) rank_pool_.push_back(cand_rank_[v]);
-    std::sort(rank_pool_.begin(), rank_pool_.end());
+    {
+      std::size_t a = 0;
+      std::size_t b = 0;
+      while (a < delta_back_.size() && b < delta_fwd_.size()) {
+        const std::uint32_t ra = rank_[delta_back_[a]];
+        const std::uint32_t rb = rank_[delta_fwd_[b]];
+        if (ra < rb) {
+          rank_pool_.push_back(ra);
+          ++a;
+        } else {
+          rank_pool_.push_back(rb);
+          ++b;
+        }
+      }
+      for (; a < delta_back_.size(); ++a) {
+        rank_pool_.push_back(rank_[delta_back_[a]]);
+      }
+      for (; b < delta_fwd_.size(); ++b) {
+        rank_pool_.push_back(rank_[delta_fwd_[b]]);
+      }
+    }
+    const auto move_to = [&](NodeId v, std::uint32_t slot) {
+      rank_journal_.push_back({v, rank_[v]});
+      order_journal_.push_back({slot, order_[slot]});
+      rank_[v] = slot;
+      order_[slot] = v;
+    };
     std::size_t slot = 0;
-    for (NodeId v : delta_back_) {
-      cand_rank_[v] = rank_pool_[slot++];
-      cand_order_[cand_rank_[v]] = v;
-    }
-    for (NodeId v : delta_fwd_) {
-      cand_rank_[v] = rank_pool_[slot++];
-      cand_order_[cand_rank_[v]] = v;
-    }
+    for (NodeId v : delta_back_) move_to(v, rank_pool_[slot++]);
+    for (NodeId v : delta_fwd_) move_to(v, rank_pool_[slot++]);
     stats_.rank_repair_nodes +=
         static_cast<std::int64_t>(delta_fwd_.size() + delta_back_.size());
   }
@@ -426,12 +503,11 @@ bool DeltaRelaxer::repair_ranks(const Digraph& g,
 void DeltaRelaxer::commit() {
   RDSE_REQUIRE(probe_valid_,
                "DeltaRelaxer::commit: no successful probe staged");
-  start_.swap(cand_start_);
-  finish_.swap(cand_finish_);
-  if (cand_ranks_fresh_) {
-    rank_.swap(cand_rank_);
-    order_.swap(cand_order_);
-  }
+  // start_/finish_ (and any repaired ranks) already hold the candidate
+  // values in place: adopting them is just truncating the journals.
+  journal_.clear();
+  rank_journal_.clear();
+  order_journal_.clear();
   makespan_ = cand_makespan_;
   count_at_max_ = cand_count_at_max_;
   probe_valid_ = false;

@@ -13,6 +13,12 @@
 ///
 /// The engine also maintains the transitive closure of the current graph so
 /// the §4.3 cycle test ("would this edge close a cycle?") is O(1).
+///
+/// Both engines read edge weights from the graph's packed half-edge
+/// adjacency (one flat (neighbor, weight) array per node — see
+/// graph/digraph.hpp), so the relax inner loop is a single sequential
+/// stream instead of an id-list walk through the edge table and a separate
+/// weight array.
 
 #include <optional>
 #include <span>
@@ -37,6 +43,8 @@ namespace rdse {
 class IncrementalLongestPath {
  public:
   /// Take ownership of the graph and weights; graph must be acyclic.
+  /// `edge_weight` (indexed by EdgeId) is folded into the graph's own
+  /// per-edge weights, which are authoritative from then on.
   IncrementalLongestPath(Digraph graph, std::vector<TimeNs> node_weight,
                          std::vector<TimeNs> edge_weight,
                          std::vector<TimeNs> release);
@@ -85,7 +93,6 @@ class IncrementalLongestPath {
 
   Digraph graph_;
   std::vector<TimeNs> node_weight_;
-  std::vector<TimeNs> edge_weight_;
   std::vector<TimeNs> release_;
   std::vector<TimeNs> start_;
   std::vector<TimeNs> finish_;
@@ -115,6 +122,10 @@ struct DeltaRelaxStats {
   /// committed argmax set emptied and no relaxed node reached it); every
   /// other probe derived the makespan from the relaxed-node delta alone.
   std::int64_t makespan_rescans = 0;
+  /// Undo-journal records written: one per node whose start/finish a probe
+  /// actually changed. journal_entries / probes is the per-probe rollback
+  /// cost, which replaced the two O(V) candidate-buffer copies of v3.
+  std::int64_t journal_entries = 0;
 };
 
 /// Warm-start longest-path engine for the annealing hot path (§4.4, EXP-M1).
@@ -130,6 +141,15 @@ struct DeltaRelaxStats {
 /// as IncrementalLongestPath, generalized to multi-seed deltas. Results are
 /// bit-identical to a full recomputation (property-tested).
 ///
+/// Candidate values are written *in place* over the committed start/finish
+/// arrays, guarded by a compact undo journal of (node, old start, old
+/// finish) records — one per changed node. v3 copied both O(V) arrays into
+/// candidate buffers on every probe; now a probe touches only O(relaxed)
+/// memory: commit() truncates the journal (O(1)), and a rejected probe
+/// replays it backwards to restore the committed fixed point bit-exactly.
+/// Between probe() and commit()/discard(), start_of()/finish_of() therefore
+/// read the *staged candidate*; makespan() always reads the committed value.
+///
 /// Acyclicity is decided for free in the common case: deletions and weight
 /// changes cannot create a cycle, so only the inserted edges are checked
 /// against the committed ranks. If every inserted edge ascends, the ranks
@@ -142,7 +162,8 @@ struct DeltaRelaxStats {
 /// region first follows x's ancestors, then y's descendants). Cost is
 /// proportional to the affected window, not the graph; the forward sweep
 /// reaching x is exactly the cycle certificate, so acyclicity still falls
-/// out of the same pass.
+/// out of the same pass. A cyclic probe is rejected before any value is
+/// written, so it leaves no journal to unwind.
 ///
 /// The makespan is maintained incrementally as well: the relaxer carries
 /// the multiplicity of the committed maximum (how many nodes finish exactly
@@ -153,10 +174,8 @@ struct DeltaRelaxStats {
 /// among untouched nodes, and only then does probe() fall back to a full
 /// finish-time rescan (counted in DeltaRelaxStats::makespan_rescans).
 ///
-/// probe() leaves the committed values untouched, so a rejected move is
-/// rolled back for free on the relaxer's side; commit() adopts the probed
-/// values by swapping buffers, O(1) beyond that. All scratch storage is
-/// reused — steady-state probes allocate nothing.
+/// All scratch storage is reused — steady-state probes allocate nothing
+/// (asserted via the journal/scratch capacity watermarks in tests).
 class DeltaRelaxer {
  public:
   /// Bind to the initial committed snapshot (full relaxation; the graph must
@@ -171,22 +190,57 @@ class DeltaRelaxer {
   ///  - `new_edges`: edges present in `dag` but not in the committed graph
   ///    (the only possible rank violations / cycle sources).
   /// Returns the candidate makespan, or std::nullopt if the edited graph is
-  /// cyclic. Committed values are untouched either way.
+  /// cyclic. An unresolved previous probe is rolled back first, so the
+  /// committed fixed point is the baseline either way.
   [[nodiscard]] std::optional<TimeNs> probe(const WeightedDag& dag,
                                             std::span<const NodeId> seeds,
                                             std::span<const EdgeId> new_edges);
 
-  /// Adopt the last successful probe as the committed state.
+  /// Adopt the last successful probe as the committed state (truncates the
+  /// journal, O(1)).
   void commit();
 
+  /// Roll the last probe back: replay the journal in reverse, restoring the
+  /// committed start/finish values bit-exactly. No-op when nothing is
+  /// staged.
+  void discard();
+
   [[nodiscard]] TimeNs makespan() const { return makespan_; }
-  [[nodiscard]] TimeNs start_of(NodeId node) const { return start_[node]; }
-  [[nodiscard]] TimeNs finish_of(NodeId node) const { return finish_[node]; }
+  /// Committed value — or the staged candidate's, between a successful
+  /// probe() and its commit()/discard() (in-place layout).
+  [[nodiscard]] TimeNs start_of(NodeId node) const {
+    RDSE_DCHECK(node < start_.size(), "DeltaRelaxer::start_of: bad node");
+    return start_[node];
+  }
+  [[nodiscard]] TimeNs finish_of(NodeId node) const {
+    RDSE_DCHECK(node < finish_.size(), "DeltaRelaxer::finish_of: bad node");
+    return finish_[node];
+  }
   [[nodiscard]] const DeltaRelaxStats& stats() const { return stats_; }
   [[nodiscard]] std::uint32_t last_relaxed() const { return last_relaxed_; }
+  /// Undo-journal records staged by the last probe (cleared by
+  /// commit()/discard()).
+  [[nodiscard]] std::size_t journal_size() const { return journal_.size(); }
+  /// Scratch-capacity watermarks — steady-state probes must not move them
+  /// (the "allocates nothing" property the tests pin down).
+  [[nodiscard]] std::size_t journal_capacity() const {
+    return journal_.capacity();
+  }
+  [[nodiscard]] std::size_t queued_capacity() const {
+    return queued_.capacity();
+  }
 
  private:
-  // Committed longest-path fixed point. `order_` is the inverse rank
+  /// One changed node's committed values, recorded before the in-place
+  /// overwrite. Rollback replays these in reverse.
+  struct JournalEntry {
+    NodeId node;
+    TimeNs start;
+    TimeNs finish;
+  };
+
+  // Committed longest-path fixed point — start/finish are overwritten in
+  // place by probes under journal protection. `order_` is the inverse rank
   // permutation (rank index -> node). `count_at_max_` is the number of
   // nodes whose finish equals makespan_ — the argmax multiplicity that
   // lets probe() update the maximum from the relaxed delta alone.
@@ -197,23 +251,37 @@ class DeltaRelaxer {
   TimeNs makespan_ = 0;
   std::int64_t count_at_max_ = 0;
 
-  // Last probe (valid until the next probe or commit).
-  std::vector<TimeNs> cand_start_;
-  std::vector<TimeNs> cand_finish_;
-  std::vector<std::uint32_t> cand_rank_;
-  std::vector<NodeId> cand_order_;
+  // Last probe (valid until the next probe, commit or discard).
+  std::vector<JournalEntry> journal_;
+  /// Rank-repair journals: old rank per moved node / old occupant per
+  /// reassigned order slot. Rank repair edits rank_/order_ in place (no
+  /// O(V) candidate copies); rollback replays these in reverse.
+  struct RankUndo {
+    NodeId node;
+    std::uint32_t rank;
+  };
+  struct OrderUndo {
+    std::uint32_t slot;
+    NodeId node;
+  };
+  std::vector<RankUndo> rank_journal_;
+  std::vector<OrderUndo> order_journal_;
   TimeNs cand_makespan_ = 0;
   std::int64_t cand_count_at_max_ = 0;
-  bool cand_ranks_fresh_ = false;
   bool probe_valid_ = false;
   std::uint32_t last_relaxed_ = 0;
 
-  /// Pearce–Kelly local repair of cand_rank_/cand_order_ (seeded from the
-  /// committed ranks) after `new_edges` were inserted into `g`. Returns
-  /// false when the insertions close a cycle. Only nodes inside each
-  /// violating edge's rank window are moved.
+  /// Pearce–Kelly local repair of rank_/order_ in place (under the rank
+  /// journals) after `new_edges` were inserted into `g`. Returns false when
+  /// the insertions close a cycle — the partial repair is already rolled
+  /// back in that case. Only nodes inside each violating edge's rank
+  /// window are moved.
   [[nodiscard]] bool repair_ranks(const Digraph& g,
                                   std::span<const EdgeId> new_edges);
+  void rollback_ranks();
+  /// Replay all journals in reverse (committed values and ranks restored
+  /// bit-exactly).
+  void rollback_probe();
 
   /// Rank-indexed schedule bitmask: relaxation processes ranks in ascending
   /// order and every queued rank is strictly above the scan position (edges
@@ -228,6 +296,12 @@ class DeltaRelaxer {
   std::vector<NodeId> delta_fwd_;
   std::vector<NodeId> delta_back_;
   std::vector<std::uint32_t> rank_pool_;
+  /// O(1) "is this edge a not-yet-adopted insertion?" test: per-edge batch
+  /// position, epoch-stamped (a linear scan of new_edges per visited
+  /// half-edge used to dominate the repair sweeps on chain-heavy models).
+  std::vector<std::uint32_t> edge_batch_pos_;
+  std::vector<std::uint32_t> edge_batch_mark_;
+  std::uint32_t edge_batch_epoch_ = 0;
 
   DeltaRelaxStats stats_;
 };

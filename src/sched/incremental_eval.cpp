@@ -14,8 +14,8 @@ void IncrementalEvaluator::reset(const Architecture& arch,
   build_search_graph_into(sg_, *tg_, arch, sol, &cache_);
   RDSE_REQUIRE(is_acyclic(sg_.graph),
                "IncrementalEvaluator::reset: committed state is infeasible");
-  const WeightedDag dag{&sg_.graph, sg_.node_weight, sg_.edge_weight,
-                        sg_.release};
+  const WeightedDag dag{&sg_.graph, sg_.node_weight,
+                        sg_.graph.edge_weights(), sg_.release};
   relaxer_.reset(dag);
   cache_.commit();
 
@@ -33,6 +33,13 @@ void IncrementalEvaluator::reset(const Architecture& arch,
     if (sg_.edge_kind[e] == SearchEdgeKind::kComm) continue;
     const NodeId src = sg_.graph.edge(e).src;
     seq_list(sol.placement(src).resource).push_back(e);
+  }
+
+  // Per-edge bus transfer times (data amounts and the bus rate never change
+  // under moves — only placements do).
+  bus_time_.resize(tg_->comm_count());
+  for (EdgeId e = 0; e < tg_->comm_count(); ++e) {
+    bus_time_[e] = arch.bus().transfer_time(tg_->comm(e).bytes);
   }
 
   // Task-partition sums (maintained as deltas from here on).
@@ -62,10 +69,11 @@ void IncrementalEvaluator::stage_node_weight(NodeId v, TimeNs w) {
 }
 
 void IncrementalEvaluator::stage_comm_weight(EdgeId e, TimeNs w) {
-  if (sg_.edge_weight[e] == w) return;
-  comm_undo_.push_back({e, sg_.edge_weight[e]});
-  sg_.comm_cross += w - sg_.edge_weight[e];
-  sg_.edge_weight[e] = w;
+  const TimeNs old = sg_.graph.edge_weight(e);
+  if (old == w) return;
+  comm_undo_.push_back({e, old});
+  sg_.comm_cross += w - old;
+  sg_.graph.set_edge_weight(e, w);
   seeds_.push_back(sg_.graph.edge(e).dst);
 }
 
@@ -93,28 +101,51 @@ std::vector<EdgeId>& IncrementalEvaluator::seq_list(ResourceId r) {
   return seq_edges_[r];
 }
 
-void IncrementalEvaluator::reconcile_seq_edges(ResourceId r) {
+// The two-pointer chain diff, generic over how the desired chain is
+// described: `Desired` supplies the target length, a classification of a
+// live chain edge against a position, and the materialized record for
+// positions inside the differing window. The processor fast path streams
+// the desired chain straight out of the solution's flat order array (no
+// DesiredEdge vector is built, and a position match is two id compares);
+// RC context chains keep the materialized desired_ vector, whose entries
+// carry per-edge reconfiguration weights.
+//
+// Classification is three-way: an edge whose endpoints and kind match but
+// whose weight differs (the common case when a context's reconfiguration
+// time changed under an implementation move) is *re-weighted in place*
+// instead of torn down and re-inserted — it stays out of new_edges, so it
+// can neither violate the committed ranks nor trigger a Pearce-Kelly
+// repair, and the graph sees no structural churn at all.
+template <typename Desired>
+void IncrementalEvaluator::reconcile_chain(ResourceId r,
+                                           const Desired& desired) {
   auto& list = seq_list(r);
   ++reconciles_;
   const std::size_t n_old = list.size();
-  const std::size_t n_new = desired_.size();
-  const auto matches = [&](EdgeId id, const DesiredEdge& d) {
-    const Digraph::Edge& ed = sg_.graph.edge_unchecked(id);
-    return d.src == ed.src && d.dst == ed.dst &&
-           d.weight == sg_.edge_weight[id] && d.kind == sg_.edge_kind[id];
-  };
+  const std::size_t n_new = desired.size();
 
   // Two-pointer diff: both chains run in chain order, so a local move
   // leaves a common prefix and suffix, and only the window in between
-  // needs surgery.
+  // needs surgery. Weight-only differences extend the structural prefix /
+  // suffix (patched in place under the weight undo log).
   std::size_t prefix = 0;
-  while (prefix < n_old && prefix < n_new &&
-         matches(list[prefix], desired_[prefix])) {
+  while (prefix < n_old && prefix < n_new) {
+    const ChainMatch m = desired.classify(list[prefix], prefix);
+    if (m == ChainMatch::kMismatch) break;
+    if (m == ChainMatch::kWeightOnly) {
+      stage_seq_weight(list[prefix], desired.get(prefix).weight);
+    }
     ++prefix;
   }
   std::size_t suffix = 0;
-  while (suffix < n_old - prefix && suffix < n_new - prefix &&
-         matches(list[n_old - 1 - suffix], desired_[n_new - 1 - suffix])) {
+  while (suffix < n_old - prefix && suffix < n_new - prefix) {
+    const ChainMatch m =
+        desired.classify(list[n_old - 1 - suffix], n_new - 1 - suffix);
+    if (m == ChainMatch::kMismatch) break;
+    if (m == ChainMatch::kWeightOnly) {
+      stage_seq_weight(list[n_old - 1 - suffix],
+                       desired.get(n_new - 1 - suffix).weight);
+    }
     ++suffix;
   }
   seq_kept_ += static_cast<std::int64_t>(prefix + suffix);
@@ -130,9 +161,9 @@ void IncrementalEvaluator::reconcile_seq_edges(ResourceId r) {
   // Tear down the differing window of the old chain...
   for (std::size_t i = prefix; i < n_old - suffix; ++i) {
     const EdgeId id = list[i];
-    const Digraph::Edge& ed = sg_.graph.edge(id);
+    const Digraph::Edge& ed = sg_.graph.edge_unchecked(id);
     removed_seq_.push_back(
-        {ed.src, ed.dst, sg_.edge_weight[id], sg_.edge_kind[id]});
+        {ed.src, ed.dst, sg_.graph.edge_weight(id), sg_.edge_kind[id]});
     seeds_.push_back(ed.dst);
     sg_.graph.remove_edge(id);
   }
@@ -143,7 +174,7 @@ void IncrementalEvaluator::reconcile_seq_edges(ResourceId r) {
   splice_.insert(splice_.end(), list.begin(),
                  list.begin() + static_cast<std::ptrdiff_t>(prefix));
   for (std::size_t k = prefix; k < n_new - suffix; ++k) {
-    const DesiredEdge& d = desired_[k];
+    const DesiredEdge d = desired.get(k);
     const EdgeId id = sg_.add_weighted_edge(d.src, d.dst, d.weight, d.kind);
     splice_.push_back(id);
     added_ids_.push_back(id);
@@ -159,6 +190,68 @@ void IncrementalEvaluator::reconcile_seq_edges(ResourceId r) {
   undo.removed_end = static_cast<std::uint32_t>(removed_seq_.size());
   undo.added_end = static_cast<std::uint32_t>(added_ids_.size());
   reconcile_undo_.push_back(undo);
+}
+
+void IncrementalEvaluator::stage_seq_weight(EdgeId e, TimeNs w) {
+  // In-place re-weighting of a surviving sequentialization edge (same undo
+  // record as communication weights; unlike those it leaves comm_cross
+  // untouched).
+  comm_undo_.push_back({e, sg_.graph.edge_weight(e)});
+  sg_.graph.set_edge_weight(e, w);
+  seeds_.push_back(sg_.graph.edge_unchecked(e).dst);
+  ++seq_reweighted_;
+}
+
+void IncrementalEvaluator::reconcile_seq_edges(ResourceId r) {
+  // Generic (materialized) desired chain — RC context chains and teardowns.
+  struct MaterializedDesired {
+    const IncrementalEvaluator* self;
+    const std::vector<DesiredEdge>* desired;
+    std::size_t size() const { return desired->size(); }
+    ChainMatch classify(EdgeId id, std::size_t k) const {
+      const DesiredEdge& d = (*desired)[k];
+      const Digraph::Edge& ed = self->sg_.graph.edge_unchecked(id);
+      if (d.src != ed.src || d.dst != ed.dst ||
+          d.kind != self->sg_.edge_kind[id]) {
+        return ChainMatch::kMismatch;
+      }
+      return d.weight == self->sg_.graph.edge_weight(id)
+                 ? ChainMatch::kExact
+                 : ChainMatch::kWeightOnly;
+    }
+    DesiredEdge get(std::size_t k) const { return (*desired)[k]; }
+  };
+  reconcile_chain(r, MaterializedDesired{this, &desired_});
+}
+
+void IncrementalEvaluator::reconcile_processor_chain(
+    ResourceId r, std::span<const TaskId> order) {
+  // Processor chains are implied by the total order: edge k runs
+  // order[k] -> order[k+1], always weight 0 / kSwSeq (the builder and the
+  // splice below only ever emit such edges into a processor's list, which
+  // the DCHECK pins down). Matching a position is therefore two id
+  // compares against the flat order array — no DesiredEdge vector, no
+  // weight/kind loads, and never a weight patch.
+  struct OrderDesired {
+    const IncrementalEvaluator* self;
+    std::span<const TaskId> order;
+    std::size_t size() const {
+      return order.empty() ? 0 : order.size() - 1;
+    }
+    ChainMatch classify(EdgeId id, std::size_t k) const {
+      const Digraph::Edge& ed = self->sg_.graph.edge_unchecked(id);
+      RDSE_DCHECK(self->sg_.edge_kind[id] == SearchEdgeKind::kSwSeq &&
+                      self->sg_.graph.edge_weight(id) == 0,
+                  "processor chain holds a non-Esw edge");
+      return ed.src == order[k] && ed.dst == order[k + 1]
+                 ? ChainMatch::kExact
+                 : ChainMatch::kMismatch;
+    }
+    DesiredEdge get(std::size_t k) const {
+      return {order[k], order[k + 1], 0, SearchEdgeKind::kSwSeq};
+    }
+  };
+  reconcile_chain(r, OrderDesired{this, order});
 }
 
 std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
@@ -194,7 +287,12 @@ std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
 
   // ---- 1. moved tasks: node weights, partition sums, incident
   // communication weights --------------------------------------------------
-  const Bus& bus = cand_arch.bus();
+  // comm_edge_weight with the memoized bus time (co_located is the shared
+  // crossing predicate, so the two paths cannot drift apart).
+  const auto comm_weight = [&](EdgeId e) -> TimeNs {
+    const CommEdge& c = tg_->comm(e);
+    return co_located(cand_sol, c.src, c.dst) ? 0 : bus_time_[e];
+  };
   for (TaskId t : touched_tasks) {
     const TimeNs old_w = sg_.node_weight[t];
     const TimeNs new_w = assigned_exec_time(*tg_, cand_arch, cand_sol, t);
@@ -222,10 +320,10 @@ std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
     }
     stage_node_weight(t, new_w);
     for (EdgeId e : tg_->digraph().in_edges(t)) {
-      stage_comm_weight(e, comm_edge_weight(*tg_, bus, cand_sol, e));
+      stage_comm_weight(e, comm_weight(e));
     }
     for (EdgeId e : tg_->digraph().out_edges(t)) {
-      stage_comm_weight(e, comm_edge_weight(*tg_, bus, cand_sol, e));
+      stage_comm_weight(e, comm_weight(e));
     }
   }
 
@@ -253,12 +351,12 @@ std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
     if (cand_arch.alive(r)) {
       const Resource& res = cand_arch.resource(r);
       if (res.kind() == ResourceKind::kProcessor) {
-        const auto order = cand_sol.processor_order(r);
-        for (std::size_t i = 1; i < order.size(); ++i) {
-          desired_.push_back(
-              {order[i - 1], order[i], 0, SearchEdgeKind::kSwSeq});
-        }
-      } else if (res.kind() == ResourceKind::kReconfigurable) {
+        // Fast path: the Esw chain is implied by the flat total order, so
+        // diff against it directly instead of materializing DesiredEdges.
+        reconcile_processor_chain(r, cand_sol.processor_order(r));
+        continue;
+      }
+      if (res.kind() == ResourceKind::kReconfigurable) {
         // Realize even when the RC lost its last context: the staged
         // (empty) entry replaces the committed one on accept, so a later
         // move touching this RC cannot tear down releases from a stale
@@ -332,8 +430,8 @@ std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
   }
 
   // ---- 4. incremental relaxation ------------------------------------------
-  const WeightedDag dag{&sg_.graph, sg_.node_weight, sg_.edge_weight,
-                        sg_.release};
+  const WeightedDag dag{&sg_.graph, sg_.node_weight,
+                        sg_.graph.edge_weights(), sg_.release};
   const auto makespan = relaxer_.probe(dag, seeds_, new_edges_);
   if (!makespan.has_value()) {
     rollback();
@@ -358,6 +456,10 @@ std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
 }
 
 void IncrementalEvaluator::rollback() {
+  // Restore the relaxer's committed start/finish values first (in-place
+  // candidate layout: a successful probe wrote over them under journal
+  // protection; a cyclic probe journaled nothing, so this is a no-op).
+  relaxer_.discard();
   // Undo the chain splices in reverse: each record turns
   // `prefix + added-window + suffix` back into
   // `prefix + re-added removed-window + suffix`, so the list is restored in
@@ -384,7 +486,7 @@ void IncrementalEvaluator::rollback() {
     list.swap(splice_);
   }
   for (auto it = comm_undo_.rbegin(); it != comm_undo_.rend(); ++it) {
-    sg_.edge_weight[it->edge] = it->weight;
+    sg_.graph.set_edge_weight(it->edge, it->weight);
   }
   for (auto it = node_weight_undo_.rbegin(); it != node_weight_undo_.rend();
        ++it) {
@@ -444,6 +546,7 @@ IncrementalEvalStats IncrementalEvaluator::stats() const {
   s.seq_edges_kept = seq_kept_;
   s.seq_edges_removed = seq_removed_;
   s.seq_edges_added = seq_added_;
+  s.seq_edges_reweighted = seq_reweighted_;
   return s;
 }
 

@@ -51,6 +51,10 @@ struct IncrementalEvalStats {
   std::int64_t seq_edges_kept = 0;
   std::int64_t seq_edges_removed = 0;
   std::int64_t seq_edges_added = 0;
+  /// Chain edges whose endpoints survived but whose weight changed —
+  /// re-weighted in place (counted inside seq_edges_kept) instead of a
+  /// remove + insert pair, so they never enter new_edges or rank repair.
+  std::int64_t seq_edges_reweighted = 0;
 };
 
 /// Stateful evaluator bound to one task graph; the architecture and solution
@@ -95,19 +99,39 @@ class IncrementalEvaluator {
     SearchEdgeKind kind;
   };
 
+  /// How a live chain edge relates to a desired chain position.
+  enum class ChainMatch : std::uint8_t {
+    kMismatch,    ///< structurally different: window surgery required
+    kExact,       ///< identical, leave in place
+    kWeightOnly,  ///< same endpoints/kind, new weight: patch in place
+  };
+
   void stage_node_weight(NodeId v, TimeNs w);
   void stage_comm_weight(EdgeId e, TimeNs w);
+  /// Re-weight a surviving sequentialization edge in place (undo-logged;
+  /// does not touch comm_cross).
+  void stage_seq_weight(EdgeId e, TimeNs w);
   void stage_release(NodeId v, TimeNs r);
   /// Record a release in release_pending_ (last write per task wins); the
   /// coalesced values are staged in one pass so a clear-then-reset to the
   /// committed value stages nothing and seeds no relaxation.
   void stage_release_pending(NodeId v, TimeNs r);
-  /// Replace resource `r`'s sequentialization chain with `desired_` via a
-  /// two-pointer diff: the common prefix and suffix of the old and new
-  /// chains stay untouched (and seed no relaxation); only the edges inside
-  /// the differing window are torn down and re-inserted. Cost is
-  /// proportional to the window, not the chain.
+  /// Replace resource `r`'s sequentialization chain via a two-pointer
+  /// diff: the common prefix and suffix of the old and new chains stay
+  /// untouched (and seed no relaxation); only the edges inside the
+  /// differing window are torn down and re-inserted. Cost is proportional
+  /// to the window, not the chain. `Desired` describes the target chain
+  /// (length, per-position equality against a live edge, materialization
+  /// for window inserts).
+  template <typename Desired>
+  void reconcile_chain(ResourceId r, const Desired& desired);
+  /// reconcile_chain against the materialized `desired_` vector (RC
+  /// context chains, resource teardowns).
   void reconcile_seq_edges(ResourceId r);
+  /// reconcile_chain streaming the implied Esw chain straight from the
+  /// processor's flat total-order array (weight 0 / kSwSeq throughout) —
+  /// the hot m1/m2 case materializes nothing.
+  void reconcile_processor_chain(ResourceId r, std::span<const TaskId> order);
   /// The (possibly empty) edge-id chain of `r`, grown on demand — resource
   /// ids are dense and never reused, so a flat vector replaces a map on the
   /// hot path.
@@ -118,6 +142,12 @@ class IncrementalEvaluator {
   SearchGraph sg_;  ///< committed realization, surgically edited per move
   SearchGraphCache cache_;
   DeltaRelaxer relaxer_;
+  /// Bus transfer time per application edge, memoized at reset: the data
+  /// amount and the bus rate are move-invariant (no move operator edits the
+  /// bus), so the hot path never repeats the wide division in
+  /// Bus::transfer_time. comm_edge_weight(e) == placements crossing ?
+  /// bus_time_[e] : 0 by construction.
+  std::vector<TimeNs> bus_time_;
   /// Esw/Ehw edge ids per owning resource, indexed by ResourceId, each list
   /// in chain order (Esw: the processor's total order; Ehw: context by
   /// context). Chain order is what makes the two-pointer diff local.
@@ -194,6 +224,7 @@ class IncrementalEvaluator {
   std::int64_t seq_kept_ = 0;
   std::int64_t seq_removed_ = 0;
   std::int64_t seq_added_ = 0;
+  std::int64_t seq_reweighted_ = 0;
   bool pending_ = false;
 };
 

@@ -36,7 +36,8 @@ Timeline build_timeline(const TaskGraph& tg, const Architecture& arch,
   Digraph ext = sg.graph;  // copy; transfer nodes appended
   std::vector<TimeNs> node_w(sg.node_weight.begin(), sg.node_weight.end());
   std::vector<TimeNs> release(sg.release.begin(), sg.release.end());
-  std::vector<TimeNs> edge_w(sg.edge_weight.begin(), sg.edge_weight.end());
+  std::vector<TimeNs> edge_w(sg.graph.edge_weights().begin(),
+                             sg.graph.edge_weights().end());
 
   struct Transfer {
     EdgeId comm = kInvalidEdge;
@@ -45,7 +46,7 @@ Timeline build_timeline(const TaskGraph& tg, const Architecture& arch,
   };
   std::vector<Transfer> transfers;
   for (EdgeId e = 0; e < tg.comm_count(); ++e) {
-    if (sg.edge_weight[e] == 0) continue;  // same-placement: free transfer
+    if (sg.graph.edge_weight(e) == 0) continue;  // same-placement: free
     Transfer tr;
     tr.comm = e;
     tr.ready = detail->lp.finish[tg.comm(e).src];

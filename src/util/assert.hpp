@@ -52,3 +52,16 @@ class Error : public std::runtime_error {
       throw ::rdse::Error(msg);              \
     }                                        \
   } while (false)
+
+/// Debug-only precondition check for inlined hot-path accessors (graph
+/// adjacency, relaxer value reads): tens of millions of calls per sweep make
+/// the branch itself measurable, so Release builds compile it out entirely.
+/// Debug and sanitizer builds define RDSE_ENABLE_DCHECKS (see CMakeLists)
+/// and keep the full throwing check.
+#if defined(RDSE_ENABLE_DCHECKS)
+#define RDSE_DCHECK(expr, msg) RDSE_REQUIRE(expr, msg)
+#else
+#define RDSE_DCHECK(expr, msg) \
+  do {                         \
+  } while (false)
+#endif

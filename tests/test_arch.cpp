@@ -43,7 +43,12 @@ TEST(Resource, ReconfigurationTimeIsLinear) {
   EXPECT_EQ(rc.reconfiguration_time(0), 0);
   EXPECT_EQ(rc.reconfiguration_time(1000), from_us(22'500.0));
   EXPECT_EQ(rc.reconfiguration_time(995), 995 * from_us(22.5));
+#if defined(RDSE_ENABLE_DCHECKS)
+  // The negative-CLB precondition is a debug-only hot-path check
+  // (RDSE_DCHECK): enforced in Debug and sanitizer builds, compiled out in
+  // Release.
   EXPECT_THROW((void)rc.reconfiguration_time(-1), Error);
+#endif
 }
 
 TEST(Resource, RcRejectsBadGeometry) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "graph/digraph.hpp"
 #include "graph/generators.hpp"
 #include "util/rng.hpp"
@@ -100,6 +103,80 @@ TEST(Digraph, DeadEdgeAccessThrows) {
   EXPECT_THROW((void)g.edge(e), Error);
 }
 
+TEST(Digraph, EdgeWeightsTravelWithEdges) {
+  Digraph g(3);
+  const EdgeId a = g.add_edge(0, 1, 7);
+  const EdgeId b = g.add_edge(1, 2);  // default weight 0
+  EXPECT_EQ(g.edge_weight(a), 7);
+  EXPECT_EQ(g.edge_weight(b), 0);
+  g.set_edge_weight(b, 42);
+  EXPECT_EQ(g.edge_weight(b), 42);
+  // The packed half-edge mirrors carry the same weight on both sides.
+  EXPECT_EQ(g.out_half(1)[0].weight, 42);
+  EXPECT_EQ(g.in_half(2)[0].weight, 42);
+  EXPECT_EQ(g.edge_weights()[a], 7);
+  // A recycled edge id must not inherit the dead edge's weight.
+  g.remove_edge(a);
+  const EdgeId c = g.add_edge(2, 0);
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(g.edge_weight(c), 0);
+  g.check_consistency();
+}
+
+TEST(Digraph, SwapAndPopDetachKeepsBackIndexesValid) {
+  // Regression for the O(1) removal path: removing an edge from the middle
+  // of an adjacency array swap-and-pops the last half-edge into its slot,
+  // which must also repair that moved edge's back-index — otherwise its own
+  // later removal (or weight update) corrupts the adjacency.
+  Digraph g(5);
+  const EdgeId e1 = g.add_edge(0, 1, 10);
+  const EdgeId e2 = g.add_edge(0, 2, 20);
+  const EdgeId e3 = g.add_edge(0, 3, 30);
+  const EdgeId e4 = g.add_edge(0, 4, 40);
+
+  g.remove_edge(e1);  // e4's half-edge moves into slot 0 of out_[0]
+  g.check_consistency();
+  // The moved edge must still be addressable in O(1): weight updates and
+  // removal go through its (repaired) back-index.
+  g.set_edge_weight(e4, 44);
+  EXPECT_EQ(g.edge_weight(e4), 44);
+  EXPECT_EQ(g.find_edge(0, 4), e4);
+  g.remove_edge(e4);
+  g.check_consistency();
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_TRUE(g.edge_alive(e2));
+  EXPECT_TRUE(g.edge_alive(e3));
+  EXPECT_EQ(g.edge_weight(e2), 20);
+  EXPECT_EQ(g.edge_weight(e3), 30);
+  // Removing the tail element is the self-swap edge case.
+  g.remove_edge(e3);
+  g.check_consistency();
+  EXPECT_EQ(g.find_edge(0, 2), e2);
+}
+
+TEST(Digraph, EdgeIdViewMatchesHalfEdges) {
+  Digraph g(4);
+  const EdgeId a = g.add_edge(0, 1, 5);
+  const EdgeId b = g.add_edge(0, 2, 6);
+  const EdgeId c = g.add_edge(0, 3, 7);
+  std::vector<EdgeId> ids;
+  for (EdgeId e : g.out_edges(0)) ids.push_back(e);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], a);
+  EXPECT_EQ(ids[1], b);
+  EXPECT_EQ(ids[2], c);
+  EXPECT_EQ(g.out_edges(0).size(), 3u);
+  EXPECT_FALSE(g.out_edges(0).empty());
+  EXPECT_EQ(g.out_edges(0)[1], b);
+  // View and packed array expose the same records in the same order.
+  const auto half = g.out_half(0);
+  for (std::size_t i = 0; i < half.size(); ++i) {
+    EXPECT_EQ(g.out_edges(0)[i], half[i].edge);
+    EXPECT_EQ(g.edge(half[i].edge).dst, half[i].node);
+    EXPECT_EQ(g.edge_weight(half[i].edge), half[i].weight);
+  }
+}
+
 class DigraphChurn : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DigraphChurn, RandomChurnKeepsConsistency) {
@@ -125,6 +202,103 @@ TEST_P(DigraphChurn, RandomChurnKeepsConsistency) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DigraphChurn,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class MirrorChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+// CSR-mirror consistency property: under random add / remove / re-weight /
+// undo sequences (the evaluator's rollback removes freshly inserted edges
+// and re-inserts the removed ones, recycling ids), the packed half-edge
+// arrays must agree record-for-record with a naively maintained adjacency
+// model, weights included.
+TEST_P(MirrorChurn, PackedHalfEdgesMatchNaiveAdjacency) {
+  Rng rng(GetParam());
+  const std::size_t n = 15;
+  Digraph g(n);
+
+  struct NaiveEdge {
+    EdgeId id;
+    NodeId src;
+    NodeId dst;
+    TimeNs weight;
+  };
+  std::vector<NaiveEdge> naive;  // live edges only
+  struct Undo {
+    NodeId src;
+    NodeId dst;
+    TimeNs weight;
+  };
+
+  const auto verify = [&]() {
+    g.check_consistency();
+    ASSERT_EQ(g.edge_count(), naive.size());
+    for (const NaiveEdge& e : naive) {
+      ASSERT_TRUE(g.edge_alive(e.id));
+      ASSERT_EQ(g.edge(e.id).src, e.src);
+      ASSERT_EQ(g.edge(e.id).dst, e.dst);
+      ASSERT_EQ(g.edge_weight(e.id), e.weight);
+    }
+    // Per-node half-edge arrays hold exactly the live incident edges.
+    for (NodeId v = 0; v < n; ++v) {
+      std::vector<EdgeId> expect_out;
+      std::vector<EdgeId> expect_in;
+      for (const NaiveEdge& e : naive) {
+        if (e.src == v) expect_out.push_back(e.id);
+        if (e.dst == v) expect_in.push_back(e.id);
+      }
+      std::vector<EdgeId> got_out;
+      for (const HalfEdge& h : g.out_half(v)) got_out.push_back(h.edge);
+      std::vector<EdgeId> got_in;
+      for (const HalfEdge& h : g.in_half(v)) got_in.push_back(h.edge);
+      std::sort(expect_out.begin(), expect_out.end());
+      std::sort(expect_in.begin(), expect_in.end());
+      std::sort(got_out.begin(), got_out.end());
+      std::sort(got_in.begin(), got_in.end());
+      ASSERT_EQ(got_out, expect_out);
+      ASSERT_EQ(got_in, expect_in);
+    }
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    const double dice = rng.uniform01();
+    if (naive.empty() || dice < 0.35) {  // insert
+      const NodeId u = static_cast<NodeId>(rng.index(n));
+      NodeId v = static_cast<NodeId>(rng.index(n));
+      if (u == v) v = static_cast<NodeId>((v + 1) % n);
+      const TimeNs w = rng.uniform_int(0, 99);
+      naive.push_back({g.add_edge(u, v, w), u, v, w});
+    } else if (dice < 0.55) {  // remove
+      const std::size_t k = rng.index(naive.size());
+      g.remove_edge(naive[k].id);
+      naive[k] = naive.back();
+      naive.pop_back();
+    } else if (dice < 0.75) {  // re-weight
+      const std::size_t k = rng.index(naive.size());
+      const TimeNs w = rng.uniform_int(0, 99);
+      g.set_edge_weight(naive[k].id, w);
+      naive[k].weight = w;
+    } else {  // undo-style: remove a batch, then re-add it (ids recycle)
+      std::vector<Undo> undo;
+      const std::size_t batch = 1 + rng.index(3);
+      for (std::size_t i = 0; i < batch && !naive.empty(); ++i) {
+        const std::size_t k = rng.index(naive.size());
+        undo.push_back({naive[k].src, naive[k].dst, naive[k].weight});
+        g.remove_edge(naive[k].id);
+        naive[k] = naive.back();
+        naive.pop_back();
+      }
+      for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+        naive.push_back(
+            {g.add_edge(it->src, it->dst, it->weight), it->src, it->dst,
+             it->weight});
+      }
+    }
+    if (step % 50 == 0) verify();
+  }
+  verify();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MirrorChurn,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
 
 TEST(Generators, ChainGraphShape) {
   const Digraph g = chain_graph(5);

@@ -43,7 +43,8 @@ TEST_F(SearchGraphFixture, AllSoftwareHasOnlySeqEdgesAndSwWeights) {
   // 3 comm edges + 3 sequentialization edges.
   EXPECT_EQ(sg.graph.edge_count(), 6u);
   for (EdgeId e = 0; e < tg.comm_count(); ++e) {
-    EXPECT_EQ(sg.edge_weight[e], 0) << "same-resource transfer must be free";
+    EXPECT_EQ(sg.graph.edge_weight(e), 0)
+        << "same-resource transfer must be free";
     EXPECT_EQ(sg.edge_kind[e], SearchEdgeKind::kComm);
   }
   for (TaskId t = 0; t < 4; ++t) {
@@ -66,9 +67,9 @@ TEST_F(SearchGraphFixture, CrossingEdgeGetsBusWeight) {
   const SearchGraph sg = build_search_graph(tg, arch, sol);
   // a->b crosses (1000 bytes at 1 byte/us = 1 ms), b->c crosses (2 ms),
   // c->d stays on the processor.
-  EXPECT_EQ(sg.edge_weight[0], from_ms(1.0));
-  EXPECT_EQ(sg.edge_weight[1], from_ms(2.0));
-  EXPECT_EQ(sg.edge_weight[2], 0);
+  EXPECT_EQ(sg.graph.edge_weight(0), from_ms(1.0));
+  EXPECT_EQ(sg.graph.edge_weight(1), from_ms(2.0));
+  EXPECT_EQ(sg.graph.edge_weight(2), 0);
   EXPECT_EQ(sg.comm_cross, from_ms(3.0));
   // b runs its chosen hardware implementation.
   EXPECT_EQ(sg.node_weight[b], tg.task(b).hw.at(0).time);
@@ -109,7 +110,7 @@ TEST_F(SearchGraphFixture, ContextSequentializationEdges) {
     if (sg.edge_kind[e] != SearchEdgeKind::kHwSeq) continue;
     EXPECT_EQ(sg.graph.edge(e).src, b);
     EXPECT_EQ(sg.graph.edge(e).dst, c);
-    EXPECT_EQ(sg.edge_weight[e], reconf);
+    EXPECT_EQ(sg.graph.edge_weight(e), reconf);
     found = true;
   }
   EXPECT_TRUE(found);
@@ -156,7 +157,7 @@ TEST_F(SearchGraphFixture, SwSeqEdgesFollowChosenOrder) {
   for (EdgeId e = 0; e < sg.graph.edge_capacity(); ++e) {
     if (sg.graph.edge_alive(e) && sg.edge_kind[e] == SearchEdgeKind::kSwSeq) {
       ++sw_edges;
-      EXPECT_EQ(sg.edge_weight[e], 0);
+      EXPECT_EQ(sg.graph.edge_weight(e), 0);
     }
   }
   EXPECT_EQ(sw_edges, 3);
@@ -183,7 +184,7 @@ TEST_F(SearchGraphFixture, CrossContextTransferChargedOnBus) {
   sol.insert_in_context(b, 1, c1, 0);
   const SearchGraph sg = build_search_graph(tg, arch, sol);
   // a->b crosses contexts: staged through shared memory.
-  EXPECT_EQ(sg.edge_weight[0], from_ms(1.0));
+  EXPECT_EQ(sg.graph.edge_weight(0), from_ms(1.0));
 }
 
 TEST_F(SearchGraphFixture, UnassignedTaskThrows) {

@@ -20,13 +20,16 @@ namespace {
 struct Mirror {
   Digraph graph;
   std::vector<TimeNs> node_weight;
-  std::vector<TimeNs> edge_weight;
   std::vector<TimeNs> release;
 
-  TimeNs full_makespan() const {
-    return longest_path(WeightedDag{&graph, node_weight, edge_weight, release})
-        .makespan;
+  // Edge weights live in the graph itself (dense array + half-edge
+  // mirrors); the reference evaluator reads the same dense array the
+  // relaxer's packed adjacency mirrors, so a desynced mirror shows up as a
+  // full-vs-incremental mismatch here.
+  WeightedDag dag() const {
+    return WeightedDag{&graph, node_weight, graph.edge_weights(), release};
   }
+  TimeNs full_makespan() const { return longest_path(dag()).makespan; }
 };
 
 TEST(Incremental, MatchesFullOnStaticGraph) {
@@ -176,10 +179,8 @@ TEST_P(IncrementalFuzz, RandomEditSequenceMatchesFullRecompute) {
   m.node_weight.resize(n);
   for (auto& w : m.node_weight) w = rng.uniform_int(1, 50);
   m.release.assign(n, 0);
-  m.edge_weight.clear();
 
-  IncrementalLongestPath inc(m.graph, m.node_weight, m.edge_weight,
-                             m.release);
+  IncrementalLongestPath inc(m.graph, m.node_weight, {}, m.release);
   std::vector<EdgeId> live;
 
   for (int step = 0; step < 400; ++step) {
@@ -190,10 +191,8 @@ TEST_P(IncrementalFuzz, RandomEditSequenceMatchesFullRecompute) {
       if (u == v || inc.would_create_cycle(u, v)) continue;
       const TimeNs w = rng.uniform_int(0, 30);
       const EdgeId id = inc.add_edge(u, v, w);
-      const EdgeId mirror_id = m.graph.add_edge(u, v);
+      const EdgeId mirror_id = m.graph.add_edge(u, v, w);
       ASSERT_EQ(id, mirror_id);
-      if (id >= m.edge_weight.size()) m.edge_weight.resize(id + 1, 0);
-      m.edge_weight[id] = w;
       live.push_back(id);
     } else if (dice < 0.6 && !live.empty()) {  // remove edge
       const std::size_t k = rng.index(live.size());
@@ -215,8 +214,7 @@ TEST_P(IncrementalFuzz, RandomEditSequenceMatchesFullRecompute) {
     ASSERT_EQ(inc.makespan(), m.full_makespan()) << "step " << step;
   }
   // Final deep check of all node values.
-  const auto full = longest_path(
-      WeightedDag{&m.graph, m.node_weight, m.edge_weight, m.release});
+  const auto full = longest_path(m.dag());
   for (NodeId v = 0; v < n; ++v) {
     EXPECT_EQ(inc.start_of(v), full.start[v]);
     EXPECT_EQ(inc.finish_of(v), full.finish[v]);
@@ -262,8 +260,11 @@ TEST(Incremental, MatchesEvaluatorOnRandomTaskGraphs) {
     if (!metrics.has_value()) continue;  // cyclic realization: not a case
 
     SearchGraph sg = build_search_graph(app.graph, arch, sol);
-    IncrementalLongestPath inc(sg.graph, sg.node_weight, sg.edge_weight,
-                               sg.release);
+    IncrementalLongestPath inc(
+        sg.graph, sg.node_weight,
+        std::vector<TimeNs>(sg.graph.edge_weights().begin(),
+                            sg.graph.edge_weights().end()),
+        sg.release);
     ASSERT_EQ(inc.makespan(), metrics->makespan) << "case " << cases;
 
     // Local edits of the kind annealing moves produce: re-weigh nodes
@@ -281,8 +282,9 @@ TEST(Incremental, MatchesEvaluatorOnRandomTaskGraphs) {
         inc.set_release(v, r);
         sg.release[v] = r;
       }
-      const auto full = longest_path(WeightedDag{
-          &sg.graph, sg.node_weight, sg.edge_weight, sg.release});
+      const auto full = longest_path(
+          WeightedDag{&sg.graph, sg.node_weight, sg.graph.edge_weights(),
+                      sg.release});
       ASSERT_EQ(inc.makespan(), full.makespan)
           << "case " << cases << " edit " << edit;
     }
@@ -299,13 +301,13 @@ TEST(DeltaRelaxer, ProbeMatchesFullRelaxAndCommitAdvances) {
   m.graph = random_order_dag(30, 0.15, rng);
   m.node_weight.resize(30);
   for (auto& w : m.node_weight) w = rng.uniform_int(1, 100);
-  m.edge_weight.assign(m.graph.edge_capacity(), 0);
-  for (auto& w : m.edge_weight) w = rng.uniform_int(0, 25);
+  for (EdgeId e = 0; e < m.graph.edge_capacity(); ++e) {
+    m.graph.set_edge_weight(e, rng.uniform_int(0, 25));
+  }
   m.release.assign(30, 0);
 
   DeltaRelaxer relaxer;
-  relaxer.reset(
-      WeightedDag{&m.graph, m.node_weight, m.edge_weight, m.release});
+  relaxer.reset(m.dag());
   EXPECT_EQ(relaxer.makespan(), m.full_makespan());
 
   for (int step = 0; step < 300; ++step) {
@@ -331,15 +333,13 @@ TEST(DeltaRelaxer, ProbeMatchesFullRelaxAndCommitAdvances) {
       }
       if (live.empty()) continue;
       const EdgeId e = live[rng.index(live.size())];
-      cand.edge_weight[e] = rng.uniform_int(0, 25);
+      cand.graph.set_edge_weight(e, rng.uniform_int(0, 25));
       seeds.push_back(cand.graph.edge(e).dst);
     } else if (dice < 0.8) {  // insert an edge (may create a cycle)
       const NodeId u = static_cast<NodeId>(rng.index(30));
       const NodeId v = static_cast<NodeId>(rng.index(30));
       if (u == v) continue;
-      const EdgeId id = cand.graph.add_edge(u, v);
-      if (id >= cand.edge_weight.size()) cand.edge_weight.resize(id + 1, 0);
-      cand.edge_weight[id] = rng.uniform_int(0, 25);
+      const EdgeId id = cand.graph.add_edge(u, v, rng.uniform_int(0, 25));
       seeds.push_back(v);
       new_edges.push_back(id);
     } else {  // remove a random live edge
@@ -353,9 +353,7 @@ TEST(DeltaRelaxer, ProbeMatchesFullRelaxAndCommitAdvances) {
       cand.graph.remove_edge(e);
     }
 
-    const WeightedDag dag{&cand.graph, cand.node_weight, cand.edge_weight,
-                          cand.release};
-    const auto probed = relaxer.probe(dag, seeds, new_edges);
+    const auto probed = relaxer.probe(cand.dag(), seeds, new_edges);
     if (!is_acyclic(cand.graph)) {
       EXPECT_FALSE(probed.has_value()) << "step " << step;
       continue;
@@ -364,14 +362,16 @@ TEST(DeltaRelaxer, ProbeMatchesFullRelaxAndCommitAdvances) {
     EXPECT_EQ(*probed, cand.full_makespan()) << "step " << step;
 
     // A rejected probe must leave the committed state intact; an accepted
-    // one must advance it. Alternate to exercise both.
+    // one must advance it. Alternate to exercise both. (The in-place
+    // layout rolls a superseded probe back at the next probe() — the
+    // committed makespan below reads the untouched tracked value.)
     if (step % 2 == 0) {
       EXPECT_EQ(relaxer.makespan(), m.full_makespan());
     } else {
       relaxer.commit();
       m = cand;
       EXPECT_EQ(relaxer.makespan(), m.full_makespan());
-      const auto full = longest_path(dag);
+      const auto full = longest_path(m.dag());
       for (NodeId v = 0; v < 30; ++v) {
         ASSERT_EQ(relaxer.start_of(v), full.start[v]);
         ASSERT_EQ(relaxer.finish_of(v), full.finish[v]);
@@ -393,17 +393,17 @@ TEST(DeltaRelaxer, NoSeedsRelaxesNothing) {
   Mirror m;
   m.graph = random_order_dag(20, 0.2, rng);
   m.node_weight.assign(20, 3);
-  m.edge_weight.assign(m.graph.edge_capacity(), 1);
+  for (EdgeId e = 0; e < m.graph.edge_capacity(); ++e) {
+    m.graph.set_edge_weight(e, 1);
+  }
   m.release.assign(20, 0);
   DeltaRelaxer relaxer;
-  relaxer.reset(
-      WeightedDag{&m.graph, m.node_weight, m.edge_weight, m.release});
-  const auto probed = relaxer.probe(
-      WeightedDag{&m.graph, m.node_weight, m.edge_weight, m.release}, {},
-      {});
+  relaxer.reset(m.dag());
+  const auto probed = relaxer.probe(m.dag(), {}, {});
   ASSERT_TRUE(probed.has_value());
   EXPECT_EQ(*probed, relaxer.makespan());
   EXPECT_EQ(relaxer.last_relaxed(), 0u);
+  EXPECT_EQ(relaxer.journal_size(), 0u);
 }
 
 TEST(DeltaRelaxer, RankRepairHandlesDescendingInsertions) {
@@ -417,21 +417,15 @@ TEST(DeltaRelaxer, RankRepairHandlesDescendingInsertions) {
   m.graph.add_edge(1, 2);
   m.graph.add_edge(2, 3);
   m.node_weight = {2, 3, 4, 5, 7};
-  m.edge_weight.assign(m.graph.edge_capacity(), 0);
   m.release.assign(5, 0);
   DeltaRelaxer relaxer;
-  relaxer.reset(
-      WeightedDag{&m.graph, m.node_weight, m.edge_weight, m.release});
+  relaxer.reset(m.dag());
 
   Mirror cand = m;
   const EdgeId e = cand.graph.add_edge(4, 1);
-  if (e >= cand.edge_weight.size()) cand.edge_weight.resize(e + 1, 0);
   const std::vector<NodeId> seeds{1};
   const std::vector<EdgeId> new_edges{e};
-  const auto probed =
-      relaxer.probe(WeightedDag{&cand.graph, cand.node_weight,
-                                cand.edge_weight, cand.release},
-                    seeds, new_edges);
+  const auto probed = relaxer.probe(cand.dag(), seeds, new_edges);
   ASSERT_TRUE(probed.has_value());
   EXPECT_EQ(*probed, cand.full_makespan());
   EXPECT_GE(relaxer.stats().rank_repairs, 1);
@@ -444,9 +438,7 @@ TEST(DeltaRelaxer, RankRepairHandlesDescendingInsertions) {
   Mirror next = m;
   next.node_weight[4] = 1;
   const auto again =
-      relaxer.probe(WeightedDag{&next.graph, next.node_weight,
-                                next.edge_weight, next.release},
-                    std::vector<NodeId>{4}, {});
+      relaxer.probe(next.dag(), std::vector<NodeId>{4}, {});
   ASSERT_TRUE(again.has_value());
   EXPECT_EQ(*again, next.full_makespan());
 }
@@ -460,31 +452,104 @@ TEST(DeltaRelaxer, CycleAcrossTwoInsertedEdgesIsDetected) {
   m.graph = Digraph(3);
   m.graph.add_edge(0, 1);
   m.node_weight = {1, 1, 1};
-  m.edge_weight.assign(m.graph.edge_capacity(), 0);
   m.release.assign(3, 0);
   DeltaRelaxer relaxer;
-  relaxer.reset(
-      WeightedDag{&m.graph, m.node_weight, m.edge_weight, m.release});
+  relaxer.reset(m.dag());
 
   Mirror cand = m;
   std::vector<EdgeId> new_edges;
   new_edges.push_back(cand.graph.add_edge(1, 2));
   new_edges.push_back(cand.graph.add_edge(2, 0));
-  const EdgeId max_e = *std::max_element(new_edges.begin(), new_edges.end());
-  if (max_e >= cand.edge_weight.size()) {
-    cand.edge_weight.resize(max_e + 1, 0);
-  }
   const std::vector<NodeId> seeds{2, 0};
   const std::int64_t cyclic_before = relaxer.stats().cyclic;
-  const auto probed =
-      relaxer.probe(WeightedDag{&cand.graph, cand.node_weight,
-                                cand.edge_weight, cand.release},
-                    seeds, new_edges);
+  const auto probed = relaxer.probe(cand.dag(), seeds, new_edges);
   EXPECT_FALSE(probed.has_value());
   EXPECT_EQ(relaxer.stats().cyclic, cyclic_before + 1);
 
-  // The committed state survives the rejected probe untouched.
+  // The committed state survives the rejected probe untouched — a cyclic
+  // candidate is rejected before any in-place write, so no journal exists.
+  EXPECT_EQ(relaxer.journal_size(), 0u);
   EXPECT_EQ(relaxer.makespan(), m.full_makespan());
+}
+
+TEST(DeltaRelaxer, DiscardRestoresCommittedValuesBitExactly) {
+  // In-place candidate layout: a probe overwrites start_/finish_ directly,
+  // so a rejected move must restore every value from the undo journal —
+  // compare the whole arrays, not just the makespan.
+  Rng rng(41);
+  Mirror m;
+  m.graph = random_order_dag(25, 0.2, rng);
+  m.node_weight.resize(25);
+  for (auto& w : m.node_weight) w = rng.uniform_int(1, 100);
+  for (EdgeId e = 0; e < m.graph.edge_capacity(); ++e) {
+    m.graph.set_edge_weight(e, rng.uniform_int(0, 20));
+  }
+  m.release.assign(25, 0);
+  DeltaRelaxer relaxer;
+  relaxer.reset(m.dag());
+
+  const auto committed_full = longest_path(m.dag());
+  for (int step = 0; step < 50; ++step) {
+    Mirror cand = m;
+    const NodeId v = static_cast<NodeId>(rng.index(25));
+    cand.node_weight[v] = rng.uniform_int(1, 200);
+    const auto probed =
+        relaxer.probe(cand.dag(), std::vector<NodeId>{v}, {});
+    ASSERT_TRUE(probed.has_value());
+    // Between probe and discard the arrays expose the candidate; the
+    // journal must hold exactly the changed nodes.
+    if (*probed != relaxer.makespan()) {
+      EXPECT_GT(relaxer.journal_size(), 0u);
+    }
+    relaxer.discard();
+    EXPECT_EQ(relaxer.journal_size(), 0u);
+    for (NodeId u = 0; u < 25; ++u) {
+      ASSERT_EQ(relaxer.start_of(u), committed_full.start[u])
+          << "step " << step;
+      ASSERT_EQ(relaxer.finish_of(u), committed_full.finish[u])
+          << "step " << step;
+    }
+    EXPECT_EQ(relaxer.makespan(), committed_full.makespan);
+  }
+  EXPECT_GT(relaxer.stats().journal_entries, 0);
+}
+
+TEST(DeltaRelaxer, SteadyStateProbesDoNotGrowScratch) {
+  // Scratch-capacity watermark: after a warm-up phase, further probes of
+  // the same shape must not allocate — the journal and schedule bitmask
+  // capacities stay put (the "steady-state probes allocate nothing"
+  // guarantee the hot path relies on).
+  Rng rng(43);
+  Mirror m;
+  m.graph = random_order_dag(40, 0.15, rng);
+  m.node_weight.resize(40);
+  for (auto& w : m.node_weight) w = rng.uniform_int(1, 100);
+  m.release.assign(40, 0);
+  DeltaRelaxer relaxer;
+  relaxer.reset(m.dag());
+
+  auto drive = [&](int steps) {
+    for (int i = 0; i < steps; ++i) {
+      Mirror cand = m;
+      const NodeId v = static_cast<NodeId>(rng.index(40));
+      cand.node_weight[v] = rng.uniform_int(1, 100);
+      const auto probed =
+          relaxer.probe(cand.dag(), std::vector<NodeId>{v}, {});
+      ASSERT_TRUE(probed.has_value());
+      if (i % 2 == 0) {
+        relaxer.commit();
+        m = cand;
+      } else {
+        relaxer.discard();
+      }
+    }
+  };
+  drive(60);  // warm-up: scratch reaches its high-water mark
+  const std::size_t journal_cap = relaxer.journal_capacity();
+  const std::size_t queued_cap = relaxer.queued_capacity();
+  drive(120);  // steady state: capacities must not move
+  EXPECT_EQ(relaxer.journal_capacity(), journal_cap);
+  EXPECT_EQ(relaxer.queued_capacity(), queued_cap);
 }
 
 TEST(DeltaRelaxer, CommitWithoutProbeThrows) {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "util/cli.hpp"
 
@@ -30,7 +31,8 @@ struct Scale {
 
 inline Scale parse_scale(int argc, char** argv, int default_runs = 20,
                          std::int64_t default_iters = 15'000) {
-  const Options opts = Options::parse(argc, argv);
+  static constexpr std::string_view kBoolFlags[] = {"full"};
+  const Options opts = Options::parse(argc, argv, kBoolFlags);
   Scale s;
   s.full = opts.get_flag("full", "RDSE_FULL");
   s.runs = static_cast<int>(

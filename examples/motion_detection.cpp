@@ -16,7 +16,8 @@
 
 int main(int argc, char** argv) {
   using namespace rdse;
-  const Options opts = Options::parse(argc, argv);
+  static constexpr std::string_view kBoolFlags[] = {"csv"};
+  const Options opts = Options::parse(argc, argv, kBoolFlags);
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 3));
   const std::int64_t iters = opts.get_int("iters", 20'000);
   const auto clbs = static_cast<std::int32_t>(opts.get_int("clbs", 2000));

@@ -18,6 +18,15 @@ const char* to_string(ScheduleKind kind) {
   return "?";
 }
 
+std::optional<ScheduleKind> schedule_from_name(std::string_view name) {
+  for (const ScheduleKind kind :
+       {ScheduleKind::kModifiedLam, ScheduleKind::kLamDelosme,
+        ScheduleKind::kGeometric, ScheduleKind::kGreedy}) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
 std::unique_ptr<CoolingSchedule> make_schedule(ScheduleKind kind) {
   switch (kind) {
     case ScheduleKind::kModifiedLam:

@@ -24,7 +24,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "util/statistics.hpp"
 
@@ -38,6 +40,11 @@ enum class ScheduleKind : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(ScheduleKind kind);
+
+/// Inverse of to_string: the kind named `name`, or nullopt when unknown.
+/// Shared by every front end that accepts schedule names (CLI, serve).
+[[nodiscard]] std::optional<ScheduleKind> schedule_from_name(
+    std::string_view name);
 
 /// Temperature controller interface. The annealer calls initialize() once
 /// after the infinite-temperature warm-up, then update() every iteration.

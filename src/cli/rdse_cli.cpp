@@ -1,18 +1,23 @@
 #include "cli/rdse_cli.hpp"
 
+#include <atomic>
 #include <charconv>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/report.hpp"
 #include "core/sweep_engine.hpp"
-#include "model/motion_detection.hpp"
+#include "model/registry.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -28,6 +33,8 @@ commands:
   sweep     run a parallel parameter sweep and optionally emit a JSON artifact
   report    re-render a JSON sweep artifact produced by `rdse sweep`
   compare   diff two artifacts and fail when a metric regresses
+  serve     run the persistent exploration service on a Unix-domain socket
+  request   send one JSON request to a running `rdse serve` daemon
   help      show this message
 
 common options:
@@ -66,32 +73,35 @@ compare options:
   label) or rdse.bench.v1 (results matched by model). Exits 1 when any
   metric regresses beyond the tolerance — the CI trend gate.
 
+serve options:
+  --socket PATH     Unix-domain socket to listen on (must not exist)
+  --workers N       service worker threads                    [2]
+  --queue N         max requests waiting for a worker         [16]
+  --cache N         solution-cache entries (0 disables)       [128]
+  --run-threads N   threads per multi-run/sweep execution     [1]
+  --max-iters N     per-request iteration cap (iters+warmup)  [1000000]
+  Requests are newline-delimited JSON; see README "Running the exploration
+  service". SIGINT/SIGTERM (or a `shutdown` request) drain gracefully.
+
+request options:
+  --socket PATH     socket of a running `rdse serve` daemon
+  --json DOC        the request document (one JSON object)
+  --file PATH       read the request document from a file instead
+  --timeout-ms N    client-side response timeout (0 = none)   [0]
+  Prints the response line and exits 0 when the daemon answered ok,
+  1 otherwise.
+
 The thread count is a throughput knob only: sweep results are bit-identical
 to the serial loops for any --threads value. Reproduce the paper's Fig. 3
 device-size study with:  rdse sweep --model motion --runs 100
 )";
 
-struct Model {
-  Application app;
-  TimeNs tr_per_clb = 0;
-  std::int64_t bus_bytes_per_second = 0;
-};
-
-Model load_model(const Options& opts) {
-  const std::string name = opts.get_string("model", "motion", "RDSE_MODEL");
-  if (name == "motion") {
-    return Model{make_motion_detection_app(), kMotionDetectionTrPerClb,
-                 kMotionDetectionBusRate};
-  }
-  throw Error("unknown model '" + name + "' (known models: motion)");
+ModelSpec load_model(const Options& opts) {
+  return load_model_spec(opts.get_string("model", "motion", "RDSE_MODEL"));
 }
 
 ScheduleKind parse_schedule(const std::string& name) {
-  for (const ScheduleKind kind :
-       {ScheduleKind::kModifiedLam, ScheduleKind::kLamDelosme,
-        ScheduleKind::kGeometric, ScheduleKind::kGreedy}) {
-    if (name == to_string(kind)) return kind;
-  }
+  if (const auto kind = schedule_from_name(name)) return *kind;
   throw Error("unknown schedule '" + name +
               "' (known: modified-lam, lam-delosme, geometric, greedy)");
 }
@@ -146,6 +156,10 @@ void write_artifact(const std::string& path, const JsonValue& doc,
   std::ofstream file(path);
   RDSE_REQUIRE(file.good(), "cannot open '" + path + "' for writing");
   file << doc.dump(2);
+  // Flush before checking: a short write (disk full, quota) surfaces only
+  // when the buffered bytes hit the file, and a truncated artifact that is
+  // reported as written fails much later in `rdse report`.
+  file.flush();
   RDSE_REQUIRE(file.good(), "failed writing '" + path + "'");
   if (!quiet) out << "wrote " << path << '\n';
 }
@@ -159,7 +173,7 @@ int cmd_explore(const Options& opts, std::ostream& out) {
   opts.require_known(kFlags);
   require_no_positionals(opts);
 
-  const Model model = load_model(opts);
+  const ModelSpec model = load_model(opts);
   const auto clbs = static_cast<std::int32_t>(opts.get_int("clbs", 2'000));
   const int runs = static_cast<int>(opts.get_int("runs", 1));
   const auto threads =
@@ -223,7 +237,7 @@ int cmd_sweep(const Options& opts, std::ostream& out) {
   opts.require_known(kFlags);
   require_no_positionals(opts);
 
-  const Model model = load_model(opts);
+  const ModelSpec model = load_model(opts);
   const std::string axis = opts.get_string("axis", "device-size");
   const int runs = static_cast<int>(opts.get_int("runs", 5));
   const auto threads =
@@ -504,6 +518,102 @@ int cmd_compare(const Options& opts, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// -------------------------------------------------------------------- serve
+
+/// Signal-to-accept-loop bridge: a handler may only touch a lock-free
+/// atomic, so the server polls this flag instead of being called directly.
+std::atomic<bool> g_serve_stop{false};
+
+void handle_serve_signal(int /*signum*/) {
+  g_serve_stop.store(true, std::memory_order_relaxed);
+}
+
+int cmd_serve(const Options& opts, std::ostream& out) {
+  static constexpr std::string_view kFlags[] = {
+      "socket", "workers", "queue",  "cache",
+      "run-threads", "max-iters", "quiet"};
+  opts.require_known(kFlags);
+  require_no_positionals(opts);
+
+  serve::ServerConfig config;
+  config.socket_path = opts.get_string("socket", "", "RDSE_SOCKET");
+  RDSE_REQUIRE(!config.socket_path.empty(),
+               "serve: pass the socket path via --socket PATH");
+  const std::int64_t workers = opts.get_int("workers", 2);
+  const std::int64_t queue = opts.get_int("queue", 16);
+  const std::int64_t cache = opts.get_int("cache", 128);
+  const std::int64_t run_threads = opts.get_int("run-threads", 1);
+  RDSE_REQUIRE(workers >= 1, "option --workers: need at least one worker");
+  RDSE_REQUIRE(queue >= 0, "option --queue: negative queue capacity");
+  RDSE_REQUIRE(cache >= 0, "option --cache: negative cache capacity");
+  RDSE_REQUIRE(run_threads >= 0, "option --run-threads: negative count");
+  config.service.workers = static_cast<unsigned>(workers);
+  config.service.queue_capacity = static_cast<std::size_t>(queue);
+  config.service.cache_capacity = static_cast<std::size_t>(cache);
+  config.service.run_threads = static_cast<unsigned>(run_threads);
+  config.service.max_iterations = opts.get_int("max-iters", 1'000'000);
+  RDSE_REQUIRE(config.service.max_iterations >= 1,
+               "option --max-iters: need a positive cap");
+
+  g_serve_stop.store(false, std::memory_order_relaxed);
+  config.external_stop = &g_serve_stop;
+  std::signal(SIGINT, handle_serve_signal);
+  std::signal(SIGTERM, handle_serve_signal);
+
+  const std::string socket_path = config.socket_path;
+  serve::Server server(std::move(config));
+  if (!opts.get_flag("quiet")) {
+    // Flushed before the accept loop blocks, so wrappers (CI smoke) can
+    // wait for this line as the readiness signal.
+    out << "rdse serve: listening on " << socket_path << std::endl;
+  }
+  server.run();
+  if (!opts.get_flag("quiet")) {
+    out << "rdse serve: drained and stopped\n";
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------ request
+
+int cmd_request(const Options& opts, std::ostream& out) {
+  static constexpr std::string_view kFlags[] = {"socket", "json", "file",
+                                                "timeout-ms", "quiet"};
+  opts.require_known(kFlags);
+  require_no_positionals(opts);
+
+  const std::string socket = opts.get_string("socket", "", "RDSE_SOCKET");
+  RDSE_REQUIRE(!socket.empty(),
+               "request: pass the socket path via --socket PATH");
+  std::string text = opts.get_string("json", "");
+  const std::string file_path = opts.get_string("file", "");
+  RDSE_REQUIRE(text.empty() || file_path.empty(),
+               "request: --json and --file are mutually exclusive");
+  if (text.empty() && !file_path.empty()) {
+    std::ifstream file(file_path);
+    RDSE_REQUIRE(file.good(), "cannot read '" + file_path + "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+  RDSE_REQUIRE(!text.empty(),
+               "request: pass the request via --json DOC or --file PATH");
+  const std::int64_t timeout_ms = opts.get_int("timeout-ms", 0);
+  RDSE_REQUIRE(timeout_ms >= 0, "option --timeout-ms: negative timeout");
+
+  // Validate locally and re-dump compactly: the wire protocol is one line
+  // per request, but --file documents may be pretty-printed.
+  const std::string line = JsonValue::parse(text).dump();
+  const std::string response = serve::send_request(socket, line, timeout_ms);
+  out << response << '\n';
+  const JsonValue doc = JsonValue::parse(response);
+  const JsonValue* ok = doc.find("ok");
+  return ok != nullptr && ok->kind() == JsonValue::Kind::kBool &&
+                 ok->as_bool()
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int run(int argc, const char* const* argv, std::ostream& out,
@@ -527,6 +637,8 @@ int run(int argc, const char* const* argv, std::ostream& out,
     if (command == "sweep") return cmd_sweep(opts, out);
     if (command == "report") return cmd_report(opts, out, err);
     if (command == "compare") return cmd_compare(opts, out, err);
+    if (command == "serve") return cmd_serve(opts, out);
+    if (command == "request") return cmd_request(opts, out);
   } catch (const Error& e) {
     err << "rdse " << command << ": " << e.what() << '\n';
     return 1;

@@ -1,0 +1,22 @@
+#include "model/registry.hpp"
+
+#include "model/motion_detection.hpp"
+#include "util/assert.hpp"
+
+namespace rdse {
+
+const std::string& known_model_names() {
+  static const std::string kNames = "motion";
+  return kNames;
+}
+
+ModelSpec load_model_spec(const std::string& name) {
+  if (name == "motion") {
+    return ModelSpec{make_motion_detection_app(), kMotionDetectionTrPerClb,
+                     kMotionDetectionBusRate};
+  }
+  throw Error("unknown model '" + name +
+              "' (known models: " + known_model_names() + ")");
+}
+
+}  // namespace rdse

@@ -1,0 +1,33 @@
+#pragma once
+/// \file registry.hpp
+/// \brief Named application models shared by every front end.
+///
+/// The `rdse` CLI and the `rdse serve` daemon both select models by name
+/// ("--model motion", {"model": "motion"}); this registry is the single
+/// place that maps those names to a built Application plus the platform
+/// parameters (reconfiguration time per CLB, bus throughput) that the
+/// CPU+FPGA architecture factory needs.
+
+#include <cstdint>
+#include <string>
+
+#include "model/task_graph.hpp"
+
+namespace rdse {
+
+/// A named application model with its platform parameters.
+struct ModelSpec {
+  Application app;
+  TimeNs tr_per_clb = 0;
+  std::int64_t bus_bytes_per_second = 0;
+};
+
+/// Comma-separated list of registered model names (for error messages and
+/// usage text).
+[[nodiscard]] const std::string& known_model_names();
+
+/// Build the model registered under `name`; throws Error (naming the known
+/// models) when the name is not registered.
+[[nodiscard]] ModelSpec load_model_spec(const std::string& name);
+
+}  // namespace rdse

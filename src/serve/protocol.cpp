@@ -1,0 +1,264 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <string_view>
+
+#include "util/assert.hpp"
+
+namespace rdse::serve {
+
+namespace {
+
+/// The paper's Fig. 3 device-size grid — the default sweep axis.
+constexpr std::int32_t kDefaultSizes[] = {100,  200,  400,  600,  800,
+                                          1000, 1500, 2000, 3000, 4000,
+                                          5000, 7000, 10000};
+
+constexpr ScheduleKind kAllSchedules[] = {
+    ScheduleKind::kModifiedLam, ScheduleKind::kLamDelosme,
+    ScheduleKind::kGeometric, ScheduleKind::kGreedy};
+
+/// Fetch an integer field: must be a JSON number with an integral value in
+/// [min, max]. Returns `def` when absent.
+std::int64_t int_field(const JsonValue& doc, const char* key,
+                       std::int64_t def, std::int64_t min,
+                       std::int64_t max) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) return def;
+  if (v->kind() != JsonValue::Kind::kNumber) {
+    throw Error(std::string("request field '") + key + "' must be a number");
+  }
+  const double d = v->as_number();
+  if (!(d >= static_cast<double>(min) && d <= static_cast<double>(max)) ||
+      d != std::floor(d)) {
+    throw Error(std::string("request field '") + key +
+                "' out of range or not an integer");
+  }
+  return v->as_int();
+}
+
+std::string string_field(const JsonValue& doc, const char* key,
+                         const std::string& def) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) return def;
+  if (v->kind() != JsonValue::Kind::kString) {
+    throw Error(std::string("request field '") + key + "' must be a string");
+  }
+  return v->as_string();
+}
+
+ScheduleKind schedule_field(const std::string& name) {
+  const auto kind = schedule_from_name(name);
+  if (!kind) {
+    throw Error("unknown schedule '" + name +
+                "' (known: modified-lam, lam-delosme, geometric, greedy)");
+  }
+  return *kind;
+}
+
+void require_known_fields(const JsonValue& doc,
+                          std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : doc.members()) {
+    bool known = false;
+    for (const std::string_view a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw Error("unknown request field '" + key + "'");
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(RequestOp op) {
+  switch (op) {
+    case RequestOp::kExplore: return "explore";
+    case RequestOp::kSweep: return "sweep";
+    case RequestOp::kStatus: return "status";
+    case RequestOp::kPing: return "ping";
+    case RequestOp::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+Request parse_request(const JsonValue& doc) {
+  if (doc.kind() != JsonValue::Kind::kObject) {
+    throw Error("request must be a JSON object");
+  }
+  const JsonValue* op = doc.find("op");
+  if (op == nullptr || op->kind() != JsonValue::Kind::kString) {
+    throw Error("request is missing string field 'op'");
+  }
+
+  Request request;
+  const std::string& name = op->as_string();
+  if (name == "explore") {
+    request.op = RequestOp::kExplore;
+  } else if (name == "sweep") {
+    request.op = RequestOp::kSweep;
+    request.runs = 5;
+    request.iterations = 15'000;
+  } else if (name == "status") {
+    request.op = RequestOp::kStatus;
+  } else if (name == "ping") {
+    request.op = RequestOp::kPing;
+  } else if (name == "shutdown") {
+    request.op = RequestOp::kShutdown;
+  } else {
+    throw Error("unknown op '" + name +
+                "' (known: explore, sweep, status, ping, shutdown)");
+  }
+
+  switch (request.op) {
+    case RequestOp::kStatus:
+    case RequestOp::kPing:
+    case RequestOp::kShutdown:
+      require_known_fields(doc, {"op"});
+      return request;
+    case RequestOp::kExplore:
+      require_known_fields(doc, {"op", "model", "clbs", "runs", "seed",
+                                 "iters", "warmup", "schedule"});
+      break;
+    case RequestOp::kSweep:
+      require_known_fields(doc, {"op", "model", "axis", "sizes", "schedules",
+                                 "clbs", "runs", "seed", "iters", "warmup"});
+      break;
+  }
+
+  request.model = string_field(doc, "model", request.model);
+  request.clbs = static_cast<std::int32_t>(
+      int_field(doc, "clbs", request.clbs, 1, 1'000'000));
+  request.runs =
+      static_cast<int>(int_field(doc, "runs", request.runs, 1, 100'000));
+  request.seed = static_cast<std::uint64_t>(
+      int_field(doc, "seed", static_cast<std::int64_t>(request.seed), 0,
+                std::int64_t{1} << 62));
+  request.iterations = int_field(doc, "iters", request.iterations, 1,
+                                 std::int64_t{1} << 40);
+  request.warmup =
+      int_field(doc, "warmup", request.warmup, 0, std::int64_t{1} << 40);
+
+  if (request.op == RequestOp::kExplore) {
+    request.schedule = schedule_field(
+        string_field(doc, "schedule", to_string(request.schedule)));
+    return request;
+  }
+
+  // Sweep: the axis selects which grid fields are meaningful.
+  request.axis = string_field(doc, "axis", request.axis);
+  if (request.axis != "device-size" && request.axis != "schedule") {
+    throw Error("unknown sweep axis '" + request.axis +
+                "' (known: device-size, schedule)");
+  }
+  if (const JsonValue* sizes = doc.find("sizes")) {
+    if (sizes->kind() != JsonValue::Kind::kArray || sizes->size() == 0) {
+      throw Error("request field 'sizes' must be a non-empty array");
+    }
+    for (const JsonValue& item : sizes->items()) {
+      if (item.kind() != JsonValue::Kind::kNumber ||
+          item.as_number() != std::floor(item.as_number()) ||
+          item.as_number() < 1.0 || item.as_number() > 1e6) {
+        throw Error("request field 'sizes' must hold integers >= 1");
+      }
+      request.sizes.push_back(static_cast<std::int32_t>(item.as_int()));
+    }
+  }
+  if (const JsonValue* schedules = doc.find("schedules")) {
+    if (schedules->kind() != JsonValue::Kind::kArray ||
+        schedules->size() == 0) {
+      throw Error("request field 'schedules' must be a non-empty array");
+    }
+    for (const JsonValue& item : schedules->items()) {
+      if (item.kind() != JsonValue::Kind::kString) {
+        throw Error("request field 'schedules' must hold schedule names");
+      }
+      request.schedules.push_back(schedule_field(item.as_string()));
+    }
+  }
+  return request;
+}
+
+JsonValue normalized_request(const Request& request) {
+  JsonValue doc = JsonValue::object();
+  doc.set("op", to_string(request.op));
+  if (request.op != RequestOp::kExplore && request.op != RequestOp::kSweep) {
+    return doc;
+  }
+  doc.set("model", request.model);
+  doc.set("runs", static_cast<std::int64_t>(request.runs));
+  doc.set("seed", static_cast<std::int64_t>(request.seed));
+  doc.set("iters", request.iterations);
+  doc.set("warmup", request.warmup);
+  if (request.op == RequestOp::kExplore) {
+    doc.set("clbs", static_cast<std::int64_t>(request.clbs));
+    doc.set("schedule", rdse::to_string(request.schedule));
+    return doc;
+  }
+  doc.set("axis", request.axis);
+  if (request.axis == "device-size") {
+    JsonValue sizes = JsonValue::array();
+    if (request.sizes.empty()) {
+      for (const std::int32_t s : kDefaultSizes) {
+        sizes.push_back(static_cast<std::int64_t>(s));
+      }
+    } else {
+      for (const std::int32_t s : request.sizes) {
+        sizes.push_back(static_cast<std::int64_t>(s));
+      }
+    }
+    doc.set("sizes", std::move(sizes));
+  } else {
+    // Schedule axis: the device size is fixed and the schedule list is the
+    // grid; the size grid is irrelevant and stays out of the key.
+    doc.set("clbs", static_cast<std::int64_t>(request.clbs));
+    JsonValue schedules = JsonValue::array();
+    if (request.schedules.empty()) {
+      for (const ScheduleKind kind : kAllSchedules) {
+        schedules.push_back(rdse::to_string(kind));
+      }
+    } else {
+      for (const ScheduleKind kind : request.schedules) {
+        schedules.push_back(rdse::to_string(kind));
+      }
+    }
+    doc.set("schedules", std::move(schedules));
+  }
+  return doc;
+}
+
+std::string canonical_key(const Request& request) {
+  return normalized_request(request).dump();
+}
+
+std::string make_error_response(const std::string& message,
+                                std::int64_t retry_after_ms) {
+  JsonValue doc = JsonValue::object();
+  doc.set("ok", false);
+  doc.set("error", message);
+  if (retry_after_ms >= 0) doc.set("retry_after_ms", retry_after_ms);
+  return doc.dump();
+}
+
+std::string make_result_response(RequestOp op, bool cached,
+                                 const std::string& key_hex,
+                                 const std::string& payload_json) {
+  // Assembled textually so the payload bytes embed verbatim: a cache hit
+  // returns exactly the bytes the fresh run produced. Envelope fields are
+  // fixed-charset strings that need no escaping.
+  std::string out = "{\"ok\": true, \"op\": \"";
+  out += to_string(op);
+  out += "\", \"cached\": ";
+  out += cached ? "true" : "false";
+  out += ", \"key\": \"";
+  out += key_hex;
+  out += "\", \"result\": ";
+  out += payload_json;
+  out += '}';
+  return out;
+}
+
+}  // namespace rdse::serve

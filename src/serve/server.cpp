@@ -1,0 +1,207 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace rdse::serve {
+
+namespace {
+
+/// A hostile or broken client must not grow an unbounded line buffer.
+constexpr std::size_t kMaxRequestBytes = 1 << 20;  // 1 MiB
+
+/// Accept-loop poll period: the latency bound on noticing a stop request.
+constexpr int kPollMs = 100;
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// Fill a sockaddr_un for `path`; throws when the path does not fit the
+/// (historically tiny) sun_path field.
+sockaddr_un make_socket_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  RDSE_REQUIRE(path.size() < sizeof addr.sun_path,
+               "socket path too long: '" + path + "'");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// Write all of `text`, suppressing SIGPIPE (a vanished client is the
+/// client's problem). Returns false when the peer is gone.
+bool send_all(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t n = ::send(fd, text.data() + sent, text.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config)), service_(config_.service) {}
+
+bool Server::stop_requested() const {
+  if (stop_.load(std::memory_order_relaxed)) return true;
+  return config_.external_stop != nullptr &&
+         config_.external_stop->load(std::memory_order_relaxed);
+}
+
+void Server::run() {
+  const sockaddr_un addr = make_socket_address(config_.socket_path);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  RDSE_REQUIRE(listen_fd_ >= 0, "cannot create socket: " + errno_text());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    const std::string what = errno_text();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("cannot bind '" + config_.socket_path + "': " + what +
+                (errno == EADDRINUSE
+                     ? " (another daemon running, or a stale socket file "
+                       "to remove)"
+                     : ""));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string what = errno_text();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+    throw Error("cannot listen on '" + config_.socket_path + "': " + what);
+  }
+  log_info("serve: listening on " + config_.socket_path);
+
+  while (!stop_requested()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_fds_.insert(conn);
+    conn_threads_.emplace_back(&Server::handle_connection, this, conn);
+  }
+
+  // Graceful shutdown: no new connections, half-close the open ones so a
+  // request already being executed still gets its response, join, drain.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(config_.socket_path.c_str());
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  for (std::thread& t : conn_threads_) t.join();
+  conn_threads_.clear();
+  service_.begin_drain();
+  log_info("serve: drained, exiting");
+}
+
+void Server::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    std::size_t newline = 0;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const ExplorationService::Handled handled = service_.handle(line);
+      if (!send_all(fd, handled.response + "\n")) {
+        open = false;
+        break;
+      }
+      if (handled.op == RequestOp::kShutdown && handled.ok) {
+        request_stop();
+        open = false;
+        break;
+      }
+    }
+    if (!open) break;
+    if (buffer.size() > kMaxRequestBytes) {
+      (void)send_all(fd,
+                     make_error_response("request line too long") + "\n");
+      break;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, error, or our own SHUT_RD during shutdown
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+std::string send_request(const std::string& socket_path,
+                         const std::string& line, std::int64_t timeout_ms) {
+  const sockaddr_un addr = make_socket_address(socket_path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  RDSE_REQUIRE(fd >= 0, "cannot create socket: " + errno_text());
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string what = errno_text();
+    ::close(fd);
+    throw Error("cannot connect to '" + socket_path + "': " + what);
+  }
+  if (!send_all(fd, line + "\n")) {
+    ::close(fd);
+    throw Error("failed sending request to '" + socket_path + "'");
+  }
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      const std::string what =
+          (errno == EAGAIN || errno == EWOULDBLOCK) ? "timed out"
+                                                    : errno_text();
+      ::close(fd);
+      throw Error("failed reading response from '" + socket_path +
+                  "': " + what);
+    }
+    if (n == 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+    if (const std::size_t newline = response.find('\n');
+        newline != std::string::npos) {
+      response.resize(newline);
+      ::close(fd);
+      return response;
+    }
+    RDSE_REQUIRE(response.size() <= kMaxRequestBytes * 8,
+                 "response too large");
+  }
+  ::close(fd);
+  throw Error("connection to '" + socket_path +
+              "' closed before a response arrived");
+}
+
+}  // namespace rdse::serve

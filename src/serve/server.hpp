@@ -1,0 +1,77 @@
+#pragma once
+/// \file server.hpp
+/// \brief Unix-domain stream-socket front end for the exploration service.
+///
+/// `Server::run()` binds `socket_path`, accepts connections, and answers
+/// newline-delimited JSON requests (see serve/protocol.hpp) by calling the
+/// in-process ExplorationService from one thread per connection — the
+/// service's bounded queue, not the connection count, is the concurrency
+/// limit on actual exploration work. Shutdown is graceful: a `shutdown`
+/// request (or request_stop(), or the optional external stop flag wired to
+/// a signal handler) stops the accept loop, half-closes open connections
+/// so their current request still gets its response, joins every
+/// connection thread, and drains in-flight runs before returning.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace rdse::serve {
+
+struct ServerConfig {
+  /// Filesystem path of the Unix-domain socket. Must not already exist
+  /// (a stale socket file from a crashed daemon must be removed by the
+  /// operator, not silently stolen).
+  std::string socket_path;
+  ServiceConfig service;
+  /// Optional externally owned stop flag, polled by the accept loop — the
+  /// CLI points it at an atomic its signal handler sets (a signal handler
+  /// cannot safely call into the server).
+  const std::atomic<bool>* external_stop = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and serve until stopped; returns after the graceful
+  /// drain. Throws Error when the socket cannot be created or bound.
+  void run();
+
+  /// Ask the accept loop to stop (thread-safe; callable from connection
+  /// threads and tests).
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] ExplorationService& service() { return service_; }
+
+ private:
+  void handle_connection(int fd);
+  [[nodiscard]] bool stop_requested() const;
+
+  ServerConfig config_;
+  ExplorationService service_;
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+
+  std::mutex conn_mutex_;
+  std::set<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+/// Client side: connect to `socket_path`, send one request line, return the
+/// response line (newline stripped). `timeout_ms` > 0 bounds the wait for
+/// the response. Throws Error on connect/IO failure or timeout.
+[[nodiscard]] std::string send_request(const std::string& socket_path,
+                                       const std::string& line,
+                                       std::int64_t timeout_ms = 0);
+
+}  // namespace rdse::serve

@@ -1,0 +1,306 @@
+#include "serve/service.hpp"
+
+#include <future>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "arch/architecture.hpp"
+#include "core/report.hpp"
+#include "core/sweep_engine.hpp"
+#include "model/registry.hpp"
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace rdse::serve {
+
+namespace {
+
+/// Deterministic per-run metrics block (no wall-clock fields: cached and
+/// fresh responses must be byte-identical).
+JsonValue metrics_payload(const Metrics& m, TimeNs deadline) {
+  JsonValue doc = JsonValue::object();
+  doc.set("makespan_ms", to_ms(m.makespan));
+  doc.set("init_reconfig_ms", to_ms(m.init_reconfig));
+  doc.set("dyn_reconfig_ms", to_ms(m.dyn_reconfig));
+  doc.set("contexts", static_cast<std::int64_t>(m.n_contexts));
+  doc.set("hw_tasks", static_cast<std::int64_t>(m.hw_tasks));
+  doc.set("sw_tasks", static_cast<std::int64_t>(m.sw_tasks));
+  if (deadline > 0) {
+    doc.set("deadline_met", m.makespan <= deadline);
+  }
+  return doc;
+}
+
+JsonValue aggregate_payload(const RunAggregate& a) {
+  JsonValue doc = JsonValue::object();
+  doc.set("runs", static_cast<std::int64_t>(a.runs));
+  doc.set("mean_makespan_ms", a.mean_makespan_ms);
+  doc.set("stddev_makespan_ms", a.stddev_makespan_ms);
+  doc.set("best_makespan_ms", a.best_makespan_ms);
+  doc.set("worst_makespan_ms", a.worst_makespan_ms);
+  doc.set("mean_init_reconfig_ms", a.mean_init_reconfig_ms);
+  doc.set("mean_dyn_reconfig_ms", a.mean_dyn_reconfig_ms);
+  doc.set("mean_contexts", a.mean_contexts);
+  doc.set("mean_hw_tasks", a.mean_hw_tasks);
+  doc.set("deadline_hit_rate", a.deadline_hit_rate);
+  return doc;
+}
+
+/// Strip the volatile (wall-clock, thread-count) fields from a sweep
+/// artifact so the payload is a pure function of the request.
+void strip_volatile_sweep_fields(JsonValue& doc) {
+  doc.erase("wall_seconds");
+  doc.erase("threads");
+  if (JsonValue* points = doc.find("points")) {
+    for (JsonValue& point : points->items()) {
+      point.erase("mean_wall_seconds");
+    }
+  }
+}
+
+std::string plain_response(RequestOp op, JsonValue payload) {
+  JsonValue doc = JsonValue::object();
+  doc.set("ok", true);
+  doc.set("op", to_string(op));
+  doc.set("result", std::move(payload));
+  return doc.dump();
+}
+
+}  // namespace
+
+ExplorationService::ExplorationService(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_capacity),
+      pool_(config_.workers == 0 ? 1 : config_.workers) {}
+
+ExplorationService::~ExplorationService() {
+  begin_drain();
+  // ThreadPool's destructor drains the queue and joins the workers; every
+  // pending handle() caller is blocked on its job's future, which resolves
+  // before the pool goes down.
+}
+
+void ExplorationService::begin_drain() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+}
+
+ServiceStats ExplorationService::stats() const {
+  ServiceStats s;
+  s.cache = cache_.stats();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  s.queue_depth = waiting_;
+  s.in_flight = in_flight_;
+  s.queue_capacity = config_.queue_capacity;
+  s.workers = pool_.size();
+  s.requests_total = requests_total_;
+  s.completed = completed_;
+  s.rejected = rejected_;
+  s.errors = errors_;
+  return s;
+}
+
+JsonValue ExplorationService::status_payload() const {
+  const ServiceStats s = stats();
+  JsonValue cache = JsonValue::object();
+  cache.set("hits", static_cast<std::int64_t>(s.cache.hits));
+  cache.set("misses", static_cast<std::int64_t>(s.cache.misses));
+  cache.set("evictions", static_cast<std::int64_t>(s.cache.evictions));
+  cache.set("entries", static_cast<std::int64_t>(s.cache.entries));
+  cache.set("capacity", static_cast<std::int64_t>(s.cache.capacity));
+  JsonValue queue = JsonValue::object();
+  queue.set("depth", static_cast<std::int64_t>(s.queue_depth));
+  queue.set("in_flight", static_cast<std::int64_t>(s.in_flight));
+  queue.set("capacity", static_cast<std::int64_t>(s.queue_capacity));
+  queue.set("workers", static_cast<std::int64_t>(s.workers));
+  JsonValue requests = JsonValue::object();
+  requests.set("total", static_cast<std::int64_t>(s.requests_total));
+  requests.set("completed", static_cast<std::int64_t>(s.completed));
+  requests.set("rejected", static_cast<std::int64_t>(s.rejected));
+  requests.set("errors", static_cast<std::int64_t>(s.errors));
+  JsonValue doc = JsonValue::object();
+  doc.set("cache", std::move(cache));
+  doc.set("queue", std::move(queue));
+  doc.set("requests", std::move(requests));
+  return doc;
+}
+
+ExplorationService::Handled ExplorationService::handle(
+    const std::string& line) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++requests_total_;
+  }
+  Handled handled;
+  Request request;
+  try {
+    request = parse_request(JsonValue::parse(line));
+  } catch (const Error& e) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++errors_;
+    handled.response = make_error_response(e.what());
+    return handled;
+  }
+  handled.op = request.op;
+  switch (request.op) {
+    case RequestOp::kStatus:
+      handled.response = plain_response(request.op, status_payload());
+      handled.ok = true;
+      return handled;
+    case RequestOp::kPing:
+    case RequestOp::kShutdown:
+      // Shutdown sequencing (stop accepting, drain) is the server's job;
+      // the service just acknowledges.
+      handled.response = plain_response(request.op, JsonValue::object());
+      handled.ok = true;
+      return handled;
+    case RequestOp::kExplore:
+    case RequestOp::kSweep:
+      break;
+  }
+  handled.response = run_work_request(request);
+  handled.ok = handled.response.rfind("{\"ok\": true", 0) == 0;
+  return handled;
+}
+
+std::string ExplorationService::run_work_request(const Request& request) {
+  if (request.iterations + request.warmup > config_.max_iterations) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++errors_;
+    return make_error_response(
+        "request exceeds the per-run iteration cap (" +
+        std::to_string(config_.max_iterations) + ")");
+  }
+
+  const std::string key = canonical_key(request);
+  const std::string fingerprint = fnv1a64_hex(key);
+  if (auto hit = cache_.lookup(key)) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++completed_;
+    return make_result_response(request.op, true, fingerprint, *hit);
+  }
+
+  // Admission: bounded waiting set with immediate backpressure.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      ++errors_;
+      return make_error_response("service is shutting down");
+    }
+    if (waiting_ >= config_.queue_capacity) {
+      ++rejected_;
+      return make_error_response("request queue is full",
+                                 config_.retry_after_ms);
+    }
+    ++waiting_;
+  }
+
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  pool_.submit([this, &request, &promise] {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --waiting_;
+      ++in_flight_;
+    }
+    if (config_.on_job_start) config_.on_job_start();
+    std::string payload;
+    std::exception_ptr failure;
+    try {
+      payload = execute(request).dump();
+    } catch (...) {
+      failure = std::current_exception();
+    }
+    {
+      // Drop the in-flight count *before* resolving the promise: once the
+      // caller unblocks, stats() must no longer show this job as running.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    if (failure) {
+      promise.set_exception(failure);
+    } else {
+      promise.set_value(std::move(payload));
+    }
+  });
+
+  try {
+    std::string payload = future.get();
+    cache_.insert(key, payload);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++completed_;
+    }
+    return make_result_response(request.op, false, fingerprint, payload);
+  } catch (const Error& e) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++errors_;
+    return make_error_response(e.what());
+  }
+}
+
+JsonValue ExplorationService::execute(const Request& request) const {
+  const ModelSpec model = load_model_spec(request.model);
+  ExplorerConfig config;
+  config.seed = request.seed;
+  config.iterations = request.iterations;
+  config.warmup_iterations = request.warmup;
+  config.record_trace = false;
+
+  if (request.op == RequestOp::kExplore) {
+    config.schedule = request.schedule;
+    const Architecture arch = make_cpu_fpga_architecture(
+        request.clbs, model.tr_per_clb, model.bus_bytes_per_second);
+    const Explorer explorer(model.app.graph, arch);
+    JsonValue doc = JsonValue::object();
+    doc.set("model", model.app.name);
+    doc.set("clbs", static_cast<std::int64_t>(request.clbs));
+    doc.set("runs", static_cast<std::int64_t>(request.runs));
+    doc.set("deadline_ms", to_ms(model.app.deadline));
+    if (request.runs == 1) {
+      const RunResult result = explorer.run(config);
+      doc.set("best",
+              metrics_payload(result.best_metrics, model.app.deadline));
+    } else {
+      const SweepEngine engine(config_.run_threads);
+      const std::vector<RunResult> results =
+          engine.run_many(explorer, config, request.runs);
+      const RunAggregate agg =
+          Explorer::aggregate(results, model.app.deadline);
+      doc.set("aggregate", aggregate_payload(agg));
+    }
+    return doc;
+  }
+
+  SweepSpec spec;
+  if (request.axis == "device-size") {
+    std::vector<std::int32_t> sizes = request.sizes;
+    if (sizes.empty()) {
+      sizes = {100,  200,  400,  600,  800,  1000, 1500,
+               2000, 3000, 4000, 5000, 7000, 10000};
+    }
+    spec = device_size_sweep(sizes, model.tr_per_clb,
+                             model.bus_bytes_per_second, config,
+                             request.runs, model.app.deadline);
+  } else {
+    std::vector<ScheduleKind> kinds = request.schedules;
+    if (kinds.empty()) {
+      kinds = {ScheduleKind::kModifiedLam, ScheduleKind::kLamDelosme,
+               ScheduleKind::kGeometric, ScheduleKind::kGreedy};
+    }
+    spec = schedule_sweep(
+        kinds,
+        make_cpu_fpga_architecture(request.clbs, model.tr_per_clb,
+                                   model.bus_bytes_per_second),
+        config, request.runs, model.app.deadline);
+  }
+  const SweepEngine engine(config_.run_threads);
+  const SweepResult result = engine.run(model.app.graph, spec);
+  JsonValue doc = sweep_to_json(result);
+  doc.set("model", model.app.name);
+  strip_volatile_sweep_fields(doc);
+  return doc;
+}
+
+}  // namespace rdse::serve

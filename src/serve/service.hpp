@@ -1,0 +1,110 @@
+#pragma once
+/// \file service.hpp
+/// \brief The exploration service: request execution, admission control and
+/// the solution cache — everything `rdse serve` does except the socket.
+///
+/// ExplorationService turns one request line into one response line. Work
+/// requests (explore/sweep) are memoized through the SolutionCache — a
+/// repeated identical request is O(1) and bit-identical to a fresh run —
+/// and executed on a util/ThreadPool behind a *bounded* admission queue:
+/// when `queue_capacity` requests are already waiting, new work is rejected
+/// immediately with a retry_after_ms backpressure hint instead of being
+/// queued without bound or dropped. status/ping are served inline (they
+/// must answer even when the queue is full). The class is fully
+/// thread-safe: the socket server calls handle() from many connection
+/// threads concurrently.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rdse::serve {
+
+struct ServiceConfig {
+  /// Worker threads executing explore/sweep requests.
+  unsigned workers = 2;
+  /// Maximum requests *waiting* for a worker; beyond it new work is
+  /// rejected with a backpressure error carrying `retry_after_ms`.
+  std::size_t queue_capacity = 16;
+  /// Solution-cache entries (0 disables caching).
+  std::size_t cache_capacity = 128;
+  /// SweepEngine threads per request (0 = hardware concurrency). Keep the
+  /// product workers * run_threads near the core count.
+  unsigned run_threads = 1;
+  /// Reject requests whose per-run iteration budget (iters + warmup)
+  /// exceeds this cap — one oversized request must not starve the queue.
+  std::int64_t max_iterations = 1'000'000;
+  std::int64_t retry_after_ms = 250;
+  /// Test hook: invoked by a worker when it starts executing a request
+  /// (before any annealing). Lets tests hold workers inside a job to
+  /// exercise the queue-full path deterministically.
+  std::function<void()> on_job_start;
+};
+
+/// Aggregate counters surfaced through the `status` request.
+struct ServiceStats {
+  SolutionCache::Stats cache;
+  std::size_t queue_depth = 0;      ///< requests waiting for a worker
+  std::size_t in_flight = 0;        ///< requests executing right now
+  std::size_t queue_capacity = 0;
+  unsigned workers = 0;
+  std::uint64_t requests_total = 0;  ///< every line handled, any op
+  std::uint64_t completed = 0;       ///< work requests answered ok
+  std::uint64_t rejected = 0;        ///< backpressure rejections
+  std::uint64_t errors = 0;          ///< malformed / failed requests
+};
+
+class ExplorationService {
+ public:
+  explicit ExplorationService(ServiceConfig config = {});
+
+  /// Drains queued and in-flight work, then joins the workers.
+  ~ExplorationService();
+
+  ExplorationService(const ExplorationService&) = delete;
+  ExplorationService& operator=(const ExplorationService&) = delete;
+
+  struct Handled {
+    std::string response;  ///< one response line (no trailing newline)
+    RequestOp op = RequestOp::kStatus;
+    bool ok = false;
+  };
+
+  /// Handle one request line; blocks until the response is ready (cache
+  /// hits and status/ping return immediately; queue-full work returns the
+  /// backpressure error immediately). Never throws: every failure becomes
+  /// an error response.
+  [[nodiscard]] Handled handle(const std::string& line);
+
+  /// Stop admitting work requests (they get a "shutting down" error);
+  /// queued and in-flight runs still complete — graceful-shutdown drain.
+  void begin_drain();
+
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  [[nodiscard]] std::string run_work_request(const Request& request);
+  [[nodiscard]] JsonValue execute(const Request& request) const;
+  [[nodiscard]] JsonValue status_payload() const;
+
+  ServiceConfig config_;
+  SolutionCache cache_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;  ///< admission state + counters
+  std::size_t waiting_ = 0;
+  std::size_t in_flight_ = 0;
+  bool draining_ = false;
+  std::uint64_t requests_total_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace rdse::serve

@@ -1,6 +1,8 @@
 #include "util/cli.hpp"
 
+#include <charconv>
 #include <cstdlib>
+#include <string_view>
 
 #include "util/assert.hpp"
 
@@ -28,14 +30,18 @@ Options Options::parse(int argc, const char* const* argv,
         break;
       }
     }
-    // "--key value" when the next token is not itself an option (and the
-    // key is not a declared boolean flag), else a flag.
-    if (!is_bool && i + 1 < argc &&
-        std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      opts.values_[arg] = argv[++i];
-    } else {
+    if (is_bool) {
       opts.values_[arg] = "1";
+      continue;
     }
+    // "--key value": a non-boolean option must be followed by a value
+    // token. A trailing "--key" or "--key --other" is a forgotten value
+    // ("rdse sweep --model --dry-run"), not an implicit flag — treating it
+    // as one silently changes what runs.
+    if (i + 1 >= argc || std::string_view(argv[i + 1]).rfind("--", 0) == 0) {
+      throw Error("option --" + arg + " requires a value");
+    }
+    opts.values_[arg] = argv[++i];
   }
   return opts;
 }
@@ -73,22 +79,29 @@ std::int64_t Options::get_int(const std::string& name, std::int64_t def,
                               const std::string& env_name) const {
   const auto v = get(name, env_name);
   if (!v) return def;
-  try {
-    return std::stoll(*v);
-  } catch (const std::exception&) {
+  // Whole-token parse: std::stoll would accept "10abc" as 10 and silently
+  // run with a truncated value. from_chars also rejects leading whitespace
+  // and a leading '+', which is fine for option values.
+  std::int64_t value = 0;
+  const char* last = v->data() + v->size();
+  const auto res = std::from_chars(v->data(), last, value);
+  if (res.ec != std::errc() || res.ptr != last || v->empty()) {
     throw Error("option --" + name + ": expected integer, got '" + *v + "'");
   }
+  return value;
 }
 
 double Options::get_double(const std::string& name, double def,
                            const std::string& env_name) const {
   const auto v = get(name, env_name);
   if (!v) return def;
-  try {
-    return std::stod(*v);
-  } catch (const std::exception&) {
+  double value = 0.0;
+  const char* last = v->data() + v->size();
+  const auto res = std::from_chars(v->data(), last, value);
+  if (res.ec != std::errc() || res.ptr != last || v->empty()) {
     throw Error("option --" + name + ": expected number, got '" + *v + "'");
   }
+  return value;
 }
 
 std::string Options::get_string(const std::string& name, std::string def,

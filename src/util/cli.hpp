@@ -20,7 +20,9 @@ class Options {
   /// Accepts "--key=value", "--key value" and boolean "--flag". Options
   /// named in `bool_flags` never consume the following token, so
   /// "--quiet path" keeps "path" positional instead of treating it as the
-  /// flag's value.
+  /// flag's value. A non-boolean "--key" with no following value token
+  /// (end of argv, or another "--option" next) throws Error — a forgotten
+  /// value must fail loudly instead of misparsing as a flag.
   static Options parse(int argc, const char* const* argv,
                        std::span<const std::string_view> bool_flags);
   static Options parse(int argc, const char* const* argv) {
@@ -32,6 +34,8 @@ class Options {
   [[nodiscard]] std::optional<std::string> get(
       const std::string& name, const std::string& env_name = "") const;
 
+  /// Numeric getters parse the whole token ("10abc" and "1.5x" are errors,
+  /// not 10 and 1.5) and throw Error on any malformed value.
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t def,
                                      const std::string& env_name = "") const;

@@ -108,6 +108,11 @@ const std::vector<JsonValue>& JsonValue::items() const {
   kind_error("array", kind());
 }
 
+std::vector<JsonValue>& JsonValue::items() {
+  if (auto* a = std::get_if<std::vector<JsonValue>>(&data_)) return *a;
+  kind_error("array", kind());
+}
+
 JsonValue& JsonValue::set(std::string key, JsonValue value) {
   if (auto* o = std::get_if<std::vector<Member>>(&data_)) {
     for (Member& m : *o) {
@@ -122,9 +127,32 @@ JsonValue& JsonValue::set(std::string key, JsonValue value) {
   kind_error("object", kind());
 }
 
+bool JsonValue::erase(std::string_view key) {
+  if (auto* o = std::get_if<std::vector<Member>>(&data_)) {
+    for (auto it = o->begin(); it != o->end(); ++it) {
+      if (it->first == key) {
+        o->erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  kind_error("object", kind());
+}
+
 const JsonValue* JsonValue::find(std::string_view key) const {
   if (const auto* o = std::get_if<std::vector<Member>>(&data_)) {
     for (const Member& m : *o) {
+      if (m.first == key) return &m.second;
+    }
+    return nullptr;
+  }
+  kind_error("object", kind());
+}
+
+JsonValue* JsonValue::find(std::string_view key) {
+  if (auto* o = std::get_if<std::vector<Member>>(&data_)) {
+    for (Member& m : *o) {
       if (m.first == key) return &m.second;
     }
     return nullptr;
@@ -328,6 +356,17 @@ class Parser {
     }
   }
 
+  /// Read the 4 hex digits of a \u escape at pos_ and advance past them.
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    const auto res = std::from_chars(text_.data() + pos_,
+                                     text_.data() + pos_ + 4, code, 16);
+    if (res.ptr != text_.data() + pos_ + 4) fail("bad \\u escape");
+    pos_ += 4;
+    return code;
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -350,21 +389,37 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          const auto res = std::from_chars(text_.data() + pos_,
-                                           text_.data() + pos_ + 4, code, 16);
-          if (res.ptr != text_.data() + pos_ + 4) fail("bad \\u escape");
-          pos_ += 4;
-          // Artifacts only ever escape control characters; encode the code
-          // point as UTF-8 (basic multilingual plane, no surrogate pairing).
+          unsigned code = parse_hex4();
+          // UTF-16 surrogate halves: a high surrogate must be followed by
+          // "\uDC00".."\uDFFF" and the pair decodes to one astral-plane
+          // code point; encoding a half as-is would emit invalid UTF-8.
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate in \\u escape");
+          }
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("unpaired high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("invalid low surrogate in \\u escape");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
           }

@@ -1,10 +1,13 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace rdse {
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic: the serve front-end handles requests on concurrent worker and
+// connection threads, and the level gate must stay race-free under TSan.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -17,12 +20,14 @@ const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) > static_cast<int>(g_level)) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) {
     return;
   }
   std::fprintf(stderr, "[rdse %s] %s\n", level_tag(level), message.c_str());

@@ -1,0 +1,169 @@
+/// Tests for the serve wire protocol: strict request validation, canonical
+/// normalization (defaults explicit, irrelevant fields dropped) and the
+/// response envelopes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace rdse::serve {
+namespace {
+
+Request parse(const std::string& text) {
+  return parse_request(JsonValue::parse(text));
+}
+
+TEST(ServeProtocol, ExploreDefaultsMatchTheCli) {
+  const Request r = parse(R"({"op": "explore"})");
+  EXPECT_EQ(r.op, RequestOp::kExplore);
+  EXPECT_EQ(r.model, "motion");
+  EXPECT_EQ(r.clbs, 2'000);
+  EXPECT_EQ(r.runs, 1);
+  EXPECT_EQ(r.seed, 1u);
+  EXPECT_EQ(r.iterations, 20'000);
+  EXPECT_EQ(r.warmup, 1'200);
+  EXPECT_EQ(r.schedule, ScheduleKind::kModifiedLam);
+}
+
+TEST(ServeProtocol, SweepDefaultsMatchTheCli) {
+  const Request r = parse(R"({"op": "sweep"})");
+  EXPECT_EQ(r.op, RequestOp::kSweep);
+  EXPECT_EQ(r.runs, 5);
+  EXPECT_EQ(r.iterations, 15'000);
+  EXPECT_EQ(r.axis, "device-size");
+  EXPECT_TRUE(r.sizes.empty());  // empty = the Fig. 3 default grid
+}
+
+TEST(ServeProtocol, ExplicitFieldsParse) {
+  const Request r = parse(
+      R"({"op": "explore", "clbs": 500, "runs": 3, "seed": 42,
+          "iters": 900, "warmup": 100, "schedule": "greedy"})");
+  EXPECT_EQ(r.clbs, 500);
+  EXPECT_EQ(r.runs, 3);
+  EXPECT_EQ(r.seed, 42u);
+  EXPECT_EQ(r.iterations, 900);
+  EXPECT_EQ(r.warmup, 100);
+  EXPECT_EQ(r.schedule, ScheduleKind::kGreedy);
+}
+
+TEST(ServeProtocol, MalformedRequestsAreRejected) {
+  const char* bad[] = {
+      R"([1, 2])",                                  // not an object
+      R"({})",                                      // missing op
+      R"({"op": 3})",                               // op not a string
+      R"({"op": "frobnicate"})",                    // unknown op
+      R"({"op": "explore", "bogus": 1})",           // unknown field
+      R"({"op": "explore", "sizes": [400]})",       // sweep-only field
+      R"({"op": "ping", "clbs": 100})",             // field on a plain op
+      R"({"op": "explore", "clbs": "big"})",        // wrong type
+      R"({"op": "explore", "clbs": 0})",            // below range
+      R"({"op": "explore", "clbs": 10.5})",         // not an integer
+      R"({"op": "explore", "runs": 0})",            // below range
+      R"({"op": "explore", "seed": -1})",           // negative seed
+      R"({"op": "explore", "schedule": "warp"})",   // unknown schedule
+      R"({"op": "sweep", "axis": "voltage"})",      // unknown axis
+      R"({"op": "sweep", "sizes": []})",            // empty grid
+      R"({"op": "sweep", "sizes": [400, 0]})",      // size below 1
+      R"({"op": "sweep", "sizes": [400, "x"]})",    // non-numeric size
+      R"({"op": "sweep", "schedules": []})",        // empty schedule list
+      R"({"op": "sweep", "schedules": ["warp"]})",  // unknown schedule
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW((void)parse(text), Error) << "input: " << text;
+  }
+}
+
+TEST(ServeProtocol, NormalizationMakesDefaultsExplicit) {
+  // A minimal request and its fully spelled-out twin are the same work, so
+  // they must produce the same cache key.
+  const std::string minimal = canonical_key(parse(R"({"op": "explore"})"));
+  const std::string spelled = canonical_key(parse(
+      R"({"op": "explore", "model": "motion", "clbs": 2000, "runs": 1,
+          "seed": 1, "iters": 20000, "warmup": 1200,
+          "schedule": "modified-lam"})"));
+  EXPECT_EQ(minimal, spelled);
+  // Field order in the request document is irrelevant too.
+  const std::string reordered = canonical_key(parse(
+      R"({"seed": 1, "op": "explore", "clbs": 2000})"));
+  EXPECT_EQ(minimal, reordered);
+}
+
+TEST(ServeProtocol, NormalizationDropsIrrelevantFields) {
+  // A device-size sweep ignores "clbs" (each point sets its own size):
+  // requests differing only there are identical work.
+  const std::string a = canonical_key(
+      parse(R"({"op": "sweep", "axis": "device-size", "clbs": 500})"));
+  const std::string b = canonical_key(
+      parse(R"({"op": "sweep", "axis": "device-size", "clbs": 9000})"));
+  EXPECT_EQ(a, b);
+  // But on the schedule axis the device size is real work state.
+  const std::string c = canonical_key(
+      parse(R"({"op": "sweep", "axis": "schedule", "clbs": 500})"));
+  const std::string d = canonical_key(
+      parse(R"({"op": "sweep", "axis": "schedule", "clbs": 9000})"));
+  EXPECT_NE(c, d);
+}
+
+TEST(ServeProtocol, DefaultGridsAreExplicitInTheKey)  {
+  // Omitting "sizes" and spelling out the Fig. 3 grid are the same sweep.
+  const std::string omitted =
+      canonical_key(parse(R"({"op": "sweep", "axis": "device-size"})"));
+  const std::string spelled = canonical_key(parse(
+      R"({"op": "sweep", "axis": "device-size",
+          "sizes": [100, 200, 400, 600, 800, 1000, 1500, 2000, 3000,
+                    4000, 5000, 7000, 10000]})"));
+  EXPECT_EQ(omitted, spelled);
+  // A different grid is different work.
+  const std::string other = canonical_key(parse(
+      R"({"op": "sweep", "axis": "device-size", "sizes": [400, 800]})"));
+  EXPECT_NE(omitted, other);
+}
+
+TEST(ServeProtocol, DistinctWorkGetsDistinctKeys) {
+  const std::string base = canonical_key(parse(R"({"op": "explore"})"));
+  const char* variants[] = {
+      R"({"op": "explore", "seed": 2})",
+      R"({"op": "explore", "clbs": 400})",
+      R"({"op": "explore", "iters": 19999})",
+      R"({"op": "explore", "schedule": "greedy"})",
+      R"({"op": "sweep"})",
+  };
+  for (const char* text : variants) {
+    EXPECT_NE(canonical_key(parse(text)), base) << "input: " << text;
+  }
+}
+
+TEST(ServeProtocol, ErrorResponsesCarryTheBackpressureHint) {
+  EXPECT_EQ(make_error_response("boom"),
+            R"({"ok": false, "error": "boom"})");
+  EXPECT_EQ(make_error_response("queue full", 250),
+            R"({"ok": false, "error": "queue full", "retry_after_ms": 250})");
+}
+
+TEST(ServeProtocol, ResultEnvelopeEmbedsThePayloadVerbatim) {
+  const std::string payload = R"({"makespan_ms": 26.800559})";
+  const std::string fresh =
+      make_result_response(RequestOp::kExplore, false, "abc123", payload);
+  EXPECT_EQ(fresh, R"({"ok": true, "op": "explore", "cached": false, )"
+                   R"("key": "abc123", "result": {"makespan_ms": )"
+                   R"(26.800559}})");
+  // The cached envelope differs from the fresh one only in the flag.
+  std::string expected = fresh;
+  const std::size_t at = expected.find("\"cached\": false");
+  expected.replace(at, 15, "\"cached\": true");
+  EXPECT_EQ(
+      make_result_response(RequestOp::kExplore, true, "abc123", payload),
+      expected);
+  // The envelope parses back as JSON with the payload intact.
+  const JsonValue doc = JsonValue::parse(fresh);
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_DOUBLE_EQ(doc.at("result").at("makespan_ms").as_number(),
+                   26.800559);
+}
+
+}  // namespace
+}  // namespace rdse::serve

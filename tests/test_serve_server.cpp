@@ -1,0 +1,140 @@
+/// Socket-level tests for `rdse serve`: request/response round trips over a
+/// real Unix-domain socket, cache hits across connections, shutdown-request
+/// sequencing and bind failure on an occupied path.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace rdse::serve {
+namespace {
+
+std::string socket_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  ::unlink(path.c_str());
+  return path;
+}
+
+void wait_for_socket(const std::string& path) {
+  for (int i = 0; i < 500; ++i) {
+    struct stat st {};
+    if (::stat(path.c_str(), &st) == 0) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << "socket " << path << " never appeared";
+}
+
+/// Start a server on its own thread, run `body` against it, then shut it
+/// down via a `shutdown` request (unless the body already did).
+void with_server(const std::string& path,
+                 const std::function<void()>& body) {
+  ServerConfig config;
+  config.socket_path = path;
+  config.service.workers = 1;
+  config.service.queue_capacity = 4;
+  config.service.cache_capacity = 8;
+  Server server(config);
+  std::thread thread([&server] { server.run(); });
+  wait_for_socket(path);
+  body();
+  if (::access(path.c_str(), F_OK) == 0) {
+    (void)send_request(path, R"({"op": "shutdown"})", 5'000);
+  }
+  thread.join();
+}
+
+TEST(ServeServer, PingRoundTripsOverTheSocket) {
+  const std::string path = socket_path("serve-ping.sock");
+  with_server(path, [&path] {
+    const std::string response =
+        send_request(path, R"({"op": "ping"})", 5'000);
+    const JsonValue doc = JsonValue::parse(response);
+    EXPECT_TRUE(doc.at("ok").as_bool());
+    EXPECT_EQ(doc.at("op").as_string(), "ping");
+  });
+  // The socket file is unlinked by the graceful shutdown.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+TEST(ServeServer, CacheHitsSpanConnections) {
+  const std::string path = socket_path("serve-cache.sock");
+  const std::string request =
+      R"({"op": "explore", "clbs": 400, "iters": 600, "warmup": 100})";
+  with_server(path, [&path, &request] {
+    // Each send_request is its own connection; the cache is shared.
+    std::string first = send_request(path, request, 30'000);
+    const std::string second = send_request(path, request, 30'000);
+    const std::size_t at = first.find(R"("cached": false)");
+    ASSERT_NE(at, std::string::npos) << first;
+    first.replace(at, 15, R"("cached": true)");
+    EXPECT_EQ(first, second);
+
+    const std::string status =
+        send_request(path, R"({"op": "status"})", 5'000);
+    const JsonValue doc = JsonValue::parse(status);
+    EXPECT_EQ(doc.at("result").at("cache").at("hits").as_int(), 1);
+    EXPECT_EQ(doc.at("result").at("cache").at("misses").as_int(), 1);
+  });
+}
+
+TEST(ServeServer, MalformedLinesGetErrorResponsesNotDisconnects) {
+  const std::string path = socket_path("serve-bad.sock");
+  with_server(path, [&path] {
+    const std::string garbage = send_request(path, "{{{nope", 5'000);
+    EXPECT_FALSE(JsonValue::parse(garbage).at("ok").as_bool());
+    // The daemon survives garbage and keeps answering.
+    const std::string pong = send_request(path, R"({"op": "ping"})", 5'000);
+    EXPECT_TRUE(JsonValue::parse(pong).at("ok").as_bool());
+  });
+}
+
+TEST(ServeServer, ShutdownRequestStopsTheServer) {
+  const std::string path = socket_path("serve-stop.sock");
+  ServerConfig config;
+  config.socket_path = path;
+  config.service.workers = 1;
+  Server server(config);
+  std::thread thread([&server] { server.run(); });
+  wait_for_socket(path);
+  const std::string bye =
+      send_request(path, R"({"op": "shutdown"})", 5'000);
+  EXPECT_TRUE(JsonValue::parse(bye).at("ok").as_bool());
+  thread.join();  // run() returns: accept loop stopped and drained
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+TEST(ServeServer, RefusesToStealAnExistingSocketPath) {
+  const std::string path = socket_path("serve-busy.sock");
+  {
+    std::ofstream occupy(path);  // a stale file squats on the path
+  }
+  ServerConfig config;
+  config.socket_path = path;
+  try {
+    Server server(config);
+    server.run();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot bind"), std::string::npos);
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(ServeServer, ClientReportsConnectFailureCleanly) {
+  const std::string path = socket_path("serve-absent.sock");
+  EXPECT_THROW((void)send_request(path, R"({"op": "ping"})", 1'000), Error);
+}
+
+}  // namespace
+}  // namespace rdse::serve

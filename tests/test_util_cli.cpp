@@ -8,6 +8,7 @@
 #include <array>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 #include <string>
 #include <vector>
 
@@ -27,10 +28,13 @@ Options parse(std::initializer_list<const char*> args) {
 }
 
 TEST(Options, ParsesAllArgumentForms) {
-  // Note "--quiet" comes last: a bare flag followed by a non-option token
-  // would consume that token as its value ("--key value" form).
-  const Options opts = parse(
-      {"run", "--iters=500", "--seed", "9", "trailing", "--quiet"});
+  // "--quiet" must be a declared bool: an undeclared option with no value
+  // following it is an error, never a silent flag.
+  static constexpr std::string_view kBool[] = {"quiet"};
+  std::vector<const char*> argv{"prog",   "run",      "--iters=500", "--seed",
+                                "9",      "trailing", "--quiet"};
+  const Options opts =
+      Options::parse(static_cast<int>(argv.size()), argv.data(), kBool);
   EXPECT_EQ(opts.get_int("iters", 0), 500);
   EXPECT_EQ(opts.get_int("seed", 0), 9);
   EXPECT_TRUE(opts.get_flag("quiet"));
@@ -63,6 +67,26 @@ TEST(Options, RequireKnownRejectsUnknownFlag) {
   // Subsets of the allowed list pass.
   const Options ok = parse({"--iters=500"});
   EXPECT_NO_THROW(ok.require_known(kKnown));
+}
+
+TEST(Options, TrailingGarbageInNumbersIsRejected) {
+  // Regression: std::stoll/stod prefix parsing accepted "10abc" as 10 and
+  // "1.5x" as 1.5; the whole token must parse.
+  EXPECT_THROW((void)parse({"--iters=10abc"}).get_int("iters", 0), Error);
+  EXPECT_THROW((void)parse({"--iters=10 "}).get_int("iters", 0), Error);
+  EXPECT_THROW((void)parse({"--iters", " 10"}).get_int("iters", 0), Error);
+  EXPECT_THROW((void)parse({"--rate=1.5x"}).get_double("rate", 0.0), Error);
+  EXPECT_THROW((void)parse({"--rate="}).get_double("rate", 0.0), Error);
+  try {
+    (void)parse({"--rate=1.5x"}).get_double("rate", 0.0);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("expected number, got '1.5x'"),
+              std::string::npos);
+  }
+  // Clean tokens still parse, including negatives and exponents.
+  EXPECT_EQ(parse({"--iters=-3"}).get_int("iters", 0), -3);
+  EXPECT_DOUBLE_EQ(parse({"--rate=2.5e2"}).get_double("rate", 0.0), 250.0);
 }
 
 TEST(Options, MissingOrMalformedValuesThrow) {
@@ -274,6 +298,53 @@ TEST(RdseCli, MalformedNumericFlagFailsCleanly) {
       run_cli({"sweep", "--model", "motion", "--iters", "abc", "--dry-run"});
   EXPECT_EQ(r.status, 1);
   EXPECT_NE(r.err.find("expected integer"), std::string::npos);
+}
+
+TEST(RdseCli, ArtifactShortWriteIsReportedNotSwallowed) {
+  // Regression: write_artifact() checked stream state before flushing, so
+  // a full disk produced a truncated artifact *and* a success message.
+  // /dev/full opens fine and fails every flush, which models that exactly.
+  std::ofstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  const CliOutcome r = run_cli({"sweep", "--model", "motion", "--dry-run",
+                                "--json", "/dev/full"});
+  EXPECT_EQ(r.status, 1);
+  EXPECT_NE(r.err.find("failed writing '/dev/full'"), std::string::npos);
+  EXPECT_EQ(r.out.find("wrote /dev/full"), std::string::npos);
+}
+
+// ------------------------------------------------- rdse serve/request flags
+
+TEST(RdseCli, ServeValidatesItsOptions) {
+  EXPECT_EQ(run_cli({"serve"}).status, 1);
+  EXPECT_NE(run_cli({"serve"}).err.find("--socket"), std::string::npos);
+  const CliOutcome workers =
+      run_cli({"serve", "--socket", "/tmp/x.sock", "--workers=0"});
+  EXPECT_EQ(workers.status, 1);
+  EXPECT_NE(workers.err.find("at least one worker"), std::string::npos);
+  const CliOutcome bogus = run_cli({"serve", "--socket", "/tmp/x.sock",
+                                    "--bogus=1"});
+  EXPECT_EQ(bogus.status, 1);
+  EXPECT_NE(bogus.err.find("unknown option --bogus"), std::string::npos);
+}
+
+TEST(RdseCli, RequestValidatesItsOptions) {
+  EXPECT_EQ(run_cli({"request", "--json", "{}"}).status, 1);
+  const CliOutcome neither = run_cli({"request", "--socket", "/tmp/x.sock"});
+  EXPECT_EQ(neither.status, 1);
+  EXPECT_NE(neither.err.find("--json DOC or --file PATH"),
+            std::string::npos);
+  const CliOutcome both =
+      run_cli({"request", "--socket", "/tmp/x.sock", "--json", "{}",
+               "--file", "/tmp/y.json"});
+  EXPECT_EQ(both.status, 1);
+  EXPECT_NE(both.err.find("mutually exclusive"), std::string::npos);
+  // An unreachable socket is a clean client-side error, not a crash.
+  const CliOutcome gone = run_cli(
+      {"request", "--socket", temp_path("no-such.sock").c_str(), "--json",
+       R"({"op": "ping"})"});
+  EXPECT_EQ(gone.status, 1);
+  EXPECT_NE(gone.err.find("cannot connect"), std::string::npos);
 }
 
 // ------------------------------------------------------------ rdse compare

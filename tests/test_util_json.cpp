@@ -76,6 +76,64 @@ TEST(Json, StringEscapesRoundTrip) {
   EXPECT_EQ(unicode.as_string(), "AB\xC3\xA9");
 }
 
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  // BMP code points: 1-, 2- and 3-byte UTF-8.
+  EXPECT_EQ(JsonValue::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(JsonValue::parse(R"("\u00E9")").as_string(), "\xC3\xA9");
+  EXPECT_EQ(JsonValue::parse(R"("\u20AC")").as_string(),
+            "\xE2\x82\xAC");  // euro sign
+}
+
+TEST(Json, SurrogatePairsDecodeToFourByteUtf8) {
+  // Regression: each half of a surrogate pair used to be emitted as its
+  // own 3-byte sequence (invalid CESU-8 style), so U+1F600 came out as six
+  // bytes of garbage instead of F0 9F 98 80.
+  EXPECT_EQ(JsonValue::parse(R"("\uD83D\uDE00")").as_string(),
+            "\xF0\x9F\x98\x80");  // U+1F600
+  // U+10000, the lowest astral code point (pair D800 DC00).
+  EXPECT_EQ(JsonValue::parse(R"("\uD800\uDC00")").as_string(),
+            "\xF0\x90\x80\x80");
+  // U+10FFFF, the highest (pair DBFF DFFF).
+  EXPECT_EQ(JsonValue::parse(R"("\uDBFF\uDFFF")").as_string(),
+            "\xF4\x8F\xBF\xBF");
+  // Mixed with surrounding text and escapes, lower-case hex accepted.
+  EXPECT_EQ(JsonValue::parse(R"("a\ud83d\ude00\tb")").as_string(),
+            "a\xF0\x9F\x98\x80\tb");
+}
+
+TEST(Json, LoneSurrogatesAreRejected) {
+  const char* bad[] = {
+      R"("\uD800")",        // high surrogate at end of string
+      R"("\uD800x")",       // high surrogate followed by a plain char
+      R"("\uD800\n")",      // ...or by a non-\u escape
+      R"("\uD800\u0041")",  // ...or by a \u escape outside DC00-DFFF
+      R"("\uDC00")",        // low surrogate with no preceding high half
+      R"("\uDE00\uD83D")",  // pair in the wrong order
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW((void)JsonValue::parse(text), Error) << "input: " << text;
+  }
+}
+
+TEST(Json, EraseAndMutableAccessors) {
+  JsonValue doc = JsonValue::parse(
+      R"({"keep": 1, "drop": 2, "points": [{"a": 1, "b": 2}]})");
+  EXPECT_TRUE(doc.erase("drop"));
+  EXPECT_FALSE(doc.erase("drop"));  // already gone
+  EXPECT_FALSE(doc.erase("never-there"));
+  EXPECT_EQ(doc.find("drop"), nullptr);
+  EXPECT_EQ(doc.at("keep").as_int(), 1);
+
+  // Mutable find/items support in-place rewriting of nested documents.
+  JsonValue* points = doc.find("points");
+  ASSERT_NE(points, nullptr);
+  for (JsonValue& point : points->items()) {
+    EXPECT_TRUE(point.erase("b"));
+  }
+  EXPECT_EQ(doc.dump(), R"({"keep": 1, "points": [{"a": 1}]})");
+  EXPECT_THROW((void)JsonValue("s").erase("k"), Error);
+}
+
 TEST(Json, NumbersRoundTripBitExactly) {
   const double values[] = {0.0,  1.0 / 3.0, 1e-9, 76.4, -40.0,
                            18.1, 6.02e23,   static_cast<double>(1LL << 53)};

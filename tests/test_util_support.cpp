@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string_view>
 
 #include "util/ascii_plot.hpp"
 #include "util/assert.hpp"
@@ -123,15 +124,31 @@ TEST(Sparkline, ConstantSeriesIsFlat) {
 // ---- cli ----------------------------------------------------------------
 
 TEST(Options, ParsesKeyValueForms) {
-  // Note: "--flag value" binds the following non-option token, so the
-  // positional argument comes first and the bare flag last.
+  // The trailing bare "--flag" must be declared as a bool: an undeclared
+  // option with no value following it throws instead of becoming "1".
+  static constexpr std::string_view kBool[] = {"flag"};
   const char* argv[] = {"prog", "pos", "--alpha=3", "--beta", "7", "--flag"};
-  const Options o = Options::parse(6, argv);
+  const Options o = Options::parse(6, argv, kBool);
   EXPECT_EQ(o.get_int("alpha", 0), 3);
   EXPECT_EQ(o.get_int("beta", 0), 7);
   EXPECT_TRUE(o.get_flag("flag"));
   ASSERT_EQ(o.positional().size(), 1u);
   EXPECT_EQ(o.positional()[0], "pos");
+}
+
+TEST(Options, UndeclaredOptionWithoutValueThrows) {
+  // Regression: "--iters --quiet" used to silently record iters="1"; it
+  // must now report the missing value.
+  const char* argv[] = {"prog", "--iters", "--quiet"};
+  try {
+    (void)Options::parse(3, argv);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--iters requires a value"),
+              std::string::npos);
+  }
+  const char* tail[] = {"prog", "--iters"};
+  EXPECT_THROW((void)Options::parse(2, tail), Error);
 }
 
 TEST(Options, SpaceSeparatedValueBindsToPrecedingOption) {

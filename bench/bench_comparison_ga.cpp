@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < scale.runs; ++i) {
     GaConfig c = ga_config;
     c.seed = scale.seed + static_cast<std::uint64_t>(i);
-    const GaResult r = ga.run(c);
+    const MapperResult r = ga.run(c);
     ga_best.push_back(r.best_cost_ms);
     ga_wall.push_back(r.wall_seconds);
     ga_evals = r.evaluations;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "baseline/list_scheduler.hpp"
 #include "graph/topo.hpp"
 #include "util/assert.hpp"
 
@@ -46,6 +47,51 @@ std::vector<std::vector<TaskId>> cluster_into_contexts(
     used += area;
   }
   return contexts;
+}
+
+Solution decode_partition(const TaskGraph& tg, const Architecture& arch,
+                          const std::vector<bool>& hw_mask,
+                          const std::vector<std::uint32_t>& impl_choice,
+                          std::span<const double> priority) {
+  RDSE_REQUIRE(priority.size() == tg.task_count(),
+               "decode_partition: priority size mismatch");
+  const auto procs = arch.processor_ids();
+  const auto rcs = arch.reconfigurable_ids();
+  RDSE_REQUIRE(!procs.empty(), "decode_partition: no processor");
+  RDSE_REQUIRE(!rcs.empty(), "decode_partition: no reconfigurable circuit");
+  const ResourceId proc = procs.front();
+  const ResourceId rc = rcs.front();
+
+  // Deterministic temporal partitioning (clustering) ...
+  const auto contexts =
+      cluster_into_contexts(tg, arch.reconfigurable(rc), hw_mask, impl_choice);
+  // ... and deterministic global scheduling (priority list order) over the
+  // precedence graph extended with inter-context sequencing edges.
+  Digraph constraints = tg.digraph();
+  for (std::size_t c = 0; c + 1 < contexts.size(); ++c) {
+    for (TaskId u : contexts[c]) {
+      for (TaskId v : contexts[c + 1]) {
+        constraints.add_edge(u, v);
+      }
+    }
+  }
+  const auto order = priority_topological_order(constraints, priority);
+
+  Solution sol(tg.task_count());
+  for (TaskId t : order) {
+    if (!hw_mask[t]) {
+      sol.insert_on_processor(t, proc, sol.processor_order(proc).size());
+    }
+  }
+  for (std::size_t c = 0; c < contexts.size(); ++c) {
+    const std::size_t ctx =
+        sol.spawn_context_after(rc, c == 0 ? Solution::kFront : c - 1);
+    RDSE_ASSERT(ctx == c);
+    for (TaskId t : contexts[c]) {
+      sol.insert_in_context(t, rc, ctx, impl_choice[t]);
+    }
+  }
+  return sol;
 }
 
 }  // namespace rdse

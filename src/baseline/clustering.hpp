@@ -10,9 +10,12 @@
 /// earlier context than any of its predecessors, so the resulting GTLP
 /// order is always realizable (acyclic G').
 
+#include <span>
 #include <vector>
 
+#include "arch/architecture.hpp"
 #include "arch/resource.hpp"
+#include "mapping/solution.hpp"
 #include "model/task_graph.hpp"
 
 namespace rdse {
@@ -25,5 +28,19 @@ namespace rdse {
     const TaskGraph& tg, const ReconfigurableCircuit& dev,
     const std::vector<bool>& hw_mask,
     const std::vector<std::uint32_t>& impl_choice);
+
+/// Deterministic back end shared by every partition-style mapper (GA,
+/// clustering, list scheduler, HEFT, PEFT): cluster the selected hardware
+/// tasks into contexts on the first RC of `arch`, then insert every
+/// software task on the first processor in priority list order. The
+/// software order must respect the context sequence as well as the task
+/// precedence, so the ordering graph carries Ehw-style edges between
+/// consecutive contexts. `priority.size()` must equal the task count; with
+/// upward_ranks() this is the standard list-scheduling order.
+[[nodiscard]] Solution decode_partition(
+    const TaskGraph& tg, const Architecture& arch,
+    const std::vector<bool>& hw_mask,
+    const std::vector<std::uint32_t>& impl_choice,
+    std::span<const double> priority);
 
 }  // namespace rdse

@@ -16,7 +16,6 @@ GeneticPartitioner::GeneticPartitioner(const TaskGraph& tg,
   const auto rcs = arch.reconfigurable_ids();
   RDSE_REQUIRE(!procs.empty(), "GeneticPartitioner: no processor");
   RDSE_REQUIRE(!rcs.empty(), "GeneticPartitioner: no reconfigurable circuit");
-  proc_ = procs.front();
   rc_ = rcs.front();
 }
 
@@ -49,41 +48,13 @@ Solution GeneticPartitioner::decode(const Chromosome& chromosome) const {
     impl[t] = k;
   }
 
-  // Deterministic temporal partitioning (clustering) ...
-  const auto contexts = cluster_into_contexts(*tg_, dev, hw_mask, impl);
-  // ... and deterministic global scheduling (priority list order). The
-  // software order must respect the context sequence as well as the task
-  // precedence, so the ordering graph carries Ehw-style edges between
-  // consecutive contexts.
-  Digraph constraints = tg_->digraph();
-  for (std::size_t c = 0; c + 1 < contexts.size(); ++c) {
-    for (TaskId u : contexts[c]) {
-      for (TaskId v : contexts[c + 1]) {
-        constraints.add_edge(u, v);
-      }
-    }
-  }
-  const auto ranks = upward_ranks(*tg_);
-  const auto order = priority_topological_order(constraints, ranks);
-
-  Solution sol(tg_->task_count());
-  for (TaskId t : order) {
-    if (!hw_mask[t]) {
-      sol.insert_on_processor(t, proc_, sol.processor_order(proc_).size());
-    }
-  }
-  for (std::size_t c = 0; c < contexts.size(); ++c) {
-    const std::size_t ctx = sol.spawn_context_after(
-        rc_, c == 0 ? Solution::kFront : c - 1);
-    RDSE_ASSERT(ctx == c);
-    for (TaskId t : contexts[c]) {
-      sol.insert_in_context(t, rc_, ctx, impl[t]);
-    }
-  }
-  return sol;
+  // Deterministic temporal partitioning + global scheduling through the
+  // shared partition back end (clustering, inter-context sequencing edges,
+  // priority list order over upward ranks).
+  return decode_partition(*tg_, *arch_, hw_mask, impl, upward_ranks(*tg_));
 }
 
-GaResult GeneticPartitioner::run(const GaConfig& config) const {
+MapperResult GeneticPartitioner::run(const GaConfig& config) const {
   RDSE_REQUIRE(config.population >= 2, "GA: population too small");
   RDSE_REQUIRE(config.generations >= 1, "GA: need >= 1 generation");
   RDSE_REQUIRE(config.elites >= 0 && config.elites < config.population,
@@ -97,7 +68,8 @@ GaResult GeneticPartitioner::run(const GaConfig& config) const {
           ? config.mutation_rate
           : 1.0 / static_cast<double>(tg_->task_count());
 
-  GaResult result;
+  MapperResult result;
+  std::vector<double> best_history;  ///< best cost after each generation
   struct Individual {
     Chromosome genes;
     double cost = 0.0;
@@ -126,7 +98,7 @@ GaResult GeneticPartitioner::run(const GaConfig& config) const {
       have_best = true;
     }
   }
-  result.best_history.push_back(best_cost);
+  best_history.push_back(best_cost);
 
   auto tournament = [&]() -> const Individual& {
     const Individual* winner = &pop[rng.index(pop.size())];
@@ -183,12 +155,20 @@ GaResult GeneticPartitioner::run(const GaConfig& config) const {
       next.push_back(std::move(ind));
     }
     pop = std::move(next);
-    result.best_history.push_back(best_cost);
+    best_history.push_back(best_cost);
   }
 
   result.best_solution = decode(best_genes);
+  result.best_architecture = *arch_;
   result.best_metrics = best_metrics;
   result.best_cost_ms = best_cost;
+  result.counters.set("population",
+                      static_cast<std::int64_t>(config.population));
+  result.counters.set("generations",
+                      static_cast<std::int64_t>(config.generations));
+  JsonValue history = JsonValue::array();
+  for (const double cost : best_history) history.push_back(cost);
+  result.counters.set("best_history", std::move(history));
   const auto t1 = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   return result;

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "baseline/mapper.hpp"
 #include "core/explorer.hpp"
 #include "sched/evaluator.hpp"
 
@@ -41,25 +42,15 @@ struct GaConfig {
   int elites = 2;
 };
 
-struct GaResult {
-  Solution best_solution;
-  Metrics best_metrics;
-  double best_cost_ms = 0.0;
-  std::int64_t evaluations = 0;
-  double wall_seconds = 0.0;
-  /// Best cost after each generation (convergence curve).
-  std::vector<double> best_history;
-
-  GaResult() : best_solution(0) {}
-};
-
 class GeneticPartitioner {
  public:
   /// Requires an architecture with >= 1 processor and exactly >= 1 RC; the
   /// first of each is used (as in [6]'s CPU+FPGA platform).
   GeneticPartitioner(const TaskGraph& tg, const Architecture& arch);
 
-  [[nodiscard]] GaResult run(const GaConfig& config) const;
+  /// Returns the unified mapper result; the per-generation convergence
+  /// curve lands in counters["best_history"].
+  [[nodiscard]] MapperResult run(const GaConfig& config) const;
 
   /// Deterministic decoding of a chromosome into a full solution
   /// (exposed for tests). Genes of software-only or non-fitting tasks are
@@ -72,7 +63,6 @@ class GeneticPartitioner {
  private:
   const TaskGraph* tg_;
   const Architecture* arch_;
-  ResourceId proc_;
   ResourceId rc_;
 };
 

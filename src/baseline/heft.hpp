@@ -1,0 +1,77 @@
+#pragma once
+/// \file heft.hpp
+/// \brief HEFT (Heterogeneous Earliest Finish Time, Topcuoglu et al.) on
+/// the paper's two-resource CPU + RC platform.
+///
+/// The classic list scheduler adapted to the reconfigurable target: the
+/// "processors" are the CPU and the reconfigurable circuit, a task's cost
+/// on the RC is its fastest fitting implementation plus the full
+/// reconfiguration of that implementation's CLBs (tR * C — pessimistic but
+/// additive, matching the paper's partial-reconfiguration cost model), and
+/// communication costs are bus transfer times of the edge payloads.
+/// Upward ranks order the tasks, a greedy earliest-finish-time pass picks
+/// the resource per task, and the resulting HW/SW partition is decoded
+/// through the shared clustering + list-scheduling back end and scored by
+/// the *real* evaluator — so HEFT competes with the annealer on exactly
+/// the same ground. Everything here is deterministic and seed-free.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/architecture.hpp"
+#include "model/task_graph.hpp"
+
+namespace rdse {
+
+/// Static cost tables on the canonical two-resource platform (first
+/// processor + first RC of the architecture).
+struct HeftCosts {
+  std::vector<double> sw_ms;        ///< execution time on the processor
+  std::vector<double> hw_ms;        ///< execution only; < 0: no fitting impl
+  std::vector<double> reconfig_ms;  ///< tR * C for the chosen implementation
+  std::vector<std::uint32_t> hw_impl;  ///< chosen (fastest fitting) variant
+  std::vector<double> comm_ms;      ///< bus transfer time per comm EdgeId
+
+  [[nodiscard]] bool hw_available(TaskId t) const { return hw_ms[t] >= 0.0; }
+  /// Full cost of one RC execution: reconfiguration plus hardware time.
+  [[nodiscard]] double rc_cost(TaskId t) const {
+    return reconfig_ms[t] + hw_ms[t];
+  }
+};
+
+/// Build the cost tables; requires >= 1 processor and >= 1 RC. Each
+/// hardware-capable task charges its fastest implementation that fits the
+/// empty device (tasks whose smallest variant exceeds NCLB are software).
+[[nodiscard]] HeftCosts make_heft_costs(const TaskGraph& tg,
+                                        const Architecture& arch);
+
+/// HEFT upward ranks: rank(v) = w(v) + max over successors s of
+/// (c(v,s) + rank(s)), where w(v) averages the available execution costs
+/// (sw only, or sw and RC) and c(v,s) = comm/2 — the mean over the four
+/// placement combinations, of which two cross the bus.
+[[nodiscard]] std::vector<double> heft_upward_ranks(const TaskGraph& tg,
+                                                    const HeftCosts& costs);
+
+/// The HW/SW decision an EFT pass produced (input to decode_partition).
+struct EftDecision {
+  std::vector<bool> hw;
+  std::vector<std::uint32_t> impl;
+  double estimated_makespan_ms = 0.0;  ///< the list scheduler's own estimate
+  int hw_selected = 0;
+};
+
+/// Greedy earliest-finish-time selection: process tasks in priority list
+/// order, place each on the resource minimizing its estimated finish time
+/// (ties go to the processor). Both resources are modeled as serial, each
+/// RC execution pays its full reconfiguration, and an edge costs its bus
+/// transfer time iff its endpoints sit on different resources. When `oct`
+/// is non-empty (one {processor, RC} pair per task) the choice minimizes
+/// EFT + OCT instead — the PEFT selection rule.
+[[nodiscard]] EftDecision eft_select(
+    const TaskGraph& tg, const HeftCosts& costs,
+    std::span<const double> priority,
+    std::span<const std::array<double, 2>> oct = {});
+
+}  // namespace rdse

@@ -4,15 +4,16 @@
 /// temperature zero (only improving moves accepted) — isolates the value of
 /// the annealing schedule in EXP-A1.
 
-#include "core/explorer.hpp"
+#include "baseline/mapper.hpp"
 
 namespace rdse {
 
 /// Run greedy local search with the standard move set for `iterations`
-/// moves; returns the usual exploration result (trace included).
-[[nodiscard]] RunResult run_hill_climb(const TaskGraph& tg,
-                                       const Architecture& arch,
-                                       std::int64_t iterations,
-                                       std::uint64_t seed);
+/// moves. Counters carry the acceptance split and the initial (random
+/// partition) makespan the climb started from.
+[[nodiscard]] MapperResult run_hill_climb(const TaskGraph& tg,
+                                          const Architecture& arch,
+                                          std::int64_t iterations,
+                                          std::uint64_t seed);
 
 }  // namespace rdse

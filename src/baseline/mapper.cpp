@@ -1,0 +1,264 @@
+#include "baseline/mapper.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "baseline/clustering.hpp"
+#include "baseline/genetic.hpp"
+#include "baseline/heft.hpp"
+#include "baseline/hill_climb.hpp"
+#include "baseline/list_scheduler.hpp"
+#include "baseline/peft.hpp"
+#include "baseline/random_search.hpp"
+#include "sched/evaluator.hpp"
+#include "util/assert.hpp"
+
+namespace rdse {
+
+namespace {
+
+/// Evaluate a decoded solution with the real evaluator and fill the common
+/// result fields of the single-shot (deterministic / list-scheduling)
+/// mappers.
+MapperResult score_decoded(const TaskGraph& tg, const Architecture& arch,
+                           Solution solution) {
+  const Evaluator ev(tg, arch);
+  const auto metrics = ev.evaluate(solution);
+  RDSE_ASSERT_MSG(metrics.has_value(),
+                  "mapper decode produced an infeasible solution");
+  MapperResult result;
+  result.best_solution = std::move(solution);
+  result.best_architecture = arch;
+  result.best_metrics = *metrics;
+  result.best_cost_ms = to_ms(metrics->makespan);
+  result.evaluations = 1;
+  return result;
+}
+
+class AnnealMapper final : public Mapper {
+ public:
+  const char* name() const override { return "anneal"; }
+  MapperResult run(const TaskGraph& tg, const Architecture& arch,
+                   const MapperConfig& config) const override {
+    const Explorer explorer(tg, arch);
+    ExplorerConfig c;
+    c.seed = config.seed;
+    c.iterations = config.iterations;
+    c.warmup_iterations = config.warmup_iterations;
+    c.schedule = config.schedule;
+    c.record_trace = false;
+    const RunResult run = explorer.run(c);
+
+    MapperResult result;
+    result.best_solution = run.best_solution;
+    result.best_architecture = run.best_architecture;
+    result.best_metrics = run.best_metrics;
+    result.best_cost_ms = to_ms(run.best_metrics.makespan);
+    result.evaluations = run.anneal.accepted + run.anneal.rejected;
+    result.wall_seconds = run.wall_seconds;
+    result.counters.set("iterations_run", run.anneal.iterations_run);
+    result.counters.set("accepted", run.anneal.accepted);
+    result.counters.set("rejected", run.anneal.rejected);
+    result.counters.set("infeasible", run.anneal.infeasible);
+    result.counters.set("best_iteration", run.anneal.best_iteration);
+    result.counters.set("schedule", std::string(to_string(c.schedule)));
+    return result;
+  }
+};
+
+class GaMapper final : public Mapper {
+ public:
+  const char* name() const override { return "ga"; }
+  MapperResult run(const TaskGraph& tg, const Architecture& arch,
+                   const MapperConfig& config) const override {
+    const GeneticPartitioner ga(tg, arch);
+    GaConfig c;
+    c.seed = config.seed;
+    // Spend the generic evaluation budget as population * generations,
+    // with a bench-friendly population (the paper's 300 needs far larger
+    // budgets than a matrix cell gets).
+    c.population = 60;
+    c.generations = static_cast<int>(std::clamp<std::int64_t>(
+        config.iterations / c.population, 1, 100'000));
+    return ga.run(c);
+  }
+};
+
+class HillClimbMapper final : public Mapper {
+ public:
+  const char* name() const override { return "hill_climb"; }
+  MapperResult run(const TaskGraph& tg, const Architecture& arch,
+                   const MapperConfig& config) const override {
+    return run_hill_climb(tg, arch, config.iterations, config.seed);
+  }
+};
+
+class RandomMapper final : public Mapper {
+ public:
+  const char* name() const override { return "random"; }
+  MapperResult run(const TaskGraph& tg, const Architecture& arch,
+                   const MapperConfig& config) const override {
+    return run_random_search(tg, arch, config.iterations, config.seed);
+  }
+};
+
+class ClusteringMapper final : public Mapper {
+ public:
+  const char* name() const override { return "clustering"; }
+  bool deterministic() const override { return true; }
+  MapperResult run(const TaskGraph& tg, const Architecture& arch,
+                   const MapperConfig& /*config*/) const override {
+    const auto t0 = std::chrono::steady_clock::now();
+    // The staged [6] flow with the trivial all-hardware spatial partition:
+    // every task whose fastest fitting implementation exists goes to the
+    // RC, then clustering packs the contexts.
+    const auto rcs = arch.reconfigurable_ids();
+    RDSE_REQUIRE(!rcs.empty(), "clustering mapper: no reconfigurable circuit");
+    const ReconfigurableCircuit& dev = arch.reconfigurable(rcs.front());
+    std::vector<bool> hw_mask(tg.task_count(), false);
+    std::vector<std::uint32_t> impl(tg.task_count(), 0);
+    int hw_selected = 0;
+    for (TaskId t = 0; t < tg.task_count(); ++t) {
+      if (const auto k = tg.task(t).hw.best_under_area(dev.n_clbs())) {
+        hw_mask[t] = true;
+        impl[t] = static_cast<std::uint32_t>(*k);
+        ++hw_selected;
+      }
+    }
+    MapperResult result = score_decoded(
+        tg, arch,
+        decode_partition(tg, arch, hw_mask, impl, upward_ranks(tg)));
+    result.counters.set("hw_selected", static_cast<std::int64_t>(hw_selected));
+    const auto t1 = std::chrono::steady_clock::now();
+    result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    return result;
+  }
+};
+
+class ListSchedulerMapper final : public Mapper {
+ public:
+  const char* name() const override { return "list_scheduler"; }
+  bool deterministic() const override { return true; }
+  MapperResult run(const TaskGraph& tg, const Architecture& arch,
+                   const MapperConfig& /*config*/) const override {
+    const auto t0 = std::chrono::steady_clock::now();
+    // All-software priority list schedule — the paper's 76.4 ms software
+    // reference point on motion detection.
+    const std::vector<bool> hw_mask(tg.task_count(), false);
+    const std::vector<std::uint32_t> impl(tg.task_count(), 0);
+    MapperResult result = score_decoded(
+        tg, arch,
+        decode_partition(tg, arch, hw_mask, impl, upward_ranks(tg)));
+    const auto t1 = std::chrono::steady_clock::now();
+    result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    return result;
+  }
+};
+
+/// Shared tail of the HEFT and PEFT mappers: decode the EFT decision with
+/// the mapper's own rank vector as the software priority, score it with
+/// the real evaluator, and record the list scheduler's own estimate so the
+/// gap between the static cost model and the §4.4 evaluation is visible.
+MapperResult finish_eft(const TaskGraph& tg, const Architecture& arch,
+                        const EftDecision& decision,
+                        std::span<const double> ranks,
+                        std::chrono::steady_clock::time_point t0) {
+  MapperResult result = score_decoded(
+      tg, arch,
+      decode_partition(tg, arch, decision.hw, decision.impl, ranks));
+  result.counters.set("estimated_makespan_ms",
+                      decision.estimated_makespan_ms);
+  result.counters.set("hw_selected",
+                      static_cast<std::int64_t>(decision.hw_selected));
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+class HeftMapper final : public Mapper {
+ public:
+  const char* name() const override { return "heft"; }
+  bool deterministic() const override { return true; }
+  MapperResult run(const TaskGraph& tg, const Architecture& arch,
+                   const MapperConfig& /*config*/) const override {
+    const auto t0 = std::chrono::steady_clock::now();
+    const HeftCosts costs = make_heft_costs(tg, arch);
+    const std::vector<double> ranks = heft_upward_ranks(tg, costs);
+    return finish_eft(tg, arch, eft_select(tg, costs, ranks), ranks, t0);
+  }
+};
+
+class PeftMapper final : public Mapper {
+ public:
+  const char* name() const override { return "peft"; }
+  bool deterministic() const override { return true; }
+  MapperResult run(const TaskGraph& tg, const Architecture& arch,
+                   const MapperConfig& /*config*/) const override {
+    const auto t0 = std::chrono::steady_clock::now();
+    const HeftCosts costs = make_heft_costs(tg, arch);
+    const PeftTables tables = peft_oct(tg, costs);
+    return finish_eft(tg, arch,
+                      eft_select(tg, costs, tables.rank, tables.oct),
+                      tables.rank, t0);
+  }
+};
+
+}  // namespace
+
+const std::vector<std::string>& mapper_names() {
+  static const std::vector<std::string> kNames = {
+      "anneal", "heft",       "peft",           "ga",
+      "random", "hill_climb", "list_scheduler", "clustering"};
+  return kNames;
+}
+
+const std::string& known_mapper_names() {
+  static const std::string kJoined = [] {
+    std::string joined;
+    for (const std::string& name : mapper_names()) {
+      if (!joined.empty()) joined += ", ";
+      joined += name;
+    }
+    return joined;
+  }();
+  return kJoined;
+}
+
+bool is_known_mapper(const std::string& name) {
+  const auto& names = mapper_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::unique_ptr<Mapper> make_mapper(const std::string& name) {
+  if (name == "anneal") return std::make_unique<AnnealMapper>();
+  if (name == "heft") return std::make_unique<HeftMapper>();
+  if (name == "peft") return std::make_unique<PeftMapper>();
+  if (name == "ga") return std::make_unique<GaMapper>();
+  if (name == "random") return std::make_unique<RandomMapper>();
+  if (name == "hill_climb") return std::make_unique<HillClimbMapper>();
+  if (name == "list_scheduler") {
+    return std::make_unique<ListSchedulerMapper>();
+  }
+  if (name == "clustering") return std::make_unique<ClusteringMapper>();
+  throw Error("unknown mapper '" + name +
+              "' (known mappers: " + known_mapper_names() + ")");
+}
+
+bool mapper_is_deterministic(const std::string& name) {
+  return make_mapper(name)->deterministic();
+}
+
+RunAggregate aggregate_mapper_results(std::span<const MapperResult> results,
+                                      TimeNs deadline) {
+  std::vector<Metrics> metrics;
+  std::vector<double> walls;
+  metrics.reserve(results.size());
+  walls.reserve(results.size());
+  for (const MapperResult& r : results) {
+    metrics.push_back(r.best_metrics);
+    walls.push_back(r.wall_seconds);
+  }
+  return aggregate_metrics(metrics, walls, deadline);
+}
+
+}  // namespace rdse

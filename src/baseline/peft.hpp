@@ -1,0 +1,36 @@
+#pragma once
+/// \file peft.hpp
+/// \brief PEFT (Predict Earliest Finish Time, Arabnejad & Barbosa) on the
+/// two-resource CPU + RC platform.
+///
+/// PEFT replaces HEFT's upward rank with an Optimistic Cost Table: OCT(v,p)
+/// is the shortest remaining schedule length below v assuming v runs on p
+/// and every descendant gets its own best resource for free. Tasks are
+/// ordered by the mean OCT row, and the EFT pass (shared with HEFT) adds
+/// OCT(v,p) to each candidate's finish time, so the selection looks one
+/// step ahead instead of committing to the locally earliest finish.
+/// Deterministic and seed-free, like HEFT.
+
+#include <array>
+#include <vector>
+
+#include "baseline/heft.hpp"
+
+namespace rdse {
+
+/// The optimistic cost table plus its row means (the PEFT priority).
+struct PeftTables {
+  /// oct[t][0]: t placed on the processor; oct[t][1]: t placed on the RC.
+  /// Exit tasks are 0; software-only descendants constrain the minimum.
+  std::vector<std::array<double, 2>> oct;
+  std::vector<double> rank;  ///< mean over the two placements
+};
+
+/// Dynamic program over reverse topological order:
+///   OCT(v,p) = max over successors s of
+///              min over p' of (OCT(s,p') + w(s,p') + c(v,s) if p != p')
+/// with w(s, processor) = sw cost, w(s, RC) = reconfig + hw cost (infinite
+/// when s has no fitting implementation).
+[[nodiscard]] PeftTables peft_oct(const TaskGraph& tg, const HeftCosts& costs);
+
+}  // namespace rdse

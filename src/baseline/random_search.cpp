@@ -6,10 +6,8 @@
 
 namespace rdse {
 
-RandomSearchResult run_random_search(const TaskGraph& tg,
-                                     const Architecture& arch,
-                                     std::int64_t samples,
-                                     std::uint64_t seed) {
+MapperResult run_random_search(const TaskGraph& tg, const Architecture& arch,
+                               std::int64_t samples, std::uint64_t seed) {
   RDSE_REQUIRE(samples >= 1, "run_random_search: need >= 1 sample");
   const auto procs = arch.processor_ids();
   const auto rcs = arch.reconfigurable_ids();
@@ -19,7 +17,7 @@ RandomSearchResult run_random_search(const TaskGraph& tg,
 
   Rng rng(seed);
   const Evaluator ev(tg, arch);
-  RandomSearchResult result;
+  MapperResult result;
   bool have_best = false;
   for (std::int64_t i = 0; i < samples; ++i) {
     Solution sol = Solution::random_partition(tg, arch, procs.front(),
@@ -35,6 +33,8 @@ RandomSearchResult run_random_search(const TaskGraph& tg,
       have_best = true;
     }
   }
+  result.best_architecture = arch;
+  result.counters.set("samples", samples);
   const auto t1 = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   return result;

@@ -4,25 +4,15 @@
 /// initial-solution generator), evaluate, keep the best. The weakest
 /// sensible baseline — any guided search must beat it.
 
-#include "core/explorer.hpp"
+#include "baseline/mapper.hpp"
 
 namespace rdse {
 
-struct RandomSearchResult {
-  Solution best_solution;
-  Metrics best_metrics;
-  double best_cost_ms = 0.0;
-  std::int64_t evaluations = 0;
-  double wall_seconds = 0.0;
-
-  RandomSearchResult() : best_solution(0) {}
-};
-
 /// Sample `samples` random partitions of the task graph onto the first
 /// processor + first RC of `arch` and keep the best by makespan.
-[[nodiscard]] RandomSearchResult run_random_search(const TaskGraph& tg,
-                                                   const Architecture& arch,
-                                                   std::int64_t samples,
-                                                   std::uint64_t seed);
+[[nodiscard]] MapperResult run_random_search(const TaskGraph& tg,
+                                             const Architecture& arch,
+                                             std::int64_t samples,
+                                             std::uint64_t seed);
 
 }  // namespace rdse

@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "baseline/mapper.hpp"
+#include "core/mapper_bench.hpp"
 #include "core/report.hpp"
 #include "core/sweep_engine.hpp"
 #include "model/registry.hpp"
@@ -30,6 +32,7 @@ constexpr const char* kUsage = R"(usage: rdse <command> [options]
 
 commands:
   explore   run one exploration, or --runs N seeded runs aggregated
+  bench     run the mapper comparison matrix (one artifact per mapper)
   sweep     run a parallel parameter sweep and optionally emit a JSON artifact
   report    re-render a JSON sweep artifact produced by `rdse sweep`
   compare   diff two artifacts and fail when a metric regresses
@@ -38,7 +41,7 @@ commands:
   help      show this message
 
 common options:
-  --model NAME      application model (known: motion)        [motion]
+  --model NAME      application model: motion | synthetic:N  [motion]
   --seed N          base RNG seed                            [1]
   --iters N         cooling iterations per run               [15000]
   --warmup N        infinite-temperature warm-up iterations  [1200]
@@ -49,6 +52,18 @@ explore options:
   --clbs N          FPGA size in CLBs                        [2000]
   --runs N          independent seeded runs (0 is allowed)   [1]
   --schedule NAME   modified-lam | lam-delosme | geometric | greedy
+
+bench options:
+  --mappers CSV     registered mapper names                  [all]
+                    (anneal, heft, peft, ga, random, hill_climb,
+                     list_scheduler, clustering)
+  --clbs N          FPGA size in CLBs                        [2000]
+  --runs N          seeded runs per mapper                   [3]
+  --schedule NAME   cooling schedule for the annealer        [modified-lam]
+  --json-prefix P   write one rdse.sweep.v1 artifact per mapper to
+                    <P>-<mapper>.json, comparable via `rdse compare`
+  Artifacts share one point label, carry no wall-clock fields, and are
+  bit-identical across repeated runs with the same seed.
 
 sweep options:
   --axis NAME       device-size | schedule                   [device-size]
@@ -225,6 +240,62 @@ int cmd_explore(const Options& opts, std::ostream& out) {
                        std::to_string(engine.resolved_threads(
                            static_cast<std::size_t>(runs))) +
                        " threads)");
+  return 0;
+}
+
+// -------------------------------------------------------------------- bench
+
+int cmd_bench(const Options& opts, std::ostream& out) {
+  static constexpr std::string_view kFlags[] = {
+      "mappers", "model", "clbs", "runs", "seed", "iters",
+      "warmup", "threads", "schedule", "json-prefix", "quiet"};
+  opts.require_known(kFlags);
+  require_no_positionals(opts);
+
+  const ModelSpec model = load_model(opts);
+  const auto clbs = static_cast<std::int32_t>(opts.get_int("clbs", 2'000));
+  const int runs = static_cast<int>(opts.get_int("runs", 3));
+  const auto threads =
+      static_cast<unsigned>(opts.get_int("threads", 0, "RDSE_THREADS"));
+  const bool quiet = opts.get_flag("quiet");
+  const std::string prefix = opts.get_string("json-prefix", "");
+  RDSE_REQUIRE(runs >= 1, "option --runs: need at least one run per mapper");
+
+  MapperMatrixSpec spec;
+  const std::string csv = opts.get_string("mappers", "");
+  spec.mappers = csv.empty() ? mapper_names() : split_csv(csv);
+  RDSE_REQUIRE(!spec.mappers.empty(), "option --mappers: empty list");
+  for (const std::string& name : spec.mappers) {
+    if (!is_known_mapper(name)) {
+      throw Error("option --mappers: unknown mapper '" + name +
+                  "' (known: " + known_mapper_names() + ")");
+    }
+  }
+  spec.config.seed =
+      static_cast<std::uint64_t>(opts.get_int("seed", 1, "RDSE_SEED"));
+  spec.config.iterations = opts.get_int("iters", 20'000, "RDSE_ITERS");
+  spec.config.warmup_iterations = opts.get_int("warmup", 1'200);
+  spec.config.schedule =
+      parse_schedule(opts.get_string("schedule", "modified-lam"));
+  spec.runs_per_mapper = runs;
+  spec.deadline = model.app.deadline;
+  spec.model = model.app.name;
+  spec.label = model.app.name + " @ " + std::to_string(clbs) + " CLBs";
+  spec.x = static_cast<double>(clbs);
+
+  const Architecture arch = make_cpu_fpga_architecture(
+      clbs, model.tr_per_clb, model.bus_bytes_per_second);
+  const SweepEngine engine(threads);
+  const MapperMatrixResult matrix =
+      run_mapper_matrix(engine, model.app.graph, arch, spec);
+
+  if (!quiet) out << describe_mapper_matrix(matrix);
+  if (!prefix.empty()) {
+    for (const MapperMatrixEntry& entry : matrix.entries) {
+      write_artifact(mapper_artifact_path(prefix, entry.mapper),
+                     mapper_matrix_entry_to_json(matrix, entry), out, quiet);
+    }
+  }
   return 0;
 }
 
@@ -634,6 +705,7 @@ int run(int argc, const char* const* argv, std::ostream& out,
     static constexpr std::string_view kBoolFlags[] = {"quiet", "dry-run"};
     const Options opts = Options::parse(argc - 1, argv + 1, kBoolFlags);
     if (command == "explore") return cmd_explore(opts, out);
+    if (command == "bench") return cmd_bench(opts, out);
     if (command == "sweep") return cmd_sweep(opts, out);
     if (command == "report") return cmd_report(opts, out, err);
     if (command == "compare") return cmd_compare(opts, out, err);

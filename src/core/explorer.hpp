@@ -6,6 +6,7 @@
 /// public entry point.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "anneal/annealer.hpp"
@@ -65,6 +66,13 @@ struct RunAggregate {
   /// Fraction of runs whose best solution met the deadline (if any).
   double deadline_hit_rate = 0.0;
 };
+
+/// Aggregate repeated-run statistics from per-run best metrics and wall
+/// times (the shared core of Explorer::aggregate and the mapper-portfolio
+/// aggregation). The two spans must be the same non-zero length.
+[[nodiscard]] RunAggregate aggregate_metrics(
+    std::span<const Metrics> metrics, std::span<const double> wall_seconds,
+    TimeNs deadline);
 
 class Explorer {
  public:

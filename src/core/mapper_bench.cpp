@@ -1,0 +1,124 @@
+#include "core/mapper_bench.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace rdse {
+
+MapperMatrixResult run_mapper_matrix(const SweepEngine& engine,
+                                     const TaskGraph& tg,
+                                     const Architecture& arch,
+                                     const MapperMatrixSpec& spec) {
+  RDSE_REQUIRE(!spec.mappers.empty(), "mapper matrix: no mappers requested");
+  RDSE_REQUIRE(spec.runs_per_mapper >= 1,
+               "mapper matrix: need >= 1 run per mapper");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  MapperMatrixResult out;
+  out.model = spec.model;
+  out.label = spec.label;
+  out.x = spec.x;
+  out.deadline = spec.deadline;
+  out.threads_used = engine.resolved_threads(
+      static_cast<std::size_t>(spec.runs_per_mapper));
+  out.entries.reserve(spec.mappers.size());
+  for (const std::string& name : spec.mappers) {
+    const std::unique_ptr<Mapper> mapper = make_mapper(name);
+    MapperMatrixEntry entry;
+    entry.mapper = name;
+    entry.deterministic = mapper->deterministic();
+    entry.runs = engine.run_mapper_many(*mapper, tg, arch, spec.config,
+                                        spec.runs_per_mapper);
+    entry.aggregate = aggregate_mapper_results(entry.runs, spec.deadline);
+    out.entries.push_back(std::move(entry));
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+JsonValue mapper_matrix_entry_to_json(const MapperMatrixResult& matrix,
+                                      const MapperMatrixEntry& entry) {
+  RDSE_REQUIRE(!entry.runs.empty(),
+               "mapper_matrix_entry_to_json: entry has no runs");
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "rdse.sweep.v1");
+  doc.set("name", "mapper-bench");
+  doc.set("axis_label", "FPGA size (CLBs)");
+  doc.set("deadline_ms", to_ms(matrix.deadline));
+  doc.set("threads", static_cast<std::int64_t>(matrix.threads_used));
+  doc.set("model", matrix.model);
+  doc.set("mapper", entry.mapper);
+  doc.set("deterministic", entry.deterministic);
+  double evals = 0.0;
+  for (const MapperResult& r : entry.runs) {
+    evals += static_cast<double>(r.evaluations);
+  }
+  doc.set("mean_evaluations", evals / static_cast<double>(entry.runs.size()));
+  doc.set("counters", entry.runs.front().counters);
+
+  const RunAggregate& a = entry.aggregate;
+  JsonValue point = JsonValue::object();
+  point.set("label", matrix.label);
+  point.set("x", matrix.x);
+  point.set("runs", static_cast<std::int64_t>(entry.runs.size()));
+  point.set("mean_makespan_ms", a.mean_makespan_ms);
+  point.set("stddev_makespan_ms", a.stddev_makespan_ms);
+  point.set("best_makespan_ms", a.best_makespan_ms);
+  point.set("worst_makespan_ms", a.worst_makespan_ms);
+  point.set("mean_init_reconfig_ms", a.mean_init_reconfig_ms);
+  point.set("mean_dyn_reconfig_ms", a.mean_dyn_reconfig_ms);
+  point.set("mean_contexts", a.mean_contexts);
+  point.set("mean_hw_tasks", a.mean_hw_tasks);
+  point.set("deadline_hit_rate", a.deadline_hit_rate);
+  JsonValue points = JsonValue::array();
+  points.push_back(std::move(point));
+  doc.set("points", std::move(points));
+  return doc;
+}
+
+std::string mapper_artifact_path(const std::string& prefix,
+                                 const std::string& mapper) {
+  return prefix + "-" + mapper + ".json";
+}
+
+std::string describe_mapper_matrix(const MapperMatrixResult& matrix) {
+  Table table({"mapper", "runs", "mean ms", "sd", "best ms", "worst ms",
+               "contexts", "hw tasks", "evals", "hit rate", "wall s"});
+  for (const MapperMatrixEntry& entry : matrix.entries) {
+    const RunAggregate& a = entry.aggregate;
+    double evals = 0.0;
+    for (const MapperResult& r : entry.runs) {
+      evals += static_cast<double>(r.evaluations);
+    }
+    std::string name = entry.mapper;
+    if (entry.deterministic) name += " *";
+    table.row()
+        .cell(std::move(name))
+        .cell(static_cast<std::int64_t>(a.runs))
+        .cell(a.mean_makespan_ms, 2)
+        .cell(a.stddev_makespan_ms, 2)
+        .cell(a.best_makespan_ms, 2)
+        .cell(a.worst_makespan_ms, 2)
+        .cell(a.mean_contexts, 2)
+        .cell(a.mean_hw_tasks, 1)
+        .cell(evals / static_cast<double>(a.runs), 0)
+        .cell(a.deadline_hit_rate, 2)
+        .cell(a.mean_wall_seconds, 3);
+  }
+  std::ostringstream os;
+  std::string title = "mapper matrix: " + matrix.label;
+  if (matrix.deadline > 0) {
+    title += " (deadline " + format_ms(matrix.deadline) + ")";
+  }
+  title += " — * = deterministic";
+  table.print(os, title);
+  return os.str();
+}
+
+}  // namespace rdse

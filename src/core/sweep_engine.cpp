@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "baseline/mapper.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -36,6 +37,24 @@ std::vector<RunResult> SweepEngine::run_many(const Explorer& explorer,
         c.seed = config.seed + static_cast<std::uint64_t>(i);
         out[i] = explorer.run(c);
       });
+  return out;
+}
+
+std::vector<MapperResult> SweepEngine::run_mapper_many(
+    const Mapper& mapper, const TaskGraph& tg, const Architecture& arch,
+    const MapperConfig& config, int n) const {
+  RDSE_REQUIRE(n >= 0, "SweepEngine::run_mapper_many: negative run count");
+  std::vector<MapperResult> out(static_cast<std::size_t>(n));
+  if (n == 0) return out;
+
+  ThreadPool pool(resolved_threads(static_cast<std::size_t>(n)));
+  pool.parallel_for_index(static_cast<std::size_t>(n),
+                          [&mapper, &tg, &arch, &config, &out](std::size_t i) {
+                            MapperConfig c = config;
+                            c.seed = config.seed +
+                                     static_cast<std::uint64_t>(i);
+                            out[i] = mapper.run(tg, arch, c);
+                          });
   return out;
 }
 

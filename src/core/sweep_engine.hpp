@@ -23,6 +23,10 @@
 
 namespace rdse {
 
+class Mapper;
+struct MapperConfig;
+struct MapperResult;
+
 /// One grid point of a sweep: a complete (architecture, exploration config)
 /// pair plus presentation metadata. Points are independent — each may carry
 /// its own device size, schedule, seed or move mix.
@@ -89,6 +93,16 @@ class SweepEngine {
   [[nodiscard]] std::vector<RunResult> run_many(const Explorer& explorer,
                                                 const ExplorerConfig& config,
                                                 int n) const;
+
+  /// Mapper-portfolio counterpart of run_many: `n` independent runs of one
+  /// registered mapper with seeds config.seed .. config.seed + n - 1,
+  /// dispatched as pool jobs and returned in seed order — bit-identical to
+  /// the serial loop for any thread count. Deterministic mappers still run
+  /// once per seed (their results are identical by contract, which the
+  /// property suite asserts).
+  [[nodiscard]] std::vector<MapperResult> run_mapper_many(
+      const Mapper& mapper, const TaskGraph& tg, const Architecture& arch,
+      const MapperConfig& config, int n) const;
 
   /// Run every (point, run) pair of the sweep as one pool job. The task
   /// graph must outlive the call; each point's architecture is copied into

@@ -1,22 +1,80 @@
 #include "model/registry.hpp"
 
+#include <algorithm>
+#include <charconv>
+
+#include "model/generators.hpp"
 #include "model/motion_detection.hpp"
 #include "util/assert.hpp"
+#include "util/rng.hpp"
 
 namespace rdse {
 
+namespace {
+
+constexpr std::int64_t kSyntheticMinTasks = 2;
+constexpr std::int64_t kSyntheticMaxTasks = 5'000;
+
+/// Bus rate of the synthetic family — what the scalability bench uses, so
+/// "synthetic:120" reproduces its 120-task model family.
+constexpr std::int64_t kSyntheticBusRate = 50'000'000;
+
+/// Parse the task count of a "synthetic:N" name; throws on anything that
+/// is not a whole-token integer in range.
+std::int64_t parse_synthetic_tasks(const std::string& name) {
+  const std::string digits = name.substr(std::string("synthetic:").size());
+  std::int64_t tasks = 0;
+  const auto res = std::from_chars(digits.data(),
+                                   digits.data() + digits.size(), tasks);
+  if (res.ec != std::errc() || res.ptr != digits.data() + digits.size() ||
+      tasks < kSyntheticMinTasks || tasks > kSyntheticMaxTasks) {
+    throw Error("model '" + name + "': task count must be an integer in [" +
+                std::to_string(kSyntheticMinTasks) + ", " +
+                std::to_string(kSyntheticMaxTasks) + "]");
+  }
+  return tasks;
+}
+
+}  // namespace
+
 const std::string& known_model_names() {
-  static const std::string kNames = "motion";
+  static const std::string kNames =
+      "motion (alias: motion_detection), synthetic:<tasks> (" +
+      std::to_string(kSyntheticMinTasks) + ".." +
+      std::to_string(kSyntheticMaxTasks) + ")";
   return kNames;
 }
 
-ModelSpec load_model_spec(const std::string& name) {
-  if (name == "motion") {
-    return ModelSpec{make_motion_detection_app(), kMotionDetectionTrPerClb,
-                     kMotionDetectionBusRate};
+std::string canonical_model_name(const std::string& name) {
+  if (name == "motion" || name == "motion_detection") return "motion";
+  if (name.rfind("synthetic:", 0) == 0) {
+    return "synthetic:" + std::to_string(parse_synthetic_tasks(name));
   }
   throw Error("unknown model '" + name +
               "' (known models: " + known_model_names() + ")");
+}
+
+ModelSpec load_model_spec(const std::string& name) {
+  const std::string canonical = canonical_model_name(name);
+  if (canonical == "motion") {
+    return ModelSpec{make_motion_detection_app(), kMotionDetectionTrPerClb,
+                     kMotionDetectionBusRate};
+  }
+  // synthetic:<tasks> — a deterministic member of the generator family:
+  // the graph is a pure function of the task count, so every front end
+  // (CLI, bench matrix, serve) builds bit-identical models.
+  const std::int64_t tasks = parse_synthetic_tasks(canonical);
+  AppGenParams params;
+  params.dag.node_count = static_cast<std::size_t>(tasks);
+  params.dag.max_width =
+      std::max<std::size_t>(3, static_cast<std::size_t>(tasks) / 8);
+  params.hw_capable_fraction = 0.8;
+  Rng rng(split_stream_seed(0x53594E5448ULL,
+                            static_cast<std::uint64_t>(tasks)));
+  ModelSpec spec{random_application(params, rng), from_us(10.0),
+                 kSyntheticBusRate};
+  spec.app.name = canonical;
+  return spec;
 }
 
 }  // namespace rdse

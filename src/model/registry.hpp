@@ -26,8 +26,19 @@ struct ModelSpec {
 /// usage text).
 [[nodiscard]] const std::string& known_model_names();
 
-/// Build the model registered under `name`; throws Error (naming the known
-/// models) when the name is not registered.
+/// Validate a model name and return its canonical spelling without building
+/// the application ("motion_detection" -> "motion", "synthetic:0500" ->
+/// "synthetic:500") — what request normalization and cache keys use. Throws
+/// Error (naming the known models) on unknown names or bad synthetic
+/// sizes.
+[[nodiscard]] std::string canonical_model_name(const std::string& name);
+
+/// Build the model registered under `name` (canonicalized first); throws
+/// Error (naming the known models) when the name is not registered.
+/// Registered families: "motion" (the paper's 28-task motion-detection
+/// application; alias "motion_detection") and "synthetic:<tasks>" — a
+/// deterministic random layered DAG of the given size, identical across
+/// every front end for a fixed task count.
 [[nodiscard]] ModelSpec load_model_spec(const std::string& name);
 
 }  // namespace rdse

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <string_view>
 
+#include "baseline/mapper.hpp"
+#include "model/registry.hpp"
 #include "util/assert.hpp"
 
 namespace rdse::serve {
@@ -120,8 +122,8 @@ Request parse_request(const JsonValue& doc) {
       require_known_fields(doc, {"op"});
       return request;
     case RequestOp::kExplore:
-      require_known_fields(doc, {"op", "model", "clbs", "runs", "seed",
-                                 "iters", "warmup", "schedule"});
+      require_known_fields(doc, {"op", "model", "mapper", "clbs", "runs",
+                                 "seed", "iters", "warmup", "schedule"});
       break;
     case RequestOp::kSweep:
       require_known_fields(doc, {"op", "model", "axis", "sizes", "schedules",
@@ -129,7 +131,12 @@ Request parse_request(const JsonValue& doc) {
       break;
   }
 
-  request.model = string_field(doc, "model", request.model);
+  // Canonicalize at the front door: aliases ("motion_detection") and
+  // non-canonical synthetic sizes ("synthetic:0500") collapse to one
+  // spelling before the cache key is formed, and unknown models are
+  // rejected before any work is queued.
+  request.model = canonical_model_name(
+      string_field(doc, "model", request.model));
   request.clbs = static_cast<std::int32_t>(
       int_field(doc, "clbs", request.clbs, 1, 1'000'000));
   request.runs =
@@ -143,6 +150,11 @@ Request parse_request(const JsonValue& doc) {
       int_field(doc, "warmup", request.warmup, 0, std::int64_t{1} << 40);
 
   if (request.op == RequestOp::kExplore) {
+    request.mapper = string_field(doc, "mapper", request.mapper);
+    if (!is_known_mapper(request.mapper)) {
+      throw Error("unknown mapper '" + request.mapper +
+                  "' (known: " + known_mapper_names() + ")");
+    }
     request.schedule = schedule_field(
         string_field(doc, "schedule", to_string(request.schedule)));
     return request;
@@ -189,15 +201,31 @@ JsonValue normalized_request(const Request& request) {
     return doc;
   }
   doc.set("model", request.model);
+  if (request.op == RequestOp::kExplore) {
+    // Only the knobs the chosen mapper actually consumes enter the key:
+    // a seed-independent mapper's result is a pure function of
+    // (model, clbs, runs), and only the annealer reads warmup/schedule —
+    // so e.g. every {"mapper": "heft"} query for one model and device
+    // size is the same cache entry regardless of seed or budget.
+    doc.set("mapper", request.mapper);
+    doc.set("runs", static_cast<std::int64_t>(request.runs));
+    if (!mapper_is_deterministic(request.mapper)) {
+      doc.set("seed", static_cast<std::int64_t>(request.seed));
+      doc.set("iters", request.iterations);
+      if (request.mapper == "anneal") {
+        doc.set("warmup", request.warmup);
+      }
+    }
+    doc.set("clbs", static_cast<std::int64_t>(request.clbs));
+    if (request.mapper == "anneal") {
+      doc.set("schedule", rdse::to_string(request.schedule));
+    }
+    return doc;
+  }
   doc.set("runs", static_cast<std::int64_t>(request.runs));
   doc.set("seed", static_cast<std::int64_t>(request.seed));
   doc.set("iters", request.iterations);
   doc.set("warmup", request.warmup);
-  if (request.op == RequestOp::kExplore) {
-    doc.set("clbs", static_cast<std::int64_t>(request.clbs));
-    doc.set("schedule", rdse::to_string(request.schedule));
-    return doc;
-  }
   doc.set("axis", request.axis);
   if (request.axis == "device-size") {
     JsonValue sizes = JsonValue::array();

@@ -9,9 +9,9 @@
 /// this is the hardened front door that untrusted request traffic flows
 /// through. Operations:
 ///
-///   {"op": "explore", "model": "motion", "clbs": 2000, "runs": 1,
-///    "seed": 1, "iters": 20000, "warmup": 1200,
-///    "schedule": "modified-lam"}
+///   {"op": "explore", "model": "motion", "mapper": "anneal",
+///    "clbs": 2000, "runs": 1, "seed": 1, "iters": 20000, "warmup": 1200,
+///    "schedule": "modified-lam"}   ("mapper" picks any registered mapper)
 ///   {"op": "sweep", "model": "motion", "axis": "device-size",
 ///    "sizes": [400, 800], "runs": 5, "seed": 1, "iters": 15000,
 ///    "warmup": 1200}            (axis "schedule" takes "schedules"/"clbs")
@@ -55,6 +55,7 @@ enum class RequestOp : std::uint8_t {
 struct Request {
   RequestOp op = RequestOp::kStatus;
   std::string model = "motion";
+  std::string mapper = "anneal";  ///< explore only; a registered mapper name
   std::int32_t clbs = 2'000;
   int runs = 1;
   std::uint64_t seed = 1;
@@ -73,8 +74,9 @@ struct Request {
 
 /// The canonical form of a work request: fixed field order, every default
 /// made explicit, irrelevant fields dropped (a device-size sweep ignores
-/// "schedules" and "clbs"). Requests that normalize identically are
-/// identical work.
+/// "schedules" and "clbs"; an explore with a seed-independent mapper drops
+/// the stochastic knobs, and only the annealer keeps "warmup"/"schedule").
+/// Requests that normalize identically are identical work.
 [[nodiscard]] JsonValue normalized_request(const Request& request);
 
 /// Cache key: the compact dump of normalized_request().

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "arch/architecture.hpp"
+#include "baseline/mapper.hpp"
 #include "core/report.hpp"
 #include "core/sweep_engine.hpp"
 #include "model/registry.hpp"
@@ -249,26 +250,33 @@ JsonValue ExplorationService::execute(const Request& request) const {
   config.record_trace = false;
 
   if (request.op == RequestOp::kExplore) {
-    config.schedule = request.schedule;
+    // Every strategy — the annealer included — runs through the mapper
+    // registry, so the service has exactly one explore code path.
+    MapperConfig mc;
+    mc.seed = request.seed;
+    mc.iterations = request.iterations;
+    mc.warmup_iterations = request.warmup;
+    mc.schedule = request.schedule;
+    const std::unique_ptr<Mapper> mapper = make_mapper(request.mapper);
     const Architecture arch = make_cpu_fpga_architecture(
         request.clbs, model.tr_per_clb, model.bus_bytes_per_second);
-    const Explorer explorer(model.app.graph, arch);
+    const SweepEngine engine(config_.run_threads);
+    const std::vector<MapperResult> results =
+        engine.run_mapper_many(*mapper, model.app.graph, arch, mc,
+                               request.runs);
     JsonValue doc = JsonValue::object();
     doc.set("model", model.app.name);
+    doc.set("mapper", request.mapper);
     doc.set("clbs", static_cast<std::int64_t>(request.clbs));
     doc.set("runs", static_cast<std::int64_t>(request.runs));
     doc.set("deadline_ms", to_ms(model.app.deadline));
     if (request.runs == 1) {
-      const RunResult result = explorer.run(config);
-      doc.set("best",
-              metrics_payload(result.best_metrics, model.app.deadline));
+      doc.set("best", metrics_payload(results.front().best_metrics,
+                                      model.app.deadline));
     } else {
-      const SweepEngine engine(config_.run_threads);
-      const std::vector<RunResult> results =
-          engine.run_many(explorer, config, request.runs);
-      const RunAggregate agg =
-          Explorer::aggregate(results, model.app.deadline);
-      doc.set("aggregate", aggregate_payload(agg));
+      doc.set("aggregate",
+              aggregate_payload(
+                  aggregate_mapper_results(results, model.app.deadline)));
     }
     return doc;
   }

@@ -147,9 +147,10 @@ TEST_F(BaselineFixture, GaImprovesOverItsOwnFirstGeneration) {
   config.seed = 7;
   config.population = 40;
   config.generations = 15;
-  const GaResult r = ga.run(config);
-  ASSERT_EQ(r.best_history.size(), 16u);
-  EXPECT_LE(r.best_history.back(), r.best_history.front());
+  const MapperResult r = ga.run(config);
+  const auto& history = r.counters.at("best_history").items();
+  ASSERT_EQ(history.size(), 16u);
+  EXPECT_LE(history.back().as_number(), history.front().as_number());
   EXPECT_LT(r.best_cost_ms, 76.4);
   require_valid(app.graph, arch, r.best_solution);
   EXPECT_EQ(r.evaluations, 40 + 15 * (40 - config.elites));
@@ -161,9 +162,10 @@ TEST_F(BaselineFixture, GaHistoryIsMonotone) {
   config.seed = 9;
   config.population = 30;
   config.generations = 10;
-  const GaResult r = ga.run(config);
-  for (std::size_t i = 1; i < r.best_history.size(); ++i) {
-    EXPECT_LE(r.best_history[i], r.best_history[i - 1]);
+  const MapperResult r = ga.run(config);
+  const auto& history = r.counters.at("best_history").items();
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    EXPECT_LE(history[i].as_number(), history[i - 1].as_number());
   }
 }
 
@@ -184,7 +186,7 @@ TEST_F(BaselineFixture, GaRequiresCpuAndRc) {
 }
 
 TEST_F(BaselineFixture, RandomSearchFindsFeasibleBest) {
-  const RandomSearchResult r = run_random_search(app.graph, arch, 300, 11);
+  const MapperResult r = run_random_search(app.graph, arch, 300, 11);
   EXPECT_EQ(r.evaluations, 300);
   EXPECT_GT(r.best_cost_ms, 0.0);
   EXPECT_LE(r.best_cost_ms, 76.4 + 1e-9);
@@ -192,15 +194,16 @@ TEST_F(BaselineFixture, RandomSearchFindsFeasibleBest) {
 }
 
 TEST_F(BaselineFixture, RandomSearchMoreSamplesNeverWorse) {
-  const RandomSearchResult small = run_random_search(app.graph, arch, 50, 13);
-  const RandomSearchResult large = run_random_search(app.graph, arch, 500, 13);
+  const MapperResult small = run_random_search(app.graph, arch, 50, 13);
+  const MapperResult large = run_random_search(app.graph, arch, 500, 13);
   EXPECT_LE(large.best_cost_ms, small.best_cost_ms);
 }
 
 TEST_F(BaselineFixture, HillClimbImprovesAndStaysValid) {
-  const RunResult r = run_hill_climb(app.graph, arch, 4'000, 17);
+  const MapperResult r = run_hill_climb(app.graph, arch, 4'000, 17);
   require_valid(app.graph, r.best_architecture, r.best_solution);
-  EXPECT_LT(r.best_metrics.makespan, r.initial_metrics.makespan);
+  EXPECT_LT(to_ms(r.best_metrics.makespan),
+            r.counters.at("initial_makespan_ms").as_number());
 }
 
 TEST_F(BaselineFixture, AnnealingBeatsRandomSearchOnEqualEvaluations) {
@@ -212,7 +215,7 @@ TEST_F(BaselineFixture, AnnealingBeatsRandomSearchOnEqualEvaluations) {
   config.warmup_iterations = 300;
   config.record_trace = false;
   const RunResult sa = explorer.run(config);
-  const RandomSearchResult rs = run_random_search(app.graph, arch, 3'300, 19);
+  const MapperResult rs = run_random_search(app.graph, arch, 3'300, 19);
   EXPECT_LT(to_ms(sa.best_metrics.makespan), rs.best_cost_ms);
 }
 

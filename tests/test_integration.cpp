@@ -71,7 +71,7 @@ TEST(Integration, SaBeatsOrMatchesGaAndIsFasterPerEvaluation) {
   ga_config.seed = 3;
   ga_config.population = 100;
   ga_config.generations = 40;
-  const GaResult gr = ga.run(ga_config);
+  const MapperResult gr = ga.run(ga_config);
 
   // §5 comparison direction: concurrent exploration >= staged exploration.
   EXPECT_LE(to_ms(sa.best_metrics.makespan), gr.best_cost_ms * 1.05);

@@ -1,9 +1,10 @@
 /// Tests for the application model: implementations, tasks, task graphs,
-/// synthetic generators.
+/// synthetic generators, and the named-model registry.
 
 #include <gtest/gtest.h>
 
 #include "model/generators.hpp"
+#include "model/registry.hpp"
 #include "model/task_graph.hpp"
 
 namespace rdse {
@@ -179,6 +180,54 @@ TEST_P(RandomAppGen, ProducesValidApplications) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomAppGen,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(ModelRegistry, CanonicalNamesCollapseAliasesAndPadding) {
+  EXPECT_EQ(canonical_model_name("motion"), "motion");
+  EXPECT_EQ(canonical_model_name("motion_detection"), "motion");
+  EXPECT_EQ(canonical_model_name("synthetic:120"), "synthetic:120");
+  EXPECT_EQ(canonical_model_name("synthetic:0120"), "synthetic:120");
+  EXPECT_THROW((void)canonical_model_name("warp"), Error);
+  EXPECT_THROW((void)canonical_model_name("synthetic:"), Error);
+  EXPECT_THROW((void)canonical_model_name("synthetic:1"), Error);      // < 2
+  EXPECT_THROW((void)canonical_model_name("synthetic:5001"), Error);   // > max
+  EXPECT_THROW((void)canonical_model_name("synthetic:12x"), Error);
+  EXPECT_THROW((void)canonical_model_name("synthetic:-3"), Error);
+}
+
+TEST(ModelRegistry, MotionAliasLoadsTheSameApplication) {
+  const ModelSpec a = load_model_spec("motion");
+  const ModelSpec b = load_model_spec("motion_detection");
+  EXPECT_EQ(a.app.name, b.app.name);
+  EXPECT_EQ(a.app.graph.task_count(), b.app.graph.task_count());
+  EXPECT_EQ(a.tr_per_clb, b.tr_per_clb);
+  EXPECT_EQ(a.bus_bytes_per_second, b.bus_bytes_per_second);
+}
+
+TEST(ModelRegistry, SyntheticFamilyIsDeterministicPerSize) {
+  const ModelSpec a = load_model_spec("synthetic:40");
+  const ModelSpec b = load_model_spec("synthetic:0040");
+  ASSERT_EQ(a.app.graph.task_count(), 40u);
+  EXPECT_EQ(a.app.name, "synthetic:40");
+  EXPECT_EQ(b.app.graph.task_count(), 40u);
+  for (TaskId t = 0; t < a.app.graph.task_count(); ++t) {
+    EXPECT_EQ(a.app.graph.task(t).sw_time, b.app.graph.task(t).sw_time);
+  }
+  EXPECT_EQ(a.app.deadline, b.app.deadline);
+  // Distinct sizes are distinct applications with their own deadline.
+  const ModelSpec c = load_model_spec("synthetic:41");
+  EXPECT_EQ(c.app.graph.task_count(), 41u);
+  EXPECT_NE(c.app.deadline, a.app.deadline);
+}
+
+TEST(ModelRegistry, UnknownModelNamesTheKnownSet) {
+  try {
+    (void)load_model_spec("sobel");
+    FAIL() << "load_model_spec accepted an unknown name";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("synthetic:<tasks>"),
+              std::string::npos);
+  }
+}
 
 TEST(RandomAppGen, Deterministic) {
   AppGenParams params;

@@ -137,6 +137,61 @@ TEST(ServeProtocol, DistinctWorkGetsDistinctKeys) {
   }
 }
 
+TEST(ServeProtocol, ExploreMapperDefaultsToAnneal) {
+  EXPECT_EQ(parse(R"({"op": "explore"})").mapper, "anneal");
+  EXPECT_EQ(parse(R"({"op": "explore", "mapper": "heft"})").mapper, "heft");
+}
+
+TEST(ServeProtocol, UnknownMapperAndSweepMapperAreRejected) {
+  EXPECT_THROW((void)parse(R"({"op": "explore", "mapper": "nope"})"), Error);
+  // "mapper" is an explore-only field; a sweep request must not carry it.
+  EXPECT_THROW((void)parse(R"({"op": "sweep", "mapper": "heft"})"), Error);
+}
+
+TEST(ServeProtocol, ModelNamesCanonicalizeInTheKey) {
+  // The alias and the canonical name are the same work, as are padded and
+  // plain synthetic sizes; unknown models fail at the front door.
+  const std::string canonical =
+      canonical_key(parse(R"({"op": "explore", "model": "motion"})"));
+  EXPECT_EQ(canonical_key(
+                parse(R"({"op": "explore", "model": "motion_detection"})")),
+            canonical);
+  EXPECT_EQ(
+      canonical_key(parse(R"({"op": "explore", "model": "synthetic:0040"})")),
+      canonical_key(parse(R"({"op": "explore", "model": "synthetic:40"})")));
+  EXPECT_THROW((void)parse(R"({"op": "explore", "model": "warp"})"), Error);
+  EXPECT_THROW((void)parse(R"({"op": "explore", "model": "synthetic:1"})"),
+               Error);
+}
+
+TEST(ServeProtocol, MapperKeyKeepsOnlyConsumedKnobs) {
+  // Seed-independent mappers: (model, mapper, runs, clbs) is the whole
+  // key, so any seed/budget/schedule spelling hits the same cache entry.
+  const std::string heft =
+      canonical_key(parse(R"({"op": "explore", "mapper": "heft"})"));
+  EXPECT_EQ(canonical_key(parse(
+                R"({"op": "explore", "mapper": "heft", "seed": 9,
+                    "iters": 5, "warmup": 0, "schedule": "greedy"})")),
+            heft);
+  EXPECT_NE(canonical_key(
+                parse(R"({"op": "explore", "mapper": "heft", "clbs": 400})")),
+            heft);
+  // Stochastic non-annealers keep seed and budget but drop the annealer's
+  // warmup/schedule knobs.
+  const std::string ga =
+      canonical_key(parse(R"({"op": "explore", "mapper": "ga"})"));
+  EXPECT_EQ(canonical_key(parse(
+                R"({"op": "explore", "mapper": "ga", "warmup": 7,
+                    "schedule": "greedy"})")),
+            ga);
+  EXPECT_NE(
+      canonical_key(parse(R"({"op": "explore", "mapper": "ga", "seed": 2})")),
+      ga);
+  // Distinct mappers are distinct work even with identical knobs.
+  EXPECT_NE(heft, ga);
+  EXPECT_NE(ga, canonical_key(parse(R"({"op": "explore"})")));
+}
+
 TEST(ServeProtocol, ErrorResponsesCarryTheBackpressureHint) {
   EXPECT_EQ(make_error_response("boom"),
             R"({"ok": false, "error": "boom"})");

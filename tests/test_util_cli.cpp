@@ -177,6 +177,49 @@ TEST(RdseCli, ExploreAggregatesRepeatedRuns) {
   EXPECT_NE(r.out.find("hit rate"), std::string::npos);
 }
 
+TEST(RdseCli, ExploreRunsTheSyntheticModelFamily) {
+  const CliOutcome r =
+      run_cli({"explore", "--model", "synthetic:30", "--runs=2",
+               "--iters=200", "--warmup=40", "--threads=2"});
+  EXPECT_EQ(r.status, 0) << r.err;
+  EXPECT_NE(r.out.find("2 runs of synthetic:30"), std::string::npos);
+}
+
+TEST(RdseCli, BenchRunsMapperMatrixAndWritesComparableArtifacts) {
+  const std::string prefix = temp_path("rdse-cli-mb");
+  const CliOutcome r = run_cli(
+      {"bench", "--mappers", "heft,anneal", "--model", "motion", "--runs=2",
+       "--iters=400", "--warmup=80", "--threads=2", "--json-prefix",
+       prefix.c_str()});
+  ASSERT_EQ(r.status, 0) << r.err;
+  EXPECT_NE(r.out.find("mapper matrix"), std::string::npos);
+  EXPECT_NE(r.out.find("heft *"), std::string::npos);  // deterministic mark
+  for (const char* mapper : {"heft", "anneal"}) {
+    std::ifstream file(prefix + "-" + mapper + ".json");
+    ASSERT_TRUE(file.good()) << mapper;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const JsonValue doc = JsonValue::parse(buffer.str());
+    EXPECT_TRUE(validate_sweep_json(doc).empty()) << mapper;
+    EXPECT_EQ(doc.at("mapper").as_string(), mapper);
+    EXPECT_EQ(doc.at("name").as_string(), "mapper-bench");
+  }
+  // The artifacts pair under `rdse compare` via the shared point label,
+  // and the annealer beats the list scheduler even at this tiny budget.
+  const std::string heft = prefix + "-heft.json";
+  const std::string anneal = prefix + "-anneal.json";
+  const CliOutcome cmp =
+      run_cli({"compare", heft.c_str(), anneal.c_str(), "--tolerance", "0"});
+  EXPECT_EQ(cmp.status, 0) << cmp.err;
+  EXPECT_NE(cmp.out.find("no regressions"), std::string::npos);
+}
+
+TEST(RdseCli, BenchRejectsUnknownMappers) {
+  const CliOutcome r = run_cli({"bench", "--mappers", "heft,warp"});
+  EXPECT_EQ(r.status, 1);
+  EXPECT_NE(r.err.find("unknown mapper 'warp'"), std::string::npos);
+}
+
 TEST(RdseCli, SweepDryRunEmitsSchemaValidArtifact) {
   const std::string path = temp_path("rdse-cli-dry.json");
   const CliOutcome r = run_cli({"sweep", "--model", "motion", "--dry-run",

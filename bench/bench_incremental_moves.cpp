@@ -105,6 +105,14 @@ struct ModelReport {
   double seq_diff_hit_rate = 0.0;     ///< chain edges kept / chain edges seen
   double seq_edges_added_per_eval = 0.0;
   double seq_edges_reweighted_per_eval = 0.0;  ///< in-place weight patches
+  // Micro-profile (one dedicated profiled pass; informational, not gated —
+  // absolute phase times are machine-dependent).
+  double profile_stage_ns_per_eval = 0.0;      ///< moved-task staging
+  double profile_reconcile_ns_per_eval = 0.0;  ///< chain diff + RC realize
+  double profile_context_ns_per_eval = 0.0;    ///< RC context accounting
+  double profile_relax_ns_per_eval = 0.0;      ///< delta relaxation
+  std::int64_t clbs_delta_hits = 0;    ///< CLB sums served without a walk
+  std::int64_t clbs_delta_misses = 0;  ///< CLB sums re-summed over members
 };
 
 ModelReport compare(const std::string& name, const TaskGraph& tg,
@@ -186,6 +194,30 @@ ModelReport compare(const std::string& name, const TaskGraph& tg,
     rep.seq_edges_reweighted_per_eval =
         static_cast<double>(stats->seq_edges_reweighted) /
         static_cast<double>(stats->builds);
+    rep.clbs_delta_hits = stats->clbs_reused;
+    rep.clbs_delta_misses = stats->clbs_computed;
+  }
+
+  // One extra pass with the phase clocks on. Profiling is kept out of the
+  // timed repeats above so the headline ns/move never pays for the clock
+  // reads; the counters are deterministic, so this pass sees the same
+  // moves.
+  {
+    DseProblem prof(tg, arch, initial, {}, {}, false, /*full_eval=*/false);
+    prof.set_incremental_profile(true);
+    drive(prof, seed, moves);
+    const auto ps = prof.incremental_stats();
+    if (ps.has_value() && ps->builds > 0) {
+      const double n = static_cast<double>(ps->builds);
+      rep.profile_stage_ns_per_eval =
+          static_cast<double>(ps->profile_stage_ns) / n;
+      rep.profile_reconcile_ns_per_eval =
+          static_cast<double>(ps->profile_reconcile_ns) / n;
+      rep.profile_context_ns_per_eval =
+          static_cast<double>(ps->profile_context_ns) / n;
+      rep.profile_relax_ns_per_eval =
+          static_cast<double>(ps->profile_relax_ns) / n;
+    }
   }
   return rep;
 }
@@ -203,6 +235,17 @@ void print_table(const std::vector<ModelReport>& reports) {
         r.speedup, r.full_ns_per_eval, r.inc_ns_per_eval, r.eval_speedup,
         r.relaxed_per_probe, r.journal_entries_per_probe,
         100.0 * r.seq_diff_hit_rate, 100.0 * r.makespan_rescan_rate);
+  }
+  std::printf("%-16s %5s | %10s %10s %10s %10s | %9s %9s\n", "micro-profile",
+              "", "stage/ev", "recon/ev", "ctx/ev", "relax/ev", "clb hit",
+              "clb miss");
+  for (const ModelReport& r : reports) {
+    std::printf("%-16s %5s | %9.0fn %9.0fn %9.0fn %9.0fn | %9lld %9lld\n",
+                r.model.c_str(), "", r.profile_stage_ns_per_eval,
+                r.profile_reconcile_ns_per_eval, r.profile_context_ns_per_eval,
+                r.profile_relax_ns_per_eval,
+                static_cast<long long>(r.clbs_delta_hits),
+                static_cast<long long>(r.clbs_delta_misses));
   }
   std::printf("\n");
 }
@@ -241,6 +284,12 @@ void write_json(const std::string& path, std::int64_t moves,
     row.set("seq_diff_hit_rate", r.seq_diff_hit_rate);
     row.set("seq_edges_added_per_eval", r.seq_edges_added_per_eval);
     row.set("seq_edges_reweighted_per_eval", r.seq_edges_reweighted_per_eval);
+    row.set("profile_stage_ns_per_eval", r.profile_stage_ns_per_eval);
+    row.set("profile_reconcile_ns_per_eval", r.profile_reconcile_ns_per_eval);
+    row.set("profile_context_ns_per_eval", r.profile_context_ns_per_eval);
+    row.set("profile_relax_ns_per_eval", r.profile_relax_ns_per_eval);
+    row.set("clbs_delta_hits", r.clbs_delta_hits);
+    row.set("clbs_delta_misses", r.clbs_delta_misses);
     results.push_back(std::move(row));
   }
   doc.set("results", std::move(results));

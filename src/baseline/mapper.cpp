@@ -46,6 +46,7 @@ class AnnealMapper final : public Mapper {
     c.iterations = config.iterations;
     c.warmup_iterations = config.warmup_iterations;
     c.schedule = config.schedule;
+    c.batch = config.batch;
     c.record_trace = false;
     const RunResult run = explorer.run(c);
 

@@ -37,6 +37,7 @@ struct MapperConfig {
   std::int64_t iterations = 20'000;
   std::int64_t warmup_iterations = 1'200;  ///< annealer only
   ScheduleKind schedule = ScheduleKind::kModifiedLam;  ///< annealer only
+  int batch = 1;  ///< annealer only: probes per step (best-of-K)
 };
 
 /// The one result every mapper returns.

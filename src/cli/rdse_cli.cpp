@@ -1,5 +1,6 @@
 #include "cli/rdse_cli.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <charconv>
 #include <cmath>
@@ -51,6 +52,8 @@ common options:
 explore options:
   --clbs N          FPGA size in CLBs                        [2000]
   --runs N          independent seeded runs (0 is allowed)   [1]
+  --batch K         candidate moves probed per annealing step [1]
+                    (best-of-K then Metropolis; 1 = classic path)
   --schedule NAME   modified-lam | lam-delosme | geometric | greedy
 
 bench options:
@@ -184,7 +187,7 @@ void write_artifact(const std::string& path, const JsonValue& doc,
 int cmd_explore(const Options& opts, std::ostream& out) {
   static constexpr std::string_view kFlags[] = {
       "model", "clbs", "seed", "iters", "warmup",
-      "runs",  "threads", "schedule", "quiet"};
+      "runs",  "threads", "schedule", "batch", "quiet"};
   opts.require_known(kFlags);
   require_no_positionals(opts);
 
@@ -199,6 +202,8 @@ int cmd_explore(const Options& opts, std::ostream& out) {
   ExplorerConfig config = base_config(opts, 20'000);
   config.schedule =
       parse_schedule(opts.get_string("schedule", "modified-lam"));
+  config.batch = static_cast<int>(opts.get_int("batch", 1));
+  RDSE_REQUIRE(config.batch >= 1, "option --batch: need at least one probe");
   config.record_trace = runs == 1;
 
   const Architecture arch = make_cpu_fpga_architecture(
@@ -245,6 +250,28 @@ int cmd_explore(const Options& opts, std::ostream& out) {
 
 // -------------------------------------------------------------------- bench
 
+/// --mappers CSV: trim shell-quoting padding per item, drop all-padding
+/// items, reject unknown names by their trimmed form, and dedupe keeping
+/// first-seen order (duplicates would collide on the same
+/// <prefix>-<mapper>.json artifact path).
+std::vector<std::string> parse_mapper_list(const std::string& csv) {
+  std::vector<std::string> names;
+  for (const std::string& raw : split_csv(csv)) {
+    const auto lo = raw.find_first_not_of(" \t");
+    if (lo == std::string::npos) continue;
+    const auto hi = raw.find_last_not_of(" \t");
+    std::string name = raw.substr(lo, hi - lo + 1);
+    if (!is_known_mapper(name)) {
+      throw Error("option --mappers: unknown mapper '" + name +
+                  "' (known: " + known_mapper_names() + ")");
+    }
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      names.push_back(std::move(name));
+    }
+  }
+  return names;
+}
+
 int cmd_bench(const Options& opts, std::ostream& out) {
   static constexpr std::string_view kFlags[] = {
       "mappers", "model", "clbs", "runs", "seed", "iters",
@@ -263,14 +290,8 @@ int cmd_bench(const Options& opts, std::ostream& out) {
 
   MapperMatrixSpec spec;
   const std::string csv = opts.get_string("mappers", "");
-  spec.mappers = csv.empty() ? mapper_names() : split_csv(csv);
+  spec.mappers = csv.empty() ? mapper_names() : parse_mapper_list(csv);
   RDSE_REQUIRE(!spec.mappers.empty(), "option --mappers: empty list");
-  for (const std::string& name : spec.mappers) {
-    if (!is_known_mapper(name)) {
-      throw Error("option --mappers: unknown mapper '" + name +
-                  "' (known: " + known_mapper_names() + ")");
-    }
-  }
   spec.config.seed =
       static_cast<std::uint64_t>(opts.get_int("seed", 1, "RDSE_SEED"));
   spec.config.iterations = opts.get_int("iters", 20'000, "RDSE_ITERS");
@@ -463,13 +484,23 @@ const JsonValue* find_entry(const JsonValue& items, std::string_view key,
   return nullptr;
 }
 
+/// What the pairing pass saw: the paired deltas plus enough bookkeeping to
+/// tell "nothing measured" (dry-run plans — vacuously clean) apart from
+/// "measured entries but zero shared metrics" (schema drift — must fail).
+struct PairReport {
+  std::vector<MetricDelta> deltas;
+  std::size_t measurable_pairs = 0;  ///< entry pairs with data on both sides
+  std::size_t overlapping = 0;       ///< gated metrics numeric on both sides
+};
+
 /// Pair up one numeric metric of two matched entries. Metrics absent from
 /// either side (schema evolution) or non-positive in the baseline (nothing
 /// measured) are skipped rather than failed: the gate targets regressions,
-/// not schema drift.
+/// not schema drift — but the skips are counted so a total overlap of zero
+/// can still fail loudly.
 void pair_metric(const JsonValue& base, const JsonValue& cur,
                  const std::string& context, const char* metric,
-                 bool higher_better, std::vector<MetricDelta>& out) {
+                 bool higher_better, PairReport& report) {
   const JsonValue* b = base.find(metric);
   const JsonValue* c = cur.find(metric);
   if (b == nullptr || c == nullptr) return;
@@ -477,14 +508,14 @@ void pair_metric(const JsonValue& base, const JsonValue& cur,
       c->kind() != JsonValue::Kind::kNumber) {
     return;
   }
+  ++report.overlapping;
   if (b->as_number() <= 0.0) return;
-  out.push_back({context, metric, higher_better, b->as_number(),
-                 c->as_number()});
+  report.deltas.push_back({context, metric, higher_better, b->as_number(),
+                           c->as_number()});
 }
 
-std::vector<MetricDelta> pair_sweep_metrics(const JsonValue& base,
-                                            const JsonValue& cur) {
-  std::vector<MetricDelta> deltas;
+PairReport pair_sweep_metrics(const JsonValue& base, const JsonValue& cur) {
+  PairReport report;
   for (const JsonValue& bp : base.at("points").items()) {
     const std::string label = bp.at("label").as_string();
     const JsonValue* cp = find_entry(cur.at("points"), "label", label);
@@ -493,29 +524,50 @@ std::vector<MetricDelta> pair_sweep_metrics(const JsonValue& base,
     if (bp.at("runs").as_int() == 0 || cp->at("runs").as_int() == 0) {
       continue;  // dry-run plan: grid only, nothing measured
     }
-    pair_metric(bp, *cp, label, "mean_makespan_ms", false, deltas);
-    pair_metric(bp, *cp, label, "best_makespan_ms", false, deltas);
+    ++report.measurable_pairs;
+    pair_metric(bp, *cp, label, "mean_makespan_ms", false, report);
+    pair_metric(bp, *cp, label, "best_makespan_ms", false, report);
   }
-  return deltas;
+  return report;
 }
 
-std::vector<MetricDelta> pair_bench_metrics(const JsonValue& base,
-                                            const JsonValue& cur) {
-  std::vector<MetricDelta> deltas;
+PairReport pair_bench_metrics(const JsonValue& base, const JsonValue& cur) {
+  PairReport report;
   for (const JsonValue& br : base.at("results").items()) {
     const std::string model = br.at("model").as_string();
     const JsonValue* cr = find_entry(cur.at("results"), "model", model);
     RDSE_REQUIRE(cr != nullptr,
                  "current artifact is missing bench result '" + model + "'");
-    pair_metric(br, *cr, model, "incremental_ns_per_move", false, deltas);
+    ++report.measurable_pairs;
+    pair_metric(br, *cr, model, "incremental_ns_per_move", false, report);
     pair_metric(br, *cr, model, "incremental_ns_per_evaluated_move", false,
-                deltas);
-    pair_metric(br, *cr, model, "evaluated_move_speedup", true, deltas);
-    pair_metric(br, *cr, model, "relaxed_nodes_per_probe", false, deltas);
-    pair_metric(br, *cr, model, "makespan_rescan_rate", false, deltas);
-    pair_metric(br, *cr, model, "seq_diff_hit_rate", true, deltas);
+                report);
+    pair_metric(br, *cr, model, "evaluated_move_speedup", true, report);
+    pair_metric(br, *cr, model, "relaxed_nodes_per_probe", false, report);
+    pair_metric(br, *cr, model, "makespan_rescan_rate", false, report);
+    pair_metric(br, *cr, model, "seq_diff_hit_rate", true, report);
   }
-  return deltas;
+  return report;
+}
+
+/// The numeric field names an artifact's entries actually carry, in
+/// first-seen order — what the zero-overlap failure prints for each side.
+std::string numeric_field_names(const JsonValue& entries) {
+  std::vector<std::string> names;
+  for (const JsonValue& entry : entries.items()) {
+    for (const auto& [name, value] : entry.members()) {
+      if (value.kind() != JsonValue::Kind::kNumber) continue;
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+  }
+  std::string joined;
+  for (const std::string& name : names) {
+    if (!joined.empty()) joined += ", ";
+    joined += name;
+  }
+  return joined.empty() ? "<none>" : joined;
 }
 
 int cmd_compare(const Options& opts, std::ostream& out, std::ostream& err) {
@@ -547,19 +599,33 @@ int cmd_compare(const Options& opts, std::ostream& out, std::ostream& err) {
                                          schema + "', current is '" +
                                          cur_schema + "'");
 
-  std::vector<MetricDelta> deltas;
+  PairReport report;
+  const char* entries_key = nullptr;
   if (schema == "rdse.sweep.v1") {
     const std::vector<std::string> errors = validate_sweep_json(base);
     RDSE_REQUIRE(errors.empty(), base_path + ": " + errors.front());
     const std::vector<std::string> cur_errors = validate_sweep_json(cur);
     RDSE_REQUIRE(cur_errors.empty(), cur_path + ": " + cur_errors.front());
-    deltas = pair_sweep_metrics(base, cur);
+    report = pair_sweep_metrics(base, cur);
+    entries_key = "points";
   } else if (schema == "rdse.bench.v1") {
-    deltas = pair_bench_metrics(base, cur);
+    report = pair_bench_metrics(base, cur);
+    entries_key = "results";
   } else {
     throw Error("unsupported artifact schema '" + schema +
                 "' (known: rdse.sweep.v1, rdse.bench.v1)");
   }
+  // Measured entries on both sides but not one shared metric name: the
+  // schema drifted out from under the gate. "0 metrics, no regressions"
+  // would pass CI while checking nothing.
+  if (report.measurable_pairs > 0 && report.overlapping == 0) {
+    throw Error("compare: no overlapping metrics between the artifacts "
+                "(baseline '" + base_path + "' has [" +
+                numeric_field_names(base.at(entries_key)) + "]; current '" +
+                cur_path + "' has [" +
+                numeric_field_names(cur.at(entries_key)) + "])");
+  }
+  const std::vector<MetricDelta>& deltas = report.deltas;
 
   int regressions = 0;
   Table table({"where", "metric", "baseline", "current", "change", "gate"});

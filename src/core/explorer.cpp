@@ -39,7 +39,7 @@ RunResult Explorer::run(const ExplorerConfig& config) const {
 
   DseProblem problem(*tg_, arch_, std::move(initial), config.moves,
                      config.cost, config.adaptive_move_mix,
-                     config.full_eval);
+                     config.full_eval, config.batch);
 
   RunResult result;
   result.initial_metrics = problem.current_metrics();

@@ -32,6 +32,9 @@ struct ExplorerConfig {
   /// A/B escape hatch: evaluate every candidate from scratch instead of
   /// through the incremental delta path (bit-identical, much slower).
   bool full_eval = false;
+  /// Candidate moves probed per annealing step (best-of-K, then
+  /// Metropolis). 1 is bit-identical to the classic one-probe path.
+  int batch = 1;
   std::int64_t freeze_after = 0;  ///< 0: fixed horizon as in the paper
   bool record_trace = true;
   std::int64_t trace_stride = 1;  ///< keep every k-th iteration

@@ -140,12 +140,14 @@ bool apply_reassign(const TaskGraph& tg, const Architecture& arch,
       const std::int32_t used =
           sol.context_clbs(tg, pd.resource, ctx);
       if (used + task.hw.at(impl).clbs <= dev.n_clbs()) {
-        sol.insert_in_context(vs, pd.resource, ctx, impl);
+        sol.insert_in_context(vs, pd.resource, ctx, impl,
+                              task.hw.at(impl).clbs);
       } else {
         // §4.3: "another context will be spawned if
         // nCLB(R(vd)) + C(vs) > NCLB".
         const std::size_t fresh = sol.spawn_context_after(pd.resource, ctx);
-        sol.insert_in_context(vs, pd.resource, fresh, impl);
+        sol.insert_in_context(vs, pd.resource, fresh, impl,
+                              task.hw.at(impl).clbs);
       }
       return true;
     }
@@ -195,7 +197,7 @@ bool apply_reassign_to_resource(const TaskGraph& tg, const Architecture& arch,
                  dev.n_clbs()) {
         ctx = sol.spawn_context_after(target, ctx);
       }
-      sol.insert_in_context(vs, target, ctx, impl);
+      sol.insert_in_context(vs, target, ctx, impl, task.hw.at(impl).clbs);
       return true;
     }
     case ResourceKind::kAsic: {
@@ -238,7 +240,7 @@ bool apply_change_impl(const TaskGraph& tg, const Architecture& arch,
   if (options.empty()) return false;
   const std::uint32_t impl = options[rng.index(options.size())];
   if (res.kind() == ResourceKind::kReconfigurable) {
-    sol.set_impl(vs, impl);
+    sol.set_impl(vs, impl, task.hw.at(impl).clbs);
   } else {
     // ASIC: re-stage the placement to update the implementation.
     const ResourceId asic = p.resource;
@@ -340,7 +342,8 @@ bool apply_create_resource(const TaskGraph& tg, Architecture& arch,
       }
       sol.remove_task(vs);
       const std::size_t ctx = sol.spawn_context_after(id, Solution::kFront);
-      sol.insert_in_context(vs, id, ctx, fits[rng.index(fits.size())]);
+      const std::uint32_t impl = fits[rng.index(fits.size())];
+      sol.insert_in_context(vs, id, ctx, impl, task.hw.at(impl).clbs);
       return true;
     }
     case ResourceKind::kAsic: {

@@ -63,7 +63,7 @@ ParallelRunResult ParallelExplorer::run(
     rep.problem = std::make_unique<DseProblem>(
         explorer_.task_graph(), explorer_.architecture(), std::move(initial),
         config.moves, config.cost, config.adaptive_move_mix,
-        config.full_eval);
+        config.full_eval, config.batch);
     rep.initial_metrics = rep.problem->current_metrics();
 
     AnnealConfig ac;

@@ -44,6 +44,8 @@ struct ParallelExplorerConfig {
   bool adaptive_move_mix = false;
   /// A/B escape hatch: full re-evaluation per move (see ExplorerConfig).
   bool full_eval = false;
+  /// Candidate moves probed per annealing step (see ExplorerConfig).
+  int batch = 1;
   std::int64_t freeze_after = 0;
   bool record_trace = false;
   std::int64_t trace_stride = 1;

@@ -8,7 +8,7 @@ namespace rdse {
 DseProblem::DseProblem(const TaskGraph& tg, Architecture arch,
                        Solution initial, MoveConfig moves,
                        CostWeights weights, bool adaptive_move_mix,
-                       bool full_eval)
+                       bool full_eval, int batch)
     : tg_(&tg),
       move_config_(moves),
       weights_(weights),
@@ -17,7 +17,11 @@ DseProblem::DseProblem(const TaskGraph& tg, Architecture arch,
       cand_arch_(arch_),
       cand_sol_(sol_),
       best_arch_(arch_),
-      best_sol_(sol_) {
+      best_sol_(sol_),
+      winner_arch_(arch_),
+      winner_sol_(sol_),
+      batch_(batch) {
+  RDSE_REQUIRE(batch_ >= 1, "DseProblem: batch must be >= 1");
   require_valid(*tg_, arch_, sol_);
   const Evaluator ev(*tg_, arch_);
   const auto m = ev.evaluate(sol_);
@@ -68,20 +72,7 @@ void DseProblem::reset_state(Architecture arch, Solution sol) {
   if (inc_) inc_->reset(arch_, sol_);
 }
 
-bool DseProblem::propose(Rng& rng) {
-  // Storage-reusing copy assignments into persistent candidate buffers,
-  // skipped entirely when the previous proposal left them untouched.
-  if (cand_arch_stale_) {
-    cand_arch_ = arch_;
-    cand_arch_stale_ = false;
-  }
-  if (cand_sol_stale_) {
-    cand_sol_ = sol_;
-    cand_sol_stale_ = false;
-  }
-  cand_sol_.clear_touched();
-
-  MoveOutcome outcome;
+MoveOutcome DseProblem::generate_candidate_move(Rng& rng) {
   if (mix_) {
     // Adaptive move-mix (EXP-A2): the controller picks the class, the
     // §4.2 operand draws stay random.
@@ -107,10 +98,29 @@ bool DseProblem::propose(Rng& rng) {
         forced.p_reorder_contexts = 0.0;
         break;
     }
-    outcome = generate_move(*tg_, cand_arch_, cand_sol_, forced, rng);
-  } else {
-    outcome = generate_move(*tg_, cand_arch_, cand_sol_, move_config_, rng);
+    return generate_move(*tg_, cand_arch_, cand_sol_, forced, rng);
   }
+  return generate_move(*tg_, cand_arch_, cand_sol_, move_config_, rng);
+}
+
+bool DseProblem::propose(Rng& rng) {
+  return batch_ <= 1 ? propose_single(rng) : propose_batched(rng);
+}
+
+bool DseProblem::propose_single(Rng& rng) {
+  // Storage-reusing copy assignments into persistent candidate buffers,
+  // skipped entirely when the previous proposal left them untouched.
+  if (cand_arch_stale_) {
+    cand_arch_ = arch_;
+    cand_arch_stale_ = false;
+  }
+  if (cand_sol_stale_) {
+    cand_sol_ = sol_;
+    cand_sol_stale_ = false;
+  }
+  cand_sol_.clear_touched();
+
+  const MoveOutcome outcome = generate_candidate_move(rng);
 
   auto& stats = move_stats_[static_cast<std::size_t>(outcome.kind)];
   ++stats.drawn;
@@ -154,6 +164,117 @@ bool DseProblem::propose(Rng& rng) {
   ++stats.evaluated;
   cand_metrics_ = *m;
   cand_cost_ = cost_of(cand_metrics_, cand_arch_);
+  return true;
+}
+
+bool DseProblem::propose_batched(Rng& rng) {
+  // Probe K independent moves against the same committed state, keep the
+  // cheapest feasible one and hand only that winner to the engine's
+  // Metropolis test ("best of K, then Metropolis"). Losing probes count as
+  // rejections for the adaptive move mix; the per-class counters see every
+  // probe, so `evaluated` still measures real evaluator work.
+  bool have_winner = false;
+  bool staged = false;            // inc_ holds an uncommitted delta ...
+  bool staged_is_winner = false;  // ... and it belongs to the winner
+  for (int k = 0; k < batch_; ++k) {
+    if (cand_arch_stale_) {
+      cand_arch_ = arch_;
+      cand_arch_stale_ = false;
+    }
+    if (cand_sol_stale_) {
+      cand_sol_ = sol_;
+      cand_sol_stale_ = false;
+    }
+    cand_sol_.clear_touched();
+
+    const MoveOutcome outcome = generate_candidate_move(rng);
+    auto& stats = move_stats_[static_cast<std::size_t>(outcome.kind)];
+    ++stats.drawn;
+    cand_kind_ = outcome.kind;
+    if (outcome.applied) {
+      cand_sol_stale_ = true;
+    }
+    const bool arch_mutated =
+        outcome.kind == MoveKind::kCreateResource ||
+        (outcome.applied && outcome.kind == MoveKind::kRemoveResource);
+    if (arch_mutated) {
+      cand_arch_stale_ = true;
+    }
+    if (!outcome.applied) {
+      ++stats.null_draws;
+      if (mix_) mix_->report(static_cast<std::size_t>(outcome.kind), false);
+      continue;
+    }
+
+    // Only one delta can be staged at a time: drop the previous probe's
+    // before evaluating this one (the winner is re-staged at the end).
+    if (inc_ && staged) {
+      inc_->discard();
+      staged = false;
+      staged_is_winner = false;
+    }
+    std::optional<Metrics> m;
+    if (inc_) {
+      m = inc_->evaluate_candidate(cand_arch_, cand_sol_,
+                                   cand_sol_.touched_resources(),
+                                   cand_sol_.touched_tasks());
+    } else {
+      const Evaluator ev(*tg_, cand_arch_);
+      m = ev.evaluate(cand_sol_);
+    }
+    if (!m.has_value()) {
+      ++stats.infeasible;
+      if (mix_) mix_->report(static_cast<std::size_t>(outcome.kind), false);
+      continue;
+    }
+    ++stats.evaluated;
+    staged = inc_ != nullptr;
+    const double cost = cost_of(*m, cand_arch_);
+    if (!have_winner || cost < winner_cost_) {
+      if (have_winner && mix_) {
+        mix_->report(static_cast<std::size_t>(winner_kind_), false);
+      }
+      std::swap(winner_arch_, cand_arch_);
+      std::swap(winner_sol_, cand_sol_);  // the touched journal travels too
+      winner_metrics_ = *m;
+      winner_cost_ = cost;
+      winner_kind_ = outcome.kind;
+      winner_arch_mutated_ = arch_mutated;
+      have_winner = true;
+      staged_is_winner = true;
+      // The swap left the previous winner's storage in the cand buffers.
+      cand_arch_stale_ = true;
+      cand_sol_stale_ = true;
+    } else {
+      if (mix_) mix_->report(static_cast<std::size_t>(outcome.kind), false);
+      staged_is_winner = false;
+    }
+  }
+
+  if (!have_winner) {
+    if (inc_ && staged) inc_->discard();
+    return false;
+  }
+  if (inc_ && staged && !staged_is_winner) {
+    inc_->discard();
+  }
+  std::swap(cand_arch_, winner_arch_);
+  std::swap(cand_sol_, winner_sol_);
+  cand_metrics_ = winner_metrics_;
+  cand_cost_ = winner_cost_;
+  cand_kind_ = winner_kind_;
+  cand_arch_mutated_ = winner_arch_mutated_;
+  cand_arch_stale_ = true;
+  cand_sol_stale_ = true;
+  if (inc_ && !staged_is_winner) {
+    // Re-stage the winner's delta against the committed state so accept()
+    // can commit it. The probe already proved feasibility, and replaying
+    // the identical (candidate, journal) pair is deterministic.
+    const auto m = inc_->evaluate_candidate(cand_arch_, cand_sol_,
+                                            cand_sol_.touched_resources(),
+                                            cand_sol_.touched_tasks());
+    RDSE_ASSERT(m.has_value());
+  }
   return true;
 }
 

@@ -44,9 +44,15 @@ class DseProblem final : public AnnealProblem {
   /// whole search graph per move (the reference path) — the A/B escape
   /// hatch for the incremental evaluator, which is bit-identical but kept
   /// verifiable.
+  ///
+  /// `batch` (K >= 1) is the number of candidate moves probed per annealing
+  /// step against the same committed state; the cheapest feasible probe is
+  /// handed to the engine's Metropolis test ("best of K, then Metropolis").
+  /// K = 1 is bit-identical to the classic one-probe path.
   DseProblem(const TaskGraph& tg, Architecture arch, Solution initial,
              MoveConfig moves = {}, CostWeights weights = {},
-             bool adaptive_move_mix = false, bool full_eval = false);
+             bool adaptive_move_mix = false, bool full_eval = false,
+             int batch = 1);
 
   // AnnealProblem interface.
   [[nodiscard]] double cost() const override { return cost_; }
@@ -77,6 +83,11 @@ class DseProblem final : public AnnealProblem {
     if (!inc_) return std::nullopt;
     return inc_->stats();
   }
+  /// Toggle the incremental evaluator's per-phase micro-profile (no-op in
+  /// full_eval mode); see IncrementalEvalStats::profile_*_ns.
+  void set_incremental_profile(bool on) {
+    if (inc_) inc_->set_profile(on);
+  }
 
   /// Cost of a (makespan, price) pair under the configured weights.
   [[nodiscard]] double cost_of(const Metrics& m,
@@ -89,7 +100,13 @@ class DseProblem final : public AnnealProblem {
   void reset_state(Architecture arch, Solution sol);
 
  private:
-  bool propose_with_controller(Rng& rng);
+  /// One §4.2 move draw into the candidate buffers (adaptive-mix forcing
+  /// included) — shared by the single and batched propose paths.
+  MoveOutcome generate_candidate_move(Rng& rng);
+  /// The classic one-probe propose (K = 1).
+  bool propose_single(Rng& rng);
+  /// K > 1: probe a batch against the committed state, keep the argmin.
+  bool propose_batched(Rng& rng);
 
   const TaskGraph* tg_;
   MoveConfig move_config_;
@@ -109,6 +126,18 @@ class DseProblem final : public AnnealProblem {
   Architecture best_arch_;
   Solution best_sol_;
   Metrics best_metrics_;
+
+  /// Batched-probe machinery (batch_ > 1): the cheapest feasible probe seen
+  /// so far within one propose() call. Persistent buffers so the hot path
+  /// swaps storage instead of allocating.
+  Architecture winner_arch_;
+  Solution winner_sol_;
+  Metrics winner_metrics_;
+  double winner_cost_ = 0.0;
+  MoveKind winner_kind_ = MoveKind::kReassign;
+  bool winner_arch_mutated_ = false;
+  /// Probes evaluated per annealing step (K); 1 = the classic path.
+  int batch_ = 1;
 
   std::unique_ptr<MoveMixController> mix_;
   std::array<MoveClassStats, kMoveKindCount> move_stats_{};

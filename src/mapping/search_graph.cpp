@@ -107,6 +107,13 @@ void compute_rc_realization(const TaskGraph& tg, const Solution& sol,
     if (clbs_valid) {
       if (counters.clbs_reused != nullptr) ++*counters.clbs_reused;
       out.clbs[c] = hint->clbs[reuse_idx];
+    } else if (const std::int32_t cached = sol.context_clbs_cached(rc, c);
+               cached >= 0) {
+      // No matching hint context (or a touched member), but the Solution's
+      // own per-context sum mirror is warm: the mutators maintained it as a
+      // delta, so this is the exact sum without walking the members.
+      if (counters.clbs_reused != nullptr) ++*counters.clbs_reused;
+      out.clbs[c] = cached;
     } else {
       if (counters.clbs_computed != nullptr) ++*counters.clbs_computed;
       out.clbs[c] = sol.context_clbs(tg, rc, c);

@@ -35,7 +35,8 @@ bool slots_equal(const Slots& a, const Slots& b) {
 
 }  // namespace
 
-Solution::Solution(std::size_t task_count) : placement_(task_count) {}
+Solution::Solution(std::size_t task_count)
+    : placement_(task_count), task_clb_(task_count, -1) {}
 
 bool Solution::operator==(const Solution& other) const {
   return placement_ == other.placement_ &&
@@ -120,7 +121,7 @@ Solution Solution::random_partition(const TaskGraph& tg,
         ctx = sol.spawn_context_after(rc, ctx);
       }
     }
-    sol.insert_in_context(t, rc, ctx, impl);
+    sol.insert_in_context(t, rc, ctx, impl, impls.at(impl).clbs);
   }
   return sol;
 }
@@ -140,10 +141,17 @@ std::size_t Solution::order_position(TaskId task) const {
 
 std::int32_t Solution::context_clbs(const TaskGraph& tg, ResourceId rc,
                                     std::size_t ctx) const {
+  const std::int32_t cached = context_clbs_cached(rc, ctx);
+  if (cached >= 0) return cached;
   std::int32_t total = 0;
   for (TaskId t : context_tasks(rc, ctx)) {
     const Placement& p = placement_[t];
-    total += tg.task(t).hw.at(p.impl).clbs;
+    const std::int32_t clbs = tg.task(t).hw.at(p.impl).clbs;
+    task_clb_[t] = clbs;
+    total += clbs;
+  }
+  if (rc < rc_ctx_clbs_.size() && ctx < rc_ctx_clbs_[rc].size()) {
+    rc_ctx_clbs_[rc][ctx] = total;
   }
   return total;
 }
@@ -198,10 +206,19 @@ void Solution::remove_task(TaskId task) {
     const auto pos = std::find(members.begin(), members.end(), task);
     RDSE_ASSERT(pos != members.end());
     members.erase(pos);
+    auto& sums = rc_ctx_clbs_[p.resource];
+    auto& sum = sums[static_cast<std::size_t>(p.context)];
+    if (sum >= 0 && task_clb_[task] >= 0) {
+      sum -= task_clb_[task];
+    } else {
+      sum = -1;
+    }
+    task_clb_[task] = -1;
     if (members.empty()) {
       // Destroy the emptied context and renumber the ones behind it.
       const auto dead = static_cast<std::int32_t>(p.context);
       contexts.erase(contexts.begin() + dead);
+      sums.erase(sums.begin() + dead);
       for (Placement& q : placement_) {
         if (q.resource == p.resource && q.context > dead) {
           --q.context;
@@ -237,7 +254,7 @@ void Solution::insert_on_processor(TaskId task, ResourceId processor,
 }
 
 void Solution::insert_in_context(TaskId task, ResourceId rc, std::size_t ctx,
-                                 std::uint32_t impl) {
+                                 std::uint32_t impl, std::int32_t clbs) {
   RDSE_REQUIRE(task < placement_.size(), "Solution: task id out of range");
   RDSE_REQUIRE(!placement_[task].assigned(),
                "insert_in_context: task already assigned");
@@ -248,6 +265,14 @@ void Solution::insert_in_context(TaskId task, ResourceId rc, std::size_t ctx,
   touch(rc);
   touch_task(task);
   rc_contexts_[rc][ctx].push_back(task);
+  auto& sum = rc_ctx_clbs_[rc][ctx];
+  if (clbs >= 0) {
+    task_clb_[task] = clbs;
+    if (sum >= 0) sum += clbs;
+  } else {
+    task_clb_[task] = -1;
+    sum = -1;
+  }
   placement_[task] = Placement{rc, static_cast<std::int32_t>(ctx), impl};
 }
 
@@ -265,6 +290,7 @@ void Solution::insert_on_asic(TaskId task, ResourceId asic,
 std::size_t Solution::spawn_context_after(ResourceId rc, std::size_t after) {
   touch(rc);
   auto& contexts = slot_at(rc_contexts_, rc);
+  auto& sums = slot_at(rc_ctx_clbs_, rc);
   std::size_t pos;
   if (after == kFront) {
     pos = 0;
@@ -277,6 +303,8 @@ std::size_t Solution::spawn_context_after(ResourceId rc, std::size_t after) {
   // select the initializer_list overload and insert zero elements.
   contexts.insert(contexts.begin() + static_cast<std::ptrdiff_t>(pos),
                   std::vector<TaskId>{});
+  // A fresh context holds nothing: its sum is known to be zero.
+  sums.insert(sums.begin() + static_cast<std::ptrdiff_t>(pos), 0);
   for (Placement& q : placement_) {
     if (q.resource == rc && q.context >= static_cast<std::int32_t>(pos)) {
       ++q.context;
@@ -301,12 +329,20 @@ void Solution::reposition(TaskId task, std::size_t new_position) {
                task);
 }
 
-void Solution::set_impl(TaskId task, std::uint32_t impl) {
+void Solution::set_impl(TaskId task, std::uint32_t impl, std::int32_t clbs) {
   RDSE_REQUIRE(task < placement_.size(), "Solution: task id out of range");
   RDSE_REQUIRE(placement_[task].assigned() && placement_[task].context >= 0,
                "set_impl: task is not on a reconfigurable circuit");
   touch(placement_[task].resource);
   touch_task(task);
+  auto& sum = rc_ctx_clbs_[placement_[task].resource]
+                         [static_cast<std::size_t>(placement_[task].context)];
+  if (clbs >= 0 && task_clb_[task] >= 0) {
+    if (sum >= 0) sum += clbs - task_clb_[task];
+  } else {
+    sum = -1;
+  }
+  task_clb_[task] = clbs;
   placement_[task].impl = impl;
 }
 
@@ -316,6 +352,7 @@ void Solution::swap_contexts(ResourceId rc, std::size_t a, std::size_t b) {
   if (a == b) return;
   touch(rc);
   std::swap(rc_contexts_[rc][a], rc_contexts_[rc][b]);
+  std::swap(rc_ctx_clbs_[rc][a], rc_ctx_clbs_[rc][b]);
   for (Placement& q : placement_) {
     if (q.resource != rc) continue;
     if (q.context == static_cast<std::int32_t>(a)) {
@@ -336,8 +373,12 @@ void Solution::check_mirrors() const {
       ++seen[t];
     }
   }
+  RDSE_ASSERT_MSG(rc_ctx_clbs_.size() == rc_contexts_.size(),
+                  "Solution: CLB-sum mirror out of step with contexts");
   for (ResourceId rc = 0; rc < rc_contexts_.size(); ++rc) {
     const auto& contexts = rc_contexts_[rc];
+    RDSE_ASSERT_MSG(rc_ctx_clbs_[rc].size() == contexts.size(),
+                    "Solution: CLB-sum mirror out of step with contexts");
     for (std::size_t c = 0; c < contexts.size(); ++c) {
       RDSE_ASSERT_MSG(!contexts[c].empty(),
                       "Solution: empty context not collapsed");

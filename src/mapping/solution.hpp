@@ -87,8 +87,20 @@ class Solution {
     return rc_contexts_[rc][ctx];
   }
   /// CLBs occupied by a context under the current implementation choices.
+  /// Served from the per-context sum mirror when it is warm; a cold slot
+  /// falls back to the O(members) walk and warms the mirror as it goes.
   [[nodiscard]] std::int32_t context_clbs(const TaskGraph& tg, ResourceId rc,
                                           std::size_t ctx) const;
+  /// The mirrored CLB sum for a context, or -1 when the slot is cold (a
+  /// mutator ran without its `clbs` hint). Never walks the members — this
+  /// is the evaluator-facing read on the realization hot path.
+  [[nodiscard]] std::int32_t context_clbs_cached(ResourceId rc,
+                                                 std::size_t ctx) const {
+    if (rc < rc_ctx_clbs_.size() && ctx < rc_ctx_clbs_[rc].size()) {
+      return rc_ctx_clbs_[rc][ctx];
+    }
+    return -1;
+  }
   /// Tasks placed on an ASIC (unordered).
   [[nodiscard]] std::span<const TaskId> asic_tasks(ResourceId asic) const;
 
@@ -106,9 +118,12 @@ class Solution {
   void insert_on_processor(TaskId task, ResourceId processor,
                            std::size_t position);
 
-  /// Insert an unassigned task into an existing context.
+  /// Insert an unassigned task into an existing context. Pass the chosen
+  /// implementation's CLB count as `clbs` to keep the per-context sum
+  /// mirror warm; omitting it (or passing -1) invalidates the context's
+  /// cached sum, which `context_clbs` then recomputes on demand.
   void insert_in_context(TaskId task, ResourceId rc, std::size_t ctx,
-                         std::uint32_t impl);
+                         std::uint32_t impl, std::int32_t clbs = -1);
 
   /// Insert an unassigned task on an ASIC.
   void insert_on_asic(TaskId task, ResourceId asic, std::uint32_t impl);
@@ -121,8 +136,9 @@ class Solution {
   /// Move a processor task to a new position within the same order.
   void reposition(TaskId task, std::size_t new_position);
 
-  /// Change the hardware implementation of an RC/ASIC task.
-  void set_impl(TaskId task, std::uint32_t impl);
+  /// Change the hardware implementation of an RC/ASIC task. `clbs` is the
+  /// new implementation's CLB count (same protocol as insert_in_context).
+  void set_impl(TaskId task, std::uint32_t impl, std::int32_t clbs = -1);
 
   /// Swap two contexts in the RC's execution order.
   void swap_contexts(ResourceId rc, std::size_t a, std::size_t b);
@@ -171,6 +187,15 @@ class Solution {
   std::vector<std::vector<TaskId>> proc_order_;
   /// rc id -> ordered context list (members unordered within a context)
   std::vector<std::vector<std::vector<TaskId>>> rc_contexts_;
+  /// rc id -> per-context CLB sums, structurally parallel to rc_contexts_
+  /// (every spawn/collapse/swap updates both). -1 marks a cold slot. The
+  /// mirror is a cache over the implementation choices, so it is mutable
+  /// (context_clbs warms it), excluded from operator== and maintained as
+  /// deltas by mutators that receive the `clbs` hint.
+  mutable std::vector<std::vector<std::int32_t>> rc_ctx_clbs_;
+  /// task id -> CLBs of the task's current RC implementation (-1 unknown);
+  /// lets remove_task/set_impl turn the context sum into a true delta.
+  mutable std::vector<std::int32_t> task_clb_;
   /// asic id -> members
   std::vector<std::vector<TaskId>> asic_tasks_;
   /// Resources / tasks modified since clear_touched() (deduplicated, tiny).

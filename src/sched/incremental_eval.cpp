@@ -1,6 +1,7 @@
 #include "sched/incremental_eval.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "graph/topo.hpp"
 #include "util/assert.hpp"
@@ -285,6 +286,18 @@ std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
   snap_.hw_tasks = hw_tasks_;
   cache_.begin_build(touched_resources, touched_tasks);
 
+  // Micro-profile phase clock: one running timestamp, advanced at each
+  // phase boundary (two clock reads per phase, opt-in).
+  using ProfileClock = std::chrono::steady_clock;
+  ProfileClock::time_point prof_t{};
+  if (profile_) prof_t = ProfileClock::now();
+  const auto profile_lap = [&](std::int64_t& slot) {
+    const auto now = ProfileClock::now();
+    slot += std::chrono::duration_cast<std::chrono::nanoseconds>(now - prof_t)
+                .count();
+    prof_t = now;
+  };
+
   // ---- 1. moved tasks: node weights, partition sums, incident
   // communication weights --------------------------------------------------
   // comm_edge_weight with the memoized bus time (co_located is the shared
@@ -326,6 +339,8 @@ std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
       stage_comm_weight(e, comm_weight(e));
     }
   }
+
+  if (profile_) profile_lap(prof_stage_ns_);
 
   // ---- 2a. clear releases contributed by touched RCs' old first contexts
   // (before any re-set, so a task migrating between two touched first
@@ -386,6 +401,8 @@ std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
     stage_release(task, release);  // no-op (and no seed) when unchanged
   }
 
+  if (profile_) profile_lap(prof_reconcile_ns_);
+
   // ---- 3. context accounting (only when a touched resource could change
   // it: an RC alive in the candidate, or one that contributed contexts to
   // the committed state — e.g. an m3-removed device) -----------------------
@@ -429,10 +446,13 @@ std::optional<Metrics> IncrementalEvaluator::evaluate_candidate(
     }
   }
 
+  if (profile_) profile_lap(prof_context_ns_);
+
   // ---- 4. incremental relaxation ------------------------------------------
   const WeightedDag dag{&sg_.graph, sg_.node_weight,
                         sg_.graph.edge_weights(), sg_.release};
   const auto makespan = relaxer_.probe(dag, seeds_, new_edges_);
+  if (profile_) profile_lap(prof_relax_ns_);
   if (!makespan.has_value()) {
     rollback();
     cache_.discard();
@@ -547,6 +567,10 @@ IncrementalEvalStats IncrementalEvaluator::stats() const {
   s.seq_edges_removed = seq_removed_;
   s.seq_edges_added = seq_added_;
   s.seq_edges_reweighted = seq_reweighted_;
+  s.profile_stage_ns = prof_stage_ns_;
+  s.profile_reconcile_ns = prof_reconcile_ns_;
+  s.profile_context_ns = prof_context_ns_;
+  s.profile_relax_ns = prof_relax_ns_;
   return s;
 }
 

@@ -55,6 +55,13 @@ struct IncrementalEvalStats {
   /// re-weighted in place (counted inside seq_edges_kept) instead of a
   /// remove + insert pair, so they never enter new_edges or rank repair.
   std::int64_t seq_edges_reweighted = 0;
+  /// Opt-in micro-profile (set_profile(true)): cumulative wall time per
+  /// evaluation phase, in nanoseconds. All zero while profiling is off —
+  /// the headline timings never pay for the clock reads.
+  std::int64_t profile_stage_ns = 0;      ///< phase 1: moved-task staging
+  std::int64_t profile_reconcile_ns = 0;  ///< phase 2: chain diffs + realize
+  std::int64_t profile_context_ns = 0;    ///< phase 3: RC context accounting
+  std::int64_t profile_relax_ns = 0;      ///< phase 4: delta relaxation
 };
 
 /// Stateful evaluator bound to one task graph; the architecture and solution
@@ -85,6 +92,11 @@ class IncrementalEvaluator {
   void discard();
 
   [[nodiscard]] IncrementalEvalStats stats() const;
+
+  /// Toggle the per-phase micro-profile. Off by default: the phase timers
+  /// cost two clock reads per phase per evaluation, which is real money on
+  /// the hot path, so benches enable it only for a dedicated profiled pass.
+  void set_profile(bool on) { profile_ = on; }
 
   /// The maintained realization: the committed graph, or the staged
   /// candidate between a successful evaluate_candidate() and its
@@ -221,6 +233,11 @@ class IncrementalEvaluator {
 
   std::int64_t builds_ = 0;
   std::int64_t reconciles_ = 0;
+  bool profile_ = false;
+  std::int64_t prof_stage_ns_ = 0;
+  std::int64_t prof_reconcile_ns_ = 0;
+  std::int64_t prof_context_ns_ = 0;
+  std::int64_t prof_relax_ns_ = 0;
   std::int64_t seq_kept_ = 0;
   std::int64_t seq_removed_ = 0;
   std::int64_t seq_added_ = 0;

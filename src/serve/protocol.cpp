@@ -123,7 +123,8 @@ Request parse_request(const JsonValue& doc) {
       return request;
     case RequestOp::kExplore:
       require_known_fields(doc, {"op", "model", "mapper", "clbs", "runs",
-                                 "seed", "iters", "warmup", "schedule"});
+                                 "seed", "iters", "warmup", "schedule",
+                                 "batch"});
       break;
     case RequestOp::kSweep:
       require_known_fields(doc, {"op", "model", "axis", "sizes", "schedules",
@@ -157,6 +158,8 @@ Request parse_request(const JsonValue& doc) {
     }
     request.schedule = schedule_field(
         string_field(doc, "schedule", to_string(request.schedule)));
+    request.batch =
+        static_cast<int>(int_field(doc, "batch", request.batch, 1, 1'024));
     return request;
   }
 
@@ -219,6 +222,11 @@ JsonValue normalized_request(const Request& request) {
     doc.set("clbs", static_cast<std::int64_t>(request.clbs));
     if (request.mapper == "anneal") {
       doc.set("schedule", rdse::to_string(request.schedule));
+      // K = 1 stays out of the key so pre-batching cache entries (and the
+      // minimized keys of every other request) are unchanged.
+      if (request.batch != 1) {
+        doc.set("batch", static_cast<std::int64_t>(request.batch));
+      }
     }
     return doc;
   }

@@ -11,7 +11,9 @@
 ///
 ///   {"op": "explore", "model": "motion", "mapper": "anneal",
 ///    "clbs": 2000, "runs": 1, "seed": 1, "iters": 20000, "warmup": 1200,
-///    "schedule": "modified-lam"}   ("mapper" picks any registered mapper)
+///    "schedule": "modified-lam", "batch": 1}
+///                               ("mapper" picks any registered mapper;
+///                                "batch" = annealer probes per step, K >= 1)
 ///   {"op": "sweep", "model": "motion", "axis": "device-size",
 ///    "sizes": [400, 800], "runs": 5, "seed": 1, "iters": 15000,
 ///    "warmup": 1200}            (axis "schedule" takes "schedules"/"clbs")
@@ -62,6 +64,7 @@ struct Request {
   std::int64_t iterations = 20'000;
   std::int64_t warmup = 1'200;
   ScheduleKind schedule = ScheduleKind::kModifiedLam;
+  int batch = 1;  ///< explore only: annealer probes per step (best-of-K)
   std::string axis = "device-size";
   std::vector<std::int32_t> sizes;
   std::vector<ScheduleKind> schedules;

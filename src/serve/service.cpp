@@ -257,6 +257,7 @@ JsonValue ExplorationService::execute(const Request& request) const {
     mc.iterations = request.iterations;
     mc.warmup_iterations = request.warmup;
     mc.schedule = request.schedule;
+    mc.batch = request.batch;
     const std::unique_ptr<Mapper> mapper = make_mapper(request.mapper);
     const Architecture arch = make_cpu_fpga_architecture(
         request.clbs, model.tr_per_clb, model.bus_bytes_per_second);

@@ -91,13 +91,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
   RDSE_REQUIRE(hi > lo, "Histogram: hi must exceed lo");
   RDSE_REQUIRE(bins >= 1, "Histogram: need at least one bin");
+  // A denormal range can make hi > lo true while the per-bin width still
+  // underflows to 0.0, which would turn add() into a division by zero.
+  RDSE_REQUIRE((hi - lo) / static_cast<double>(bins) > 0.0,
+               "Histogram: bin width underflows to zero");
 }
 
 void Histogram::add(double x) {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-  auto raw = static_cast<long>(std::floor((x - lo_) / width));
-  const long last = static_cast<long>(counts_.size()) - 1;
-  const long bin = std::clamp(raw, 0L, last);
+  const double q = std::floor((x - lo_) / width);
+  const double last = static_cast<double>(counts_.size() - 1);
+  // Clamp in the double domain *before* the integer cast: a far-out sample
+  // (or an infinity) yields a quotient outside the integer range, and
+  // casting that is undefined behaviour. NaN compares false against
+  // everything and lands in bin 0.
+  const double bin = q > 0.0 ? std::min(q, last) : 0.0;
   ++counts_[static_cast<std::size_t>(bin)];
   ++total_;
 }
@@ -108,11 +116,16 @@ std::uint64_t Histogram::count(std::size_t bin) const {
 }
 
 double Histogram::bin_lo(std::size_t bin) const {
+  RDSE_REQUIRE(bin <= counts_.size(), "Histogram: bin index out of range");
+  if (bin == counts_.size()) return hi_;  // upper edge of the last bin
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   return lo_ + width * static_cast<double>(bin);
 }
 
-double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+double Histogram::bin_hi(std::size_t bin) const {
+  RDSE_REQUIRE(bin < counts_.size(), "Histogram: bin index out of range");
+  return bin_lo(bin + 1);
+}
 
 double mean_of(std::span<const double> xs) {
   if (xs.empty()) return 0.0;

@@ -324,6 +324,74 @@ TEST(IncrementalVsFullEval, ExplorerFlagMatchesDefaultRun) {
   EXPECT_TRUE(fast.best_solution == slow.best_solution);
 }
 
+// ---- batched probes (best-of-K, then Metropolis) ---------------------------
+
+TEST(BatchedProbes, IncrementalMatchesFullEvalUnderBatching) {
+  // The batched path juggles a single staged delta across K probes and
+  // re-stages the winner before handing it to Metropolis; lockstep against
+  // the full-evaluation reference proves the bookkeeping never leaks.
+  for (std::uint64_t seed = 301; seed <= 320; ++seed) {
+    const std::size_t n = 10 + (seed % 5) * 4;
+    const Application app = make_app(seed * 577 + 11, n);
+    Architecture arch =
+        make_cpu_fpga_architecture(600, from_us(15.0), 20'000'000);
+    Rng init(seed * 3 + 1);
+    Solution initial =
+        Solution::random_partition(app.graph, arch, 0, 1, init);
+    MoveConfig mc;
+    if (seed % 3 == 0) mc.p_zero = 0.05;  // m3/m4 architecture probes too
+    const int batch = 2 + static_cast<int>(seed % 7);  // K in 2..8
+    DseProblem full(app.graph, arch, initial, mc, {}, false,
+                    /*full_eval=*/true, batch);
+    DseProblem inc(app.graph, arch, initial, mc, {}, false,
+                   /*full_eval=*/false, batch);
+    drive_lockstep(full, inc, seed * 131 + 7, 150);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "instance seed " << seed << ", K " << batch;
+    }
+  }
+}
+
+TEST(BatchedProbes, SeedDeterminismAndK1IdentityOn50RandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const std::size_t n = 8 + (seed % 6) * 3;
+    const Application app = make_app(seed * 271 + 9, n);
+    Architecture arch = make_cpu_fpga_architecture(
+        500 + static_cast<std::int32_t>(seed % 3) * 250, from_us(15.0),
+        20'000'000);
+    Explorer explorer(app.graph, arch);
+    ExplorerConfig config;
+    config.seed = seed;
+    config.iterations = 600;
+    config.warmup_iterations = 100;
+    config.record_trace = false;
+
+    const RunResult reference = explorer.run(config);  // default batch = 1
+    for (const int k : {1, 2, 8}) {
+      ExplorerConfig batched = config;
+      batched.batch = k;
+      const RunResult a = explorer.run(batched);
+      const RunResult b = explorer.run(batched);
+      // Same seed, same K: bit-identical outcome across repeat runs.
+      expect_metrics_equal(a.best_metrics, b.best_metrics);
+      EXPECT_EQ(a.anneal.accepted, b.anneal.accepted) << "K " << k;
+      EXPECT_EQ(a.anneal.rejected, b.anneal.rejected) << "K " << k;
+      EXPECT_EQ(a.anneal.best_cost, b.anneal.best_cost) << "K " << k;
+      EXPECT_TRUE(a.best_solution == b.best_solution) << "K " << k;
+      if (k == 1) {
+        // Explicit K = 1 is the classic one-probe path, bit for bit.
+        expect_metrics_equal(a.best_metrics, reference.best_metrics);
+        EXPECT_EQ(a.anneal.accepted, reference.anneal.accepted);
+        EXPECT_EQ(a.anneal.rejected, reference.anneal.rejected);
+        EXPECT_TRUE(a.best_solution == reference.best_solution);
+      }
+    }
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "instance seed " << seed;
+    }
+  }
+}
+
 TEST(DotExport, PlainGraphAndStyles) {
   Digraph g(3);
   g.add_edge(0, 1);

@@ -9,6 +9,7 @@
 
 #include <optional>
 
+#include "core/problem.hpp"
 #include "model/generators.hpp"
 #include "sched/evaluator.hpp"
 #include "sched/incremental_eval.hpp"
@@ -237,6 +238,70 @@ TEST(ChainDiff, RollbackRestoresChainOrderExactly) {
     EXPECT_EQ(d.removed, 0) << "step " << step;
     EXPECT_EQ(d.added, 0) << "step " << step;
     inc.discard();
+  }
+}
+
+// ---- per-context CLB sums as deltas ----------------------------------------
+
+TEST(ClbDeltas, MirrorAndCountersStayExactUnderRollbackChurn) {
+  // The per-context CLB mirror is maintained incrementally by the move
+  // mutators; a single missed update would silently skew reconfiguration
+  // times. Churn through rejection-heavy annealing and audit every warm
+  // slot against a from-scratch sum over the context members.
+  for (std::uint64_t seed = 401; seed <= 410; ++seed) {
+    const Application app = chained_app(18, seed);
+    Architecture arch =
+        make_cpu_fpga_architecture(700, from_us(12.0), 10'000'000);
+    Rng init(seed);
+    Solution initial =
+        Solution::random_partition(app.graph, arch, 0, 1, init);
+    DseProblem prob(app.graph, arch, initial, {}, {}, false, false);
+    const TaskGraph& tg = app.graph;
+    constexpr ResourceId kRc = 1;
+
+    const auto audit_mirror = [&] {
+      const Solution& cur = prob.current_solution();
+      for (std::size_t c = 0; c < cur.context_count(kRc); ++c) {
+        std::int32_t want = 0;
+        for (TaskId t : cur.context_tasks(kRc, c)) {
+          want += tg.task(t).hw.at(cur.placement(t).impl).clbs;
+        }
+        const std::int32_t cached = cur.context_clbs_cached(kRc, c);
+        if (cached >= 0) {
+          ASSERT_EQ(cached, want) << "seed " << seed << ", context " << c;
+        }
+        ASSERT_EQ(cur.context_clbs(tg, kRc, c), want);
+      }
+    };
+
+    Rng rng(seed * 97 + 1);
+    Rng coin(seed ^ 0xF00Du);
+    IncrementalEvalStats last{};
+    for (int i = 0; i < 400; ++i) {
+      if (!prob.propose(rng)) continue;
+      // Bias to rejection: the mirror must survive rollback churn.
+      if (coin.bernoulli(0.3)) {
+        prob.accept();
+      } else {
+        prob.reject();
+      }
+      const auto stats = prob.incremental_stats();
+      ASSERT_TRUE(stats.has_value());
+      // Counter lockstep: every realized context classifies its CLB sum
+      // exactly once — reused or computed, never both, never neither —
+      // and the counters only move forward.
+      ASSERT_EQ(stats->clbs_reused + stats->clbs_computed,
+                stats->bounds_reused + stats->bounds_computed)
+          << "seed " << seed << ", move " << i;
+      ASSERT_GE(stats->clbs_reused, last.clbs_reused);
+      ASSERT_GE(stats->clbs_computed, last.clbs_computed);
+      last = *stats;
+      if (i % 50 == 0) audit_mirror();
+    }
+    audit_mirror();
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "instance seed " << seed;
+    }
   }
 }
 

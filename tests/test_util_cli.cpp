@@ -220,6 +220,36 @@ TEST(RdseCli, BenchRejectsUnknownMappers) {
   EXPECT_NE(r.err.find("unknown mapper 'warp'"), std::string::npos);
 }
 
+TEST(RdseCli, BenchTrimsAndDedupesMapperList) {
+  // " heft , heft" names the same mapper twice with shell-quoting padding:
+  // it must run once, not fail on the padded token and not write the same
+  // artifact path twice.
+  const std::string prefix = temp_path("rdse-cli-mtrim");
+  const CliOutcome r =
+      run_cli({"bench", "--mappers", " heft , heft", "--model", "motion",
+               "--runs=1", "--json-prefix", prefix.c_str()});
+  ASSERT_EQ(r.status, 0) << r.err;
+  std::size_t rows = 0;  // one matrix row: "heft *" (deterministic mark)
+  for (std::size_t pos = r.out.find("heft *"); pos != std::string::npos;
+       pos = r.out.find("heft *", pos + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 1u);
+  std::ifstream file(prefix + "-heft.json");
+  EXPECT_TRUE(file.good());
+}
+
+TEST(RdseCli, BenchRejectsUnknownMapperAfterTrimming) {
+  // The offender is named by its trimmed form, and an all-padding list is
+  // an empty list, not a silent run of nothing.
+  const CliOutcome r = run_cli({"bench", "--mappers", " warp "});
+  EXPECT_EQ(r.status, 1);
+  EXPECT_NE(r.err.find("unknown mapper 'warp'"), std::string::npos);
+  const CliOutcome blank = run_cli({"bench", "--mappers", " , "});
+  EXPECT_EQ(blank.status, 1);
+  EXPECT_NE(blank.err.find("--mappers: empty list"), std::string::npos);
+}
+
 TEST(RdseCli, SweepDryRunEmitsSchemaValidArtifact) {
   const std::string path = temp_path("rdse-cli-dry.json");
   const CliOutcome r = run_cli({"sweep", "--model", "motion", "--dry-run",
@@ -500,6 +530,26 @@ TEST(RdseCli, CompareSweepArtifactsAndDryRunPlans) {
   const CliOutcome plans =
       run_cli({"compare", dry.c_str(), dry.c_str(), "--quiet"});
   EXPECT_EQ(plans.status, 0) << plans.err;
+}
+
+TEST(RdseCli, CompareFailsLoudlyOnZeroMetricOverlap) {
+  // Schema-evolution drift: the current artifact renamed every gated
+  // metric, so nothing pairs. "0 metrics, no regressions" exit 0 is
+  // exactly what a CI gate must not do — fail naming both metric sets.
+  const std::string base =
+      write_bench_artifact("cmp-base4.json", 1500.0, 3.0);
+  const std::string cur = temp_path("cmp-drift.json");
+  {
+    std::ofstream file(cur);
+    file << R"({"schema": "rdse.bench.v1", "results": [
+      {"model": "motion_detection", "ns_per_move_v2": 1500.0}]})";
+  }
+  const CliOutcome r = run_cli({"compare", base.c_str(), cur.c_str()});
+  EXPECT_EQ(r.status, 1);
+  EXPECT_NE(r.err.find("no overlapping metrics"), std::string::npos);
+  EXPECT_NE(r.err.find("incremental_ns_per_evaluated_move"),
+            std::string::npos);
+  EXPECT_NE(r.err.find("ns_per_move_v2"), std::string::npos);
 }
 
 TEST(RdseCli, CompareRejectsBadInputs) {

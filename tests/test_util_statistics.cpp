@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -136,6 +137,46 @@ TEST(Histogram, BinEdges) {
 TEST(Histogram, RejectsBadRange) {
   EXPECT_THROW(Histogram(5.0, 5.0, 3), Error);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(Histogram, RejectsZeroWidthBins) {
+  // hi > lo holds, but the per-bin width underflows to 0.0 (denormal
+  // range), which previously made add() divide by zero.
+  EXPECT_THROW(Histogram(0.0, 1e-323, 100), Error);
+}
+
+TEST(Histogram, SampleAtHiLandsInLastBin) {
+  Histogram h(0.1, 1.0, 3);
+  h.add(1.0);  // exactly hi_: quotient == bin count, clamps to the last bin
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, HugeSampleClampsToLastBin) {
+  // (x - lo) / width exceeds long's range; the clamp must happen in the
+  // double domain before any integer cast (the old cast was UB and landed
+  // in bin 0 on x86-64).
+  Histogram h(0.0, 1.0, 4);
+  h.add(1e300);
+  h.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(3), 2u);
+  h.add(-1e300);
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(0), 2u);
+}
+
+TEST(Histogram, BinEdgeAccessorsAreBoundsChecked) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_THROW((void)h.bin_lo(6), Error);  // bin_count() is allowed (== hi_)
+  EXPECT_THROW((void)h.bin_hi(5), Error);
+}
+
+TEST(Histogram, LastBinHiIsExactlyHi) {
+  // lo + width * bins != hi under floating-point rounding (0.1 + 0.3 * 3
+  // is 0.9999999999999999); the last bin's upper edge must be hi_ itself.
+  Histogram h(0.1, 1.0, 3);
+  EXPECT_EQ(h.bin_hi(2), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 1.0);
 }
 
 TEST(BatchStats, QuantileInterpolation) {

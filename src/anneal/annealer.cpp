@@ -130,6 +130,7 @@ void AnnealEngine::step_cooling() {
 std::int64_t AnnealEngine::run(std::int64_t max_iterations) {
   std::int64_t executed = 0;
   while (executed < max_iterations && !finished()) {
+    throw_if_cancelled(config_.cancel);
     if (global_iter_ < config_.warmup_iterations) {
       step_warmup();
     } else {

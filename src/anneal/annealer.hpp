@@ -16,6 +16,7 @@
 #include <string>
 
 #include "anneal/schedule.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 #include "util/statistics.hpp"
 
@@ -71,6 +72,10 @@ struct AnnealConfig {
   std::int64_t freeze_after = 0;
   /// Optional per-iteration observer (tracing, UI).
   std::function<void(const IterationStat&)> on_iteration;
+  /// Optional cooperative-cancellation token, polled between iterations.
+  /// When it fires, run()/run_to_completion() throw Cancelled — the loop
+  /// never stops mid-move, so the problem object stays consistent.
+  const CancelToken* cancel = nullptr;
 };
 
 struct AnnealResult {

@@ -88,6 +88,7 @@ MapperResult GeneticPartitioner::run(const GaConfig& config) const {
   Chromosome best_genes;
   bool have_best = false;
   for (auto& ind : pop) {
+    throw_if_cancelled(config.cancel);
     ind.genes = random_chromosome(rng);
     const auto [cost, metrics] = evaluate(ind.genes);
     ind.cost = cost;
@@ -110,6 +111,7 @@ MapperResult GeneticPartitioner::run(const GaConfig& config) const {
   };
 
   for (int gen = 0; gen < config.generations; ++gen) {
+    throw_if_cancelled(config.cancel);
     std::vector<Individual> next;
     next.reserve(pop.size());
     // Elitism: carry over the best individuals unchanged.

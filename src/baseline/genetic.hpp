@@ -40,6 +40,10 @@ struct GaConfig {
   double mutation_rate = 0.0;
   int tournament = 3;
   int elites = 2;
+  /// Optional cooperative-cancellation token, polled once per generation
+  /// (null = never cancelled). A token that never fires does not change
+  /// results in any bit.
+  const CancelToken* cancel = nullptr;
 };
 
 class GeneticPartitioner {

@@ -3,7 +3,8 @@
 namespace rdse {
 
 MapperResult run_hill_climb(const TaskGraph& tg, const Architecture& arch,
-                            std::int64_t iterations, std::uint64_t seed) {
+                            std::int64_t iterations, std::uint64_t seed,
+                            const CancelToken* cancel) {
   Explorer explorer(tg, arch);
   ExplorerConfig config;
   config.seed = seed;
@@ -11,6 +12,7 @@ MapperResult run_hill_climb(const TaskGraph& tg, const Architecture& arch,
   config.warmup_iterations = 0;  // greedy search needs no statistics
   config.schedule = ScheduleKind::kGreedy;
   config.record_trace = false;
+  config.cancel = cancel;
   const RunResult run = explorer.run(config);
 
   MapperResult result;

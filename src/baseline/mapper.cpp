@@ -48,6 +48,7 @@ class AnnealMapper final : public Mapper {
     c.schedule = config.schedule;
     c.batch = config.batch;
     c.record_trace = false;
+    c.cancel = config.cancel;
     const RunResult run = explorer.run(c);
 
     MapperResult result;
@@ -81,6 +82,7 @@ class GaMapper final : public Mapper {
     c.population = 60;
     c.generations = static_cast<int>(std::clamp<std::int64_t>(
         config.iterations / c.population, 1, 100'000));
+    c.cancel = config.cancel;
     return ga.run(c);
   }
 };
@@ -90,7 +92,8 @@ class HillClimbMapper final : public Mapper {
   const char* name() const override { return "hill_climb"; }
   MapperResult run(const TaskGraph& tg, const Architecture& arch,
                    const MapperConfig& config) const override {
-    return run_hill_climb(tg, arch, config.iterations, config.seed);
+    return run_hill_climb(tg, arch, config.iterations, config.seed,
+                          config.cancel);
   }
 };
 
@@ -99,7 +102,8 @@ class RandomMapper final : public Mapper {
   const char* name() const override { return "random"; }
   MapperResult run(const TaskGraph& tg, const Architecture& arch,
                    const MapperConfig& config) const override {
-    return run_random_search(tg, arch, config.iterations, config.seed);
+    return run_random_search(tg, arch, config.iterations, config.seed,
+                             config.cancel);
   }
 };
 
@@ -108,7 +112,8 @@ class ClusteringMapper final : public Mapper {
   const char* name() const override { return "clustering"; }
   bool deterministic() const override { return true; }
   MapperResult run(const TaskGraph& tg, const Architecture& arch,
-                   const MapperConfig& /*config*/) const override {
+                   const MapperConfig& config) const override {
+    throw_if_cancelled(config.cancel);
     const auto t0 = std::chrono::steady_clock::now();
     // The staged [6] flow with the trivial all-hardware spatial partition:
     // every task whose fastest fitting implementation exists goes to the
@@ -141,7 +146,8 @@ class ListSchedulerMapper final : public Mapper {
   const char* name() const override { return "list_scheduler"; }
   bool deterministic() const override { return true; }
   MapperResult run(const TaskGraph& tg, const Architecture& arch,
-                   const MapperConfig& /*config*/) const override {
+                   const MapperConfig& config) const override {
+    throw_if_cancelled(config.cancel);
     const auto t0 = std::chrono::steady_clock::now();
     // All-software priority list schedule — the paper's 76.4 ms software
     // reference point on motion detection.
@@ -181,7 +187,8 @@ class HeftMapper final : public Mapper {
   const char* name() const override { return "heft"; }
   bool deterministic() const override { return true; }
   MapperResult run(const TaskGraph& tg, const Architecture& arch,
-                   const MapperConfig& /*config*/) const override {
+                   const MapperConfig& config) const override {
+    throw_if_cancelled(config.cancel);
     const auto t0 = std::chrono::steady_clock::now();
     const HeftCosts costs = make_heft_costs(tg, arch);
     const std::vector<double> ranks = heft_upward_ranks(tg, costs);
@@ -194,7 +201,8 @@ class PeftMapper final : public Mapper {
   const char* name() const override { return "peft"; }
   bool deterministic() const override { return true; }
   MapperResult run(const TaskGraph& tg, const Architecture& arch,
-                   const MapperConfig& /*config*/) const override {
+                   const MapperConfig& config) const override {
+    throw_if_cancelled(config.cancel);
     const auto t0 = std::chrono::steady_clock::now();
     const HeftCosts costs = make_heft_costs(tg, arch);
     const PeftTables tables = peft_oct(tg, costs);

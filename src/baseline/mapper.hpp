@@ -38,6 +38,10 @@ struct MapperConfig {
   std::int64_t warmup_iterations = 1'200;  ///< annealer only
   ScheduleKind schedule = ScheduleKind::kModifiedLam;  ///< annealer only
   int batch = 1;  ///< annealer only: probes per step (best-of-K)
+  /// Optional cooperative-cancellation token; every mapper polls it at its
+  /// natural iteration granularity (moves, samples, generations) and
+  /// throws Cancelled when it fires. Null = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// The one result every mapper returns.

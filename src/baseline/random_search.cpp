@@ -7,7 +7,8 @@
 namespace rdse {
 
 MapperResult run_random_search(const TaskGraph& tg, const Architecture& arch,
-                               std::int64_t samples, std::uint64_t seed) {
+                               std::int64_t samples, std::uint64_t seed,
+                               const CancelToken* cancel) {
   RDSE_REQUIRE(samples >= 1, "run_random_search: need >= 1 sample");
   const auto procs = arch.processor_ids();
   const auto rcs = arch.reconfigurable_ids();
@@ -20,6 +21,7 @@ MapperResult run_random_search(const TaskGraph& tg, const Architecture& arch,
   MapperResult result;
   bool have_best = false;
   for (std::int64_t i = 0; i < samples; ++i) {
+    throw_if_cancelled(cancel);
     Solution sol = Solution::random_partition(tg, arch, procs.front(),
                                               rcs.front(), rng);
     const auto m = ev.evaluate(sol);

@@ -9,10 +9,10 @@
 namespace rdse {
 
 /// Sample `samples` random partitions of the task graph onto the first
-/// processor + first RC of `arch` and keep the best by makespan.
-[[nodiscard]] MapperResult run_random_search(const TaskGraph& tg,
-                                             const Architecture& arch,
-                                             std::int64_t samples,
-                                             std::uint64_t seed);
+/// processor + first RC of `arch` and keep the best by makespan. `cancel`
+/// is polled once per sample (null = never cancelled).
+[[nodiscard]] MapperResult run_random_search(
+    const TaskGraph& tg, const Architecture& arch, std::int64_t samples,
+    std::uint64_t seed, const CancelToken* cancel = nullptr);
 
 }  // namespace rdse

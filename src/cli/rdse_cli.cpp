@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
@@ -11,6 +12,7 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -22,6 +24,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
+#include "util/faultfs.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
 
@@ -92,20 +95,32 @@ compare options:
   metric regresses beyond the tolerance — the CI trend gate.
 
 serve options:
-  --socket PATH     Unix-domain socket to listen on (must not exist)
+  --socket PATH     Unix-domain socket to listen on (a stale socket left
+                    by a crashed daemon is removed automatically; a live
+                    one is never stolen)
   --workers N       service worker threads                    [2]
   --queue N         max requests waiting for a worker         [16]
   --cache N         solution-cache entries (0 disables)       [128]
   --run-threads N   threads per multi-run/sweep execution     [1]
   --max-iters N     per-request iteration cap (iters+warmup)  [1000000]
+  --persist PATH    crash-safe solution-cache database (rdse.cachedb.v1):
+                    loaded and verified at startup, rewritten atomically
+                    after every fresh result
+  --idle-timeout-ms N  close connections idle for N ms (0 = never)  [30000]
+  --max-conns N     concurrent connection cap (reject at accept)    [64]
   Requests are newline-delimited JSON; see README "Running the exploration
-  service". SIGINT/SIGTERM (or a `shutdown` request) drain gracefully.
+  service". Work requests accept "timeout_ms" for a server-side deadline.
+  SIGINT/SIGTERM (or a `shutdown` request) drain gracefully.
 
 request options:
   --socket PATH     socket of a running `rdse serve` daemon
   --json DOC        the request document (one JSON object)
   --file PATH       read the request document from a file instead
   --timeout-ms N    client-side response timeout (0 = none)   [0]
+  --retries N       retry connect failures and retryable (backpressure)
+                    errors up to N times                      [0]
+  --retry-base-ms N first retry delay, doubled per attempt up to 10 s and
+                    raised to the server's retry_after_ms hint [100]
   Prints the response line and exits 0 when the daemon answered ok,
   1 otherwise.
 
@@ -667,8 +682,8 @@ void handle_serve_signal(int /*signum*/) {
 
 int cmd_serve(const Options& opts, std::ostream& out) {
   static constexpr std::string_view kFlags[] = {
-      "socket", "workers", "queue",  "cache",
-      "run-threads", "max-iters", "quiet"};
+      "socket", "workers", "queue", "cache", "run-threads",
+      "max-iters", "persist", "idle-timeout-ms", "max-conns", "quiet"};
   opts.require_known(kFlags);
   require_no_positionals(opts);
 
@@ -680,10 +695,15 @@ int cmd_serve(const Options& opts, std::ostream& out) {
   const std::int64_t queue = opts.get_int("queue", 16);
   const std::int64_t cache = opts.get_int("cache", 128);
   const std::int64_t run_threads = opts.get_int("run-threads", 1);
+  const std::int64_t idle_ms = opts.get_int("idle-timeout-ms", 30'000);
+  const std::int64_t max_conns = opts.get_int("max-conns", 64);
   RDSE_REQUIRE(workers >= 1, "option --workers: need at least one worker");
   RDSE_REQUIRE(queue >= 0, "option --queue: negative queue capacity");
   RDSE_REQUIRE(cache >= 0, "option --cache: negative cache capacity");
   RDSE_REQUIRE(run_threads >= 0, "option --run-threads: negative count");
+  RDSE_REQUIRE(idle_ms >= 0, "option --idle-timeout-ms: negative timeout");
+  RDSE_REQUIRE(max_conns >= 1,
+               "option --max-conns: need at least one connection");
   config.service.workers = static_cast<unsigned>(workers);
   config.service.queue_capacity = static_cast<std::size_t>(queue);
   config.service.cache_capacity = static_cast<std::size_t>(cache);
@@ -691,6 +711,15 @@ int cmd_serve(const Options& opts, std::ostream& out) {
   config.service.max_iterations = opts.get_int("max-iters", 1'000'000);
   RDSE_REQUIRE(config.service.max_iterations >= 1,
                "option --max-iters: need a positive cap");
+  config.service.persist_path = opts.get_string("persist", "");
+  config.idle_timeout_ms = idle_ms;
+  config.max_connections = static_cast<std::size_t>(max_conns);
+
+  // Fault-injection harness (tests only): RDSE_FAULTFS arms write/fsync/
+  // rename faults in the persistence path.
+  if (faultfs::arm_from_env()) {
+    out << "rdse serve: fault injection armed from RDSE_FAULTFS\n";
+  }
 
   g_serve_stop.store(false, std::memory_order_relaxed);
   config.external_stop = &g_serve_stop;
@@ -714,8 +743,9 @@ int cmd_serve(const Options& opts, std::ostream& out) {
 // ------------------------------------------------------------------ request
 
 int cmd_request(const Options& opts, std::ostream& out) {
-  static constexpr std::string_view kFlags[] = {"socket", "json", "file",
-                                                "timeout-ms", "quiet"};
+  static constexpr std::string_view kFlags[] = {
+      "socket", "json", "file", "timeout-ms",
+      "retries", "retry-base-ms", "quiet"};
   opts.require_known(kFlags);
   require_no_positionals(opts);
 
@@ -737,18 +767,48 @@ int cmd_request(const Options& opts, std::ostream& out) {
                "request: pass the request via --json DOC or --file PATH");
   const std::int64_t timeout_ms = opts.get_int("timeout-ms", 0);
   RDSE_REQUIRE(timeout_ms >= 0, "option --timeout-ms: negative timeout");
+  const std::int64_t retries = opts.get_int("retries", 0);
+  const std::int64_t retry_base_ms = opts.get_int("retry-base-ms", 100);
+  RDSE_REQUIRE(retries >= 0 && retries <= 1'000,
+               "option --retries: need 0..1000");
+  RDSE_REQUIRE(retry_base_ms >= 0,
+               "option --retry-base-ms: negative delay");
+  constexpr std::int64_t kRetryCapMs = 10'000;  // caps the total wait too
 
   // Validate locally and re-dump compactly: the wire protocol is one line
   // per request, but --file documents may be pretty-printed.
   const std::string line = JsonValue::parse(text).dump();
-  const std::string response = serve::send_request(socket, line, timeout_ms);
-  out << response << '\n';
-  const JsonValue doc = JsonValue::parse(response);
-  const JsonValue* ok = doc.find("ok");
-  return ok != nullptr && ok->kind() == JsonValue::Kind::kBool &&
-                 ok->as_bool()
-             ? 0
-             : 1;
+
+  for (std::int64_t attempt = 0;; ++attempt) {
+    // Retryable failures: the daemon is not reachable (it may be
+    // restarting), or it answered with an explicit retry_after_ms hint
+    // (queue backpressure, connection limit). Definitive errors —
+    // malformed requests, deadline expiry — are returned immediately.
+    std::int64_t hint_ms = -1;
+    try {
+      const std::string response =
+          serve::send_request(socket, line, timeout_ms);
+      const JsonValue doc = JsonValue::parse(response);
+      const JsonValue* ok = doc.find("ok");
+      if (ok != nullptr && ok->kind() == JsonValue::Kind::kBool &&
+          ok->as_bool()) {
+        out << response << '\n';
+        return 0;
+      }
+      const JsonValue* retry = doc.find("retry_after_ms");
+      if (attempt >= retries || retry == nullptr ||
+          retry->kind() != JsonValue::Kind::kNumber) {
+        out << response << '\n';
+        return 1;
+      }
+      hint_ms = retry->as_int();
+    } catch (const Error&) {
+      if (attempt >= retries) throw;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        serve::backoff_delay_ms(static_cast<int>(attempt), retry_base_ms,
+                                kRetryCapMs, hint_ms)));
+  }
 }
 
 }  // namespace

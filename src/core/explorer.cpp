@@ -34,6 +34,10 @@ Solution Explorer::initial_solution(InitKind kind, Rng& rng) const {
 RunResult Explorer::run(const ExplorerConfig& config) const {
   const auto t0 = std::chrono::steady_clock::now();
 
+  // A token that fired while the run was queued stops it before the
+  // (potentially expensive) initial evaluation.
+  throw_if_cancelled(config.cancel);
+
   Rng init_rng(config.seed ^ 0x5851F42D4C957F2DULL);
   Solution initial = initial_solution(config.init, init_rng);
 
@@ -50,6 +54,7 @@ RunResult Explorer::run(const ExplorerConfig& config) const {
   ac.warmup_iterations = config.warmup_iterations;
   ac.schedule = config.schedule;
   ac.freeze_after = config.freeze_after;
+  ac.cancel = config.cancel;
   if (config.record_trace) {
     const std::int64_t stride = std::max<std::int64_t>(config.trace_stride, 1);
     ac.on_iteration = [&problem, &result, stride](const IterationStat& s) {

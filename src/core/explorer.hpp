@@ -12,6 +12,7 @@
 #include "anneal/annealer.hpp"
 #include "core/problem.hpp"
 #include "core/trace.hpp"
+#include "util/cancel.hpp"
 
 namespace rdse {
 
@@ -38,6 +39,11 @@ struct ExplorerConfig {
   std::int64_t freeze_after = 0;  ///< 0: fixed horizon as in the paper
   bool record_trace = true;
   std::int64_t trace_stride = 1;  ///< keep every k-th iteration
+  /// Optional cooperative-cancellation token (deadline or explicit stop),
+  /// polled at iteration granularity; a fired token makes run() throw
+  /// Cancelled. Null = never cancelled. A token that never fires does not
+  /// change results in any bit.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Result of one exploration run.

@@ -43,6 +43,7 @@ ParallelRunResult ParallelExplorer::run(
                    config.exchange_interval >= 0,
                "ParallelExplorer: negative iteration counts");
   const auto t0 = std::chrono::steady_clock::now();
+  throw_if_cancelled(config.cancel);
 
   const int n = config.replicas;
   std::vector<Replica> reps;
@@ -72,6 +73,7 @@ ParallelRunResult ParallelExplorer::run(
     ac.warmup_iterations = config.warmup_iterations;
     ac.schedule = rep.schedule;
     ac.freeze_after = config.freeze_after;
+    ac.cancel = config.cancel;
     if (config.record_trace) {
       const std::int64_t stride =
           std::max<std::int64_t>(config.trace_stride, 1);

@@ -49,6 +49,9 @@ struct ParallelExplorerConfig {
   std::int64_t freeze_after = 0;
   bool record_trace = false;
   std::int64_t trace_stride = 1;
+  /// Optional cooperative-cancellation token shared by all replicas (see
+  /// ExplorerConfig::cancel); a fired token makes run() throw Cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Per-replica outcome, kept for reporting and determinism checks.

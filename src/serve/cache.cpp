@@ -57,4 +57,13 @@ SolutionCache::Stats SolutionCache::stats() const {
   return Stats{hits_, misses_, evictions_, lru_.size(), capacity_};
 }
 
+std::vector<std::pair<std::string, std::string>>
+SolutionCache::export_entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) out.push_back(e);
+  return out;
+}
+
 }  // namespace rdse::serve

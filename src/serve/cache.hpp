@@ -18,6 +18,7 @@
 #include <string_view>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace rdse::serve {
 
@@ -53,6 +54,12 @@ class SolutionCache {
   void insert(const std::string& key, std::string payload);
 
   [[nodiscard]] Stats stats() const;
+
+  /// Snapshot of every (key, payload) entry, MRU first — the persistence
+  /// writer's view. MRU-first order means a truncated persisted file loses
+  /// the least-recently-used tail, never the hot entries.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>>
+  export_entries() const;
 
  private:
   /// MRU-first list of (key, payload); index_ points into it.

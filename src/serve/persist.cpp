@@ -1,0 +1,151 @@
+#include "serve/persist.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <fstream>
+
+#include "serve/cache.hpp"
+#include "util/faultfs.hpp"
+#include "util/json.hpp"
+
+namespace rdse::serve {
+
+namespace {
+
+/// Checksum covering one entry: the key and payload with an unambiguous
+/// separator (keys are compact JSON dumps and contain no newline).
+std::string entry_checksum(const std::string& key,
+                           const std::string& payload) {
+  std::string joined;
+  joined.reserve(key.size() + 1 + payload.size());
+  joined += key;
+  joined += '\n';
+  joined += payload;
+  return fnv1a64_hex(joined);
+}
+
+/// Parse and verify one entry line. Returns false on anything malformed —
+/// the caller counts it and moves on.
+bool parse_entry(const std::string& line, std::string* key,
+                 std::string* payload) {
+  try {
+    const JsonValue doc = JsonValue::parse(line);
+    if (doc.kind() != JsonValue::Kind::kObject) return false;
+    const JsonValue* k = doc.find("key");
+    const JsonValue* p = doc.find("payload");
+    const JsonValue* c = doc.find("checksum");
+    if (k == nullptr || p == nullptr || c == nullptr) return false;
+    if (k->kind() != JsonValue::Kind::kString ||
+        p->kind() != JsonValue::Kind::kString ||
+        c->kind() != JsonValue::Kind::kString) {
+      return false;
+    }
+    if (c->as_string() != entry_checksum(k->as_string(), p->as_string())) {
+      return false;
+    }
+    *key = k->as_string();
+    *payload = p->as_string();
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool valid_header(const std::string& line) {
+  try {
+    const JsonValue doc = JsonValue::parse(line);
+    if (doc.kind() != JsonValue::Kind::kObject) return false;
+    const JsonValue* format = doc.find("format");
+    return format != nullptr &&
+           format->kind() == JsonValue::Kind::kString &&
+           format->as_string() == kCacheDbFormat;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Write the whole buffer through the fault-injection shim, retrying real
+/// partial writes; false on any (injected or real) failure.
+bool write_all(int fd, const std::string& data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n =
+        faultfs::write(fd, data.data() + done, data.size() - done);
+    if (n <= 0) return false;
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Best-effort fsync of the directory holding `path`, so the rename itself
+/// survives a crash. Not routed through faultfs: the fault harness targets
+/// the data path, and a lost directory entry is indistinguishable from a
+/// missing file, which the loader already handles.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+}  // namespace
+
+LoadedCacheDb load_cache_db(const std::string& path) {
+  LoadedCacheDb out;
+  std::ifstream in(path);
+  if (!in.is_open()) return out;  // missing file: empty cache, no error
+
+  std::string line;
+  if (!std::getline(in, line)) return out;  // empty file: nothing to load
+  const bool header_ok = valid_header(line);
+  if (!header_ok) ++out.skipped;
+
+  while (std::getline(in, line)) {
+    std::string key;
+    std::string payload;
+    // A foreign or future-format file voids every line: without the
+    // version handshake the entry layout is not trustworthy even when
+    // individual checksums happen to verify.
+    if (!header_ok || !parse_entry(line, &key, &payload)) {
+      ++out.skipped;
+      continue;
+    }
+    out.entries.emplace_back(std::move(key), std::move(payload));
+  }
+  return out;
+}
+
+bool save_cache_db(
+    const std::string& path,
+    std::span<const std::pair<std::string, std::string>> entries) {
+  std::string data = "{\"format\": \"";
+  data += kCacheDbFormat;
+  data += "\"}\n";
+  for (const auto& [key, payload] : entries) {
+    JsonValue doc = JsonValue::object();
+    doc.set("key", key);
+    doc.set("payload", payload);
+    doc.set("checksum", entry_checksum(key, payload));
+    data += doc.dump();
+    data += '\n';
+  }
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool written = write_all(fd, data) && faultfs::fsync(fd) == 0;
+  (void)::close(fd);
+  if (!written || faultfs::rename_file(tmp.c_str(), path.c_str()) != 0) {
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  sync_parent_dir(path);
+  return true;
+}
+
+}  // namespace rdse::serve

@@ -1,0 +1,55 @@
+#pragma once
+/// \file persist.hpp
+/// \brief Crash-safe persistence for the serve solution cache.
+///
+/// Format `rdse.cachedb.v1`: newline-delimited JSON. The first line is the
+/// header `{"format": "rdse.cachedb.v1"}`; every following line is one
+/// cache entry
+///
+///   {"key": "...", "payload": "...", "checksum": "<16 hex digits>"}
+///
+/// with `checksum` = fnv1a64_hex(key + '\n' + payload). Entries are written
+/// MRU first, so a file truncated by a crash (or a torn rename) loses the
+/// least-recently-used tail — never the hot entries. The loader verifies
+/// every line independently and skips anything malformed or checksum-
+/// mismatched with a counter instead of failing the load: a corrupt
+/// persisted cache degrades to cache misses, never to wrong payloads.
+///
+/// Saves are atomic and durable: the full database is written to
+/// `path.tmp`, fsync'd, then renamed over `path`. All three syscalls go
+/// through util/faultfs so the fault-injection tests can prove every
+/// failure mode leaves either the old file or the new file (possibly
+/// truncated) — never a half-written mix.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rdse::serve {
+
+inline constexpr const char* kCacheDbFormat = "rdse.cachedb.v1";
+
+/// Result of loading a persisted cache database.
+struct LoadedCacheDb {
+  /// Verified (key, payload) entries in file order (MRU first).
+  std::vector<std::pair<std::string, std::string>> entries;
+  /// Lines skipped because they were malformed, incomplete or failed the
+  /// checksum. A missing file loads as zero entries, zero skipped.
+  std::uint64_t skipped = 0;
+};
+
+/// Load and verify `path`. Never throws on bad file contents — corrupt
+/// lines (including a bad or missing header, which voids the whole file)
+/// are counted in `skipped` and the rest is recovered where possible.
+[[nodiscard]] LoadedCacheDb load_cache_db(const std::string& path);
+
+/// Atomically persist `entries` (MRU first) to `path` via temp file +
+/// fsync + rename. Returns false — leaving the previous file untouched
+/// where the OS permits — when any step fails; never throws on I/O errors.
+[[nodiscard]] bool save_cache_db(
+    const std::string& path,
+    std::span<const std::pair<std::string, std::string>> entries);
+
+}  // namespace rdse::serve

@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string_view>
 
@@ -124,11 +125,12 @@ Request parse_request(const JsonValue& doc) {
     case RequestOp::kExplore:
       require_known_fields(doc, {"op", "model", "mapper", "clbs", "runs",
                                  "seed", "iters", "warmup", "schedule",
-                                 "batch"});
+                                 "batch", "timeout_ms"});
       break;
     case RequestOp::kSweep:
       require_known_fields(doc, {"op", "model", "axis", "sizes", "schedules",
-                                 "clbs", "runs", "seed", "iters", "warmup"});
+                                 "clbs", "runs", "seed", "iters", "warmup",
+                                 "timeout_ms"});
       break;
   }
 
@@ -149,6 +151,9 @@ Request parse_request(const JsonValue& doc) {
                                  std::int64_t{1} << 40);
   request.warmup =
       int_field(doc, "warmup", request.warmup, 0, std::int64_t{1} << 40);
+  // Deadline, capped at 24 h; 0 keeps the no-deadline default.
+  request.timeout_ms =
+      int_field(doc, "timeout_ms", request.timeout_ms, 0, 86'400'000);
 
   if (request.op == RequestOp::kExplore) {
     request.mapper = string_field(doc, "mapper", request.mapper);
@@ -277,6 +282,19 @@ std::string make_error_response(const std::string& message,
   doc.set("error", message);
   if (retry_after_ms >= 0) doc.set("retry_after_ms", retry_after_ms);
   return doc.dump();
+}
+
+std::int64_t backoff_delay_ms(int attempt, std::int64_t base_ms,
+                              std::int64_t cap_ms,
+                              std::int64_t server_hint_ms) {
+  RDSE_REQUIRE(attempt >= 0 && base_ms >= 0 && cap_ms >= 0,
+               "backoff_delay_ms: negative attempt or delay");
+  // Shift without overflow: once the doubling passes the cap the cap wins,
+  // so attempts beyond 62 need no special casing.
+  std::int64_t delay = base_ms;
+  for (int k = 0; k < attempt && delay < cap_ms; ++k) delay *= 2;
+  delay = std::min(delay, cap_ms);
+  return std::max(delay, std::max<std::int64_t>(server_hint_ms, 0));
 }
 
 std::string make_result_response(RequestOp op, bool cached,

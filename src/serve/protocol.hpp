@@ -68,6 +68,11 @@ struct Request {
   std::string axis = "device-size";
   std::vector<std::int32_t> sizes;
   std::vector<ScheduleKind> schedules;
+  /// Work-request deadline in milliseconds; 0 = no deadline. An execution
+  /// knob, not part of the work's identity: it never enters the normalized
+  /// request or the cache key, so a request with a deadline hits the same
+  /// cache entry as the one without.
+  std::int64_t timeout_ms = 0;
 };
 
 /// Parse and validate one request document. Throws Error on anything
@@ -98,5 +103,14 @@ struct Request {
                                                const std::string& key_hex,
                                                const std::string&
                                                    payload_json);
+
+/// Client retry schedule: the delay before retry attempt `attempt`
+/// (0-based), as max(min(base_ms << attempt, cap_ms), server_hint_ms).
+/// Pure and deterministic so tests can assert the exact schedule; a
+/// negative server hint (no retry_after_ms in the response) is ignored.
+[[nodiscard]] std::int64_t backoff_delay_ms(int attempt,
+                                            std::int64_t base_ms,
+                                            std::int64_t cap_ms,
+                                            std::int64_t server_hint_ms);
 
 }  // namespace rdse::serve

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <set>
 #include <string>
@@ -25,11 +26,20 @@
 namespace rdse::serve {
 
 struct ServerConfig {
-  /// Filesystem path of the Unix-domain socket. Must not already exist
-  /// (a stale socket file from a crashed daemon must be removed by the
-  /// operator, not silently stolen).
+  /// Filesystem path of the Unix-domain socket. A *live* socket (another
+  /// daemon answering on it) must not be stolen; a stale file left by a
+  /// crashed daemon — nobody accepts connections on it — is unlinked and
+  /// the bind retried, so a `kill -9`'d server restarts cleanly.
   std::string socket_path;
   ServiceConfig service;
+  /// Per-connection idle read timeout: a connection that sends no byte for
+  /// this long is answered with an error and closed, so slow-loris clients
+  /// cannot pin connection threads forever. 0 = no timeout.
+  std::int64_t idle_timeout_ms = 30'000;
+  /// Maximum concurrently open connections; past it new connections are
+  /// rejected at accept with a retryable error instead of queueing an
+  /// unbounded number of connection threads.
+  std::size_t max_connections = 64;
   /// Optional externally owned stop flag, polled by the accept loop — the
   /// CLI points it at an atomic its signal handler sets (a signal handler
   /// cannot safely call into the server).
@@ -54,7 +64,8 @@ class Server {
   [[nodiscard]] ExplorationService& service() { return service_; }
 
  private:
-  void handle_connection(int fd);
+  void handle_connection(std::uint64_t id, int fd);
+  void reap_finished_threads();
   [[nodiscard]] bool stop_requested() const;
 
   ServerConfig config_;
@@ -64,12 +75,18 @@ class Server {
 
   std::mutex conn_mutex_;
   std::set<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  /// Live connection threads by id; a thread moves its id to finished_ids_
+  /// on exit and the accept loop joins-and-erases it, so a long-lived
+  /// daemon does not accumulate one dead std::thread per connection.
+  std::map<std::uint64_t, std::thread> conn_threads_;
+  std::vector<std::uint64_t> finished_ids_;
+  std::uint64_t next_conn_id_ = 0;
 };
 
 /// Client side: connect to `socket_path`, send one request line, return the
-/// response line (newline stripped). `timeout_ms` > 0 bounds the wait for
-/// the response. Throws Error on connect/IO failure or timeout.
+/// response line (newline stripped). `timeout_ms` > 0 is an *overall*
+/// deadline covering the whole exchange — a server trickling one byte per
+/// read cannot extend it. Throws Error on connect/IO failure or timeout.
 [[nodiscard]] std::string send_request(const std::string& socket_path,
                                        const std::string& line,
                                        std::int64_t timeout_ms = 0);

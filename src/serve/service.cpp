@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include <exception>
 #include <future>
 #include <span>
 #include <utility>
@@ -10,6 +11,7 @@
 #include "core/report.hpp"
 #include "core/sweep_engine.hpp"
 #include "model/registry.hpp"
+#include "serve/persist.hpp"
 #include "util/assert.hpp"
 #include "util/time.hpp"
 
@@ -73,7 +75,9 @@ std::string plain_response(RequestOp op, JsonValue payload) {
 ExplorationService::ExplorationService(ServiceConfig config)
     : config_(std::move(config)),
       cache_(config_.cache_capacity),
-      pool_(config_.workers == 0 ? 1 : config_.workers) {}
+      pool_(config_.workers == 0 ? 1 : config_.workers) {
+  load_persisted_cache();
+}
 
 ExplorationService::~ExplorationService() {
   begin_drain();
@@ -83,8 +87,39 @@ ExplorationService::~ExplorationService() {
 }
 
 void ExplorationService::begin_drain() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  draining_ = true;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) return;
+    draining_ = true;
+  }
+  // Final flush so results computed since the last save survive the
+  // shutdown even if an insert-time save failed transiently.
+  save_persisted_cache();
+}
+
+void ExplorationService::load_persisted_cache() {
+  if (config_.persist_path.empty()) return;
+  LoadedCacheDb db = load_cache_db(config_.persist_path);
+  // The file is MRU first; inserting in reverse replays the entries in
+  // recency order, restoring the original LRU order (and letting the
+  // configured capacity trim the cold tail).
+  for (auto it = db.entries.rbegin(); it != db.entries.rend(); ++it) {
+    cache_.insert(it->first, std::move(it->second));
+  }
+  const std::lock_guard<std::mutex> lock(persist_mutex_);
+  persist_loaded_ = db.entries.size();
+  persist_skipped_ = db.skipped;
+}
+
+void ExplorationService::save_persisted_cache() {
+  if (config_.persist_path.empty()) return;
+  const auto entries = cache_.export_entries();
+  const std::lock_guard<std::mutex> lock(persist_mutex_);
+  if (save_cache_db(config_.persist_path, entries)) {
+    ++persist_saves_;
+  } else {
+    ++persist_save_failures_;
+  }
 }
 
 ServiceStats ExplorationService::stats() const {
@@ -99,6 +134,15 @@ ServiceStats ExplorationService::stats() const {
   s.completed = completed_;
   s.rejected = rejected_;
   s.errors = errors_;
+  s.cancelled = cancelled_;
+  s.persist_enabled = !config_.persist_path.empty();
+  {
+    const std::lock_guard<std::mutex> plock(persist_mutex_);
+    s.persist_loaded = persist_loaded_;
+    s.persist_skipped = persist_skipped_;
+    s.persist_saves = persist_saves_;
+    s.persist_save_failures = persist_save_failures_;
+  }
   return s;
 }
 
@@ -120,10 +164,20 @@ JsonValue ExplorationService::status_payload() const {
   requests.set("completed", static_cast<std::int64_t>(s.completed));
   requests.set("rejected", static_cast<std::int64_t>(s.rejected));
   requests.set("errors", static_cast<std::int64_t>(s.errors));
+  requests.set("cancelled", static_cast<std::int64_t>(s.cancelled));
   JsonValue doc = JsonValue::object();
   doc.set("cache", std::move(cache));
   doc.set("queue", std::move(queue));
   doc.set("requests", std::move(requests));
+  if (s.persist_enabled) {
+    JsonValue persist = JsonValue::object();
+    persist.set("loaded", static_cast<std::int64_t>(s.persist_loaded));
+    persist.set("skipped", static_cast<std::int64_t>(s.persist_skipped));
+    persist.set("saves", static_cast<std::int64_t>(s.persist_saves));
+    persist.set("save_failures",
+                static_cast<std::int64_t>(s.persist_save_failures));
+    doc.set("persist", std::move(persist));
+  }
   return doc;
 }
 
@@ -197,19 +251,33 @@ std::string ExplorationService::run_work_request(const Request& request) {
     ++waiting_;
   }
 
+  // Per-request deadline token, shared by reference with the worker: the
+  // caller blocks on the future until the worker resolves it, so the
+  // token outlives the job.
+  CancelToken token;
+  if (request.timeout_ms > 0) token.set_deadline_after_ms(request.timeout_ms);
+
   std::promise<std::string> promise;
   std::future<std::string> future = promise.get_future();
-  pool_.submit([this, &request, &promise] {
+  pool_.submit([this, &request, &promise, &token] {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       --waiting_;
+      if (draining_) {
+        // Queued before the drain began, picked up after: cancel without
+        // executing so shutdown is not gated on cold queue entries.
+        promise.set_exception(
+            std::make_exception_ptr(Cancelled("cancelled")));
+        return;
+      }
       ++in_flight_;
     }
     if (config_.on_job_start) config_.on_job_start();
     std::string payload;
     std::exception_ptr failure;
     try {
-      payload = execute(request).dump();
+      throw_if_cancelled(&token);  // don't start work past the deadline
+      payload = execute(request, &token).dump();
     } catch (...) {
       failure = std::current_exception();
     }
@@ -229,11 +297,19 @@ std::string ExplorationService::run_work_request(const Request& request) {
   try {
     std::string payload = future.get();
     cache_.insert(key, payload);
+    save_persisted_cache();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       ++completed_;
     }
     return make_result_response(request.op, false, fingerprint, payload);
+  } catch (const Cancelled& e) {
+    // Deterministic, payload-free error: a deadline-expired or
+    // drain-cancelled run never leaks a partial result and is never
+    // cached.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++cancelled_;
+    return make_error_response(e.what());
   } catch (const Error& e) {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++errors_;
@@ -241,13 +317,15 @@ std::string ExplorationService::run_work_request(const Request& request) {
   }
 }
 
-JsonValue ExplorationService::execute(const Request& request) const {
+JsonValue ExplorationService::execute(const Request& request,
+                                      const CancelToken* cancel) const {
   const ModelSpec model = load_model_spec(request.model);
   ExplorerConfig config;
   config.seed = request.seed;
   config.iterations = request.iterations;
   config.warmup_iterations = request.warmup;
   config.record_trace = false;
+  config.cancel = cancel;
 
   if (request.op == RequestOp::kExplore) {
     // Every strategy — the annealer included — runs through the mapper
@@ -258,6 +336,7 @@ JsonValue ExplorationService::execute(const Request& request) const {
     mc.warmup_iterations = request.warmup;
     mc.schedule = request.schedule;
     mc.batch = request.batch;
+    mc.cancel = cancel;
     const std::unique_ptr<Mapper> mapper = make_mapper(request.mapper);
     const Architecture arch = make_cpu_fpga_architecture(
         request.clbs, model.tr_per_clb, model.bus_bytes_per_second);

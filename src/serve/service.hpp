@@ -22,6 +22,7 @@
 
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rdse::serve {
@@ -41,6 +42,10 @@ struct ServiceConfig {
   /// exceeds this cap — one oversized request must not starve the queue.
   std::int64_t max_iterations = 1'000'000;
   std::int64_t retry_after_ms = 250;
+  /// Path of the persisted solution cache (rdse.cachedb.v1); empty
+  /// disables persistence. Loaded and verified at construction, rewritten
+  /// atomically (temp + fsync + rename) after every fresh result.
+  std::string persist_path;
   /// Test hook: invoked by a worker when it starts executing a request
   /// (before any annealing). Lets tests hold workers inside a job to
   /// exercise the queue-full path deterministically.
@@ -58,6 +63,12 @@ struct ServiceStats {
   std::uint64_t completed = 0;       ///< work requests answered ok
   std::uint64_t rejected = 0;        ///< backpressure rejections
   std::uint64_t errors = 0;          ///< malformed / failed requests
+  std::uint64_t cancelled = 0;       ///< deadline-expired + drain-cancelled
+  bool persist_enabled = false;
+  std::uint64_t persist_loaded = 0;   ///< entries restored at startup
+  std::uint64_t persist_skipped = 0;  ///< corrupt lines skipped at startup
+  std::uint64_t persist_saves = 0;    ///< successful database writes
+  std::uint64_t persist_save_failures = 0;
 };
 
 class ExplorationService {
@@ -83,15 +94,20 @@ class ExplorationService {
   [[nodiscard]] Handled handle(const std::string& line);
 
   /// Stop admitting work requests (they get a "shutting down" error);
-  /// queued and in-flight runs still complete — graceful-shutdown drain.
+  /// queued-but-unstarted work is cancelled at pickup (its caller gets a
+  /// "cancelled" error without the run executing), in-flight runs still
+  /// complete, and the persisted cache — if any — is flushed.
   void begin_drain();
 
   [[nodiscard]] ServiceStats stats() const;
 
  private:
   [[nodiscard]] std::string run_work_request(const Request& request);
-  [[nodiscard]] JsonValue execute(const Request& request) const;
+  [[nodiscard]] JsonValue execute(const Request& request,
+                                  const CancelToken* cancel) const;
   [[nodiscard]] JsonValue status_payload() const;
+  void load_persisted_cache();
+  void save_persisted_cache();
 
   ServiceConfig config_;
   SolutionCache cache_;
@@ -105,6 +121,15 @@ class ExplorationService {
   std::uint64_t completed_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t errors_ = 0;
+  std::uint64_t cancelled_ = 0;
+
+  /// Serializes whole-database writes (saves snapshot the cache, so they
+  /// never hold mutex_).
+  mutable std::mutex persist_mutex_;
+  std::uint64_t persist_loaded_ = 0;
+  std::uint64_t persist_skipped_ = 0;
+  std::uint64_t persist_saves_ = 0;
+  std::uint64_t persist_save_failures_ = 0;
 };
 
 }  // namespace rdse::serve

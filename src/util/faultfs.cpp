@@ -1,0 +1,162 @@
+#include "util/faultfs.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rdse::faultfs {
+
+namespace {
+
+struct State {
+  FaultPlan plan;
+  Counters counts;
+  std::mutex mutex;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+/// True when this call (1-based index `seen`) is the armed nth call.
+bool fires(int nth, std::uint64_t seen) {
+  return nth > 0 && seen == static_cast<std::uint64_t>(nth);
+}
+
+}  // namespace
+
+void set_plan(const FaultPlan& plan) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.plan = plan;
+  s.counts = Counters{};
+}
+
+void clear() { set_plan(FaultPlan{}); }
+
+Counters counters() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.counts;
+}
+
+FaultPlan parse_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    RDSE_REQUIRE(colon != std::string::npos,
+                 "faultfs: expected mode:N, got '" + item + "'");
+    const std::string mode = item.substr(0, colon);
+    const std::string count = item.substr(colon + 1);
+    char* end = nullptr;
+    const long n = std::strtol(count.c_str(), &end, 10);
+    RDSE_REQUIRE(end != nullptr && *end == '\0' && n >= 1 && n <= 1'000'000,
+                 "faultfs: bad fault index '" + count + "' in '" + item + "'");
+    if (mode == "fail_write") {
+      plan.fail_write_nth = static_cast<int>(n);
+    } else if (mode == "short_write") {
+      plan.short_write_nth = static_cast<int>(n);
+    } else if (mode == "fail_fsync") {
+      plan.fail_fsync_nth = static_cast<int>(n);
+    } else if (mode == "fail_rename") {
+      plan.fail_rename_nth = static_cast<int>(n);
+    } else if (mode == "torn_rename") {
+      plan.torn_rename_nth = static_cast<int>(n);
+    } else {
+      throw Error("faultfs: unknown fault mode '" + mode +
+                  "' (known: fail_write, short_write, fail_fsync, "
+                  "fail_rename, torn_rename)");
+    }
+  }
+  return plan;
+}
+
+bool arm_from_env() {
+  const char* spec = std::getenv("RDSE_FAULTFS");
+  if (spec == nullptr || *spec == '\0') return false;
+  const FaultPlan plan = parse_plan(spec);
+  if (!plan.armed()) return false;
+  set_plan(plan);
+  return true;
+}
+
+ssize_t write(int fd, const void* buf, std::size_t count) {
+  State& s = state();
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    ++s.counts.writes;
+    if (fires(s.plan.fail_write_nth, s.counts.writes)) {
+      ++s.counts.faults_fired;
+      errno = ENOSPC;
+      return -1;
+    }
+    if (fires(s.plan.short_write_nth, s.counts.writes)) {
+      ++s.counts.faults_fired;
+      // Persist a prefix, then fail: the caller sees an error, but the torn
+      // bytes already reached the file — exactly what a mid-write crash or
+      // a filled disk leaves behind.
+      (void)::write(fd, buf, count / 2);
+      errno = ENOSPC;
+      return -1;
+    }
+  }
+  return ::write(fd, buf, count);
+}
+
+int fsync(int fd) {
+  State& s = state();
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    ++s.counts.fsyncs;
+    if (fires(s.plan.fail_fsync_nth, s.counts.fsyncs)) {
+      ++s.counts.faults_fired;
+      errno = EIO;
+      return -1;
+    }
+  }
+  return ::fsync(fd);
+}
+
+int rename_file(const char* from, const char* to) {
+  State& s = state();
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    ++s.counts.renames;
+    if (fires(s.plan.fail_rename_nth, s.counts.renames)) {
+      ++s.counts.faults_fired;
+      errno = EIO;
+      return -1;
+    }
+    if (fires(s.plan.torn_rename_nth, s.counts.renames)) {
+      ++s.counts.faults_fired;
+      // Simulated crash between write-back and commit: the rename lands,
+      // but only a prefix of the data survived. Truncate the source to
+      // half, rename it for real, and report failure to the caller (a
+      // crashed process would never see a return code at all).
+      FILE* f = std::fopen(from, "rb");
+      long size = 0;
+      if (f != nullptr) {
+        std::fseek(f, 0, SEEK_END);
+        size = std::ftell(f);
+        std::fclose(f);
+      }
+      (void)::truncate(from, size / 2);
+      (void)::rename(from, to);
+      errno = EIO;
+      return -1;
+    }
+  }
+  return ::rename(from, to);
+}
+
+}  // namespace rdse::faultfs

@@ -1,0 +1,75 @@
+#pragma once
+/// \file faultfs.hpp
+/// \brief Fault-injection shim over the POSIX file operations the
+/// persistence layer depends on (write, fsync, rename).
+///
+/// Production code calls faultfs::write/fsync/rename_file instead of the
+/// raw syscalls; with no fault plan armed they are thin pass-throughs. A
+/// test (or the RDSE_FAULTFS environment variable, read once at daemon
+/// startup) arms a FaultPlan that makes the nth call fail the way real
+/// storage fails: an ENOSPC write, a short write that leaves a torn file,
+/// an EIO fsync, a rename that never happens, or a "torn rename" that
+/// commits a truncated file — the on-disk state a crash between write-back
+/// and metadata commit leaves behind. The persistence tests drive every
+/// mode and require the service to degrade to "cache miss, correct answer"
+/// rather than crash or serve a wrong payload.
+///
+/// The plan and its counters are process-global and mutex-protected: the
+/// snapshot writer may run from any worker thread.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include <sys/types.h>
+
+namespace rdse::faultfs {
+
+/// Which call should fail, per operation, 1-based ("the nth write call
+/// after the plan was armed"). 0 disables that fault.
+struct FaultPlan {
+  int fail_write_nth = 0;   ///< nth write returns -1/ENOSPC, no bytes written
+  int short_write_nth = 0;  ///< nth write persists half the bytes, then fails
+  int fail_fsync_nth = 0;   ///< nth fsync returns -1/EIO
+  int fail_rename_nth = 0;  ///< nth rename fails, destination untouched
+  int torn_rename_nth = 0;  ///< nth rename commits a half-truncated source
+
+  [[nodiscard]] bool armed() const {
+    return fail_write_nth > 0 || short_write_nth > 0 || fail_fsync_nth > 0 ||
+           fail_rename_nth > 0 || torn_rename_nth > 0;
+  }
+};
+
+/// Calls seen / faults fired since the plan was last armed.
+struct Counters {
+  std::uint64_t writes = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t renames = 0;
+  std::uint64_t faults_fired = 0;
+};
+
+/// Arm `plan` and reset the counters. An all-zero plan disarms.
+void set_plan(const FaultPlan& plan);
+
+/// Disarm all faults and reset the counters.
+void clear();
+
+[[nodiscard]] Counters counters();
+
+/// Parse a plan from spec text: comma-separated `mode:N` items, e.g.
+/// "fail_write:2,torn_rename:1". Unknown modes or malformed counts throw
+/// Error. An empty spec is an empty (disarmed) plan.
+[[nodiscard]] FaultPlan parse_plan(const std::string& spec);
+
+/// Read RDSE_FAULTFS (if set) and arm the parsed plan; returns true when a
+/// plan was armed. Called once by `rdse serve` at startup so CI can inject
+/// faults into a real daemon without recompiling.
+bool arm_from_env();
+
+/// The shimmed operations. Identical contracts to the POSIX calls they
+/// wrap, except that an armed plan may make them fail as documented above.
+[[nodiscard]] ssize_t write(int fd, const void* buf, std::size_t count);
+[[nodiscard]] int fsync(int fd);
+[[nodiscard]] int rename_file(const char* from, const char* to);
+
+}  // namespace rdse::faultfs

@@ -192,6 +192,57 @@ TEST(ServeProtocol, MapperKeyKeepsOnlyConsumedKnobs) {
   EXPECT_NE(ga, canonical_key(parse(R"({"op": "explore"})")));
 }
 
+TEST(ServeProtocol, TimeoutParsesOnWorkOpsAndStaysOutOfTheKey) {
+  // The deadline is an execution knob on both work ops...
+  EXPECT_EQ(parse(R"({"op": "explore", "timeout_ms": 1500})").timeout_ms,
+            1'500);
+  EXPECT_EQ(parse(R"({"op": "sweep", "timeout_ms": 1500})").timeout_ms,
+            1'500);
+  EXPECT_EQ(parse(R"({"op": "explore"})").timeout_ms, 0);  // 0 = none
+  // ...but never part of the work's identity: the same run with and
+  // without a deadline must hit the same cache entry.
+  EXPECT_EQ(canonical_key(parse(R"({"op": "explore", "timeout_ms": 9})")),
+            canonical_key(parse(R"({"op": "explore"})")));
+  EXPECT_EQ(canonical_key(parse(R"({"op": "sweep", "timeout_ms": 9})")),
+            canonical_key(parse(R"({"op": "sweep"})")));
+}
+
+TEST(ServeProtocol, BadTimeoutsAreRejected) {
+  const char* bad[] = {
+      R"({"op": "explore", "timeout_ms": -1})",        // negative
+      R"({"op": "explore", "timeout_ms": 86400001})",  // beyond 24 h
+      R"({"op": "explore", "timeout_ms": 1.5})",       // not an integer
+      R"({"op": "explore", "timeout_ms": "1s"})",      // wrong type
+      R"({"op": "ping", "timeout_ms": 5})",            // not a work op
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW((void)parse(text), Error) << "input: " << text;
+  }
+}
+
+TEST(ServeProtocol, BackoffScheduleIsDeterministic) {
+  // Plain doubling from the base...
+  EXPECT_EQ(backoff_delay_ms(0, 100, 10'000, -1), 100);
+  EXPECT_EQ(backoff_delay_ms(1, 100, 10'000, -1), 200);
+  EXPECT_EQ(backoff_delay_ms(2, 100, 10'000, -1), 400);
+  EXPECT_EQ(backoff_delay_ms(3, 100, 10'000, -1), 800);
+  // ...clamped at the cap, including far past it (no overflow).
+  EXPECT_EQ(backoff_delay_ms(7, 100, 10'000, -1), 10'000);
+  EXPECT_EQ(backoff_delay_ms(500, 100, 10'000, -1), 10'000);
+  // A zero base never backs off on its own.
+  EXPECT_EQ(backoff_delay_ms(5, 0, 10'000, -1), 0);
+}
+
+TEST(ServeProtocol, BackoffHonoursTheServerHint) {
+  // The server's retry_after_ms is a floor: never retry sooner than asked.
+  EXPECT_EQ(backoff_delay_ms(0, 100, 10'000, 250), 250);
+  EXPECT_EQ(backoff_delay_ms(2, 100, 10'000, 250), 400);  // schedule wins
+  // The hint may exceed the client's own cap — the server knows best.
+  EXPECT_EQ(backoff_delay_ms(0, 100, 10'000, 60'000), 60'000);
+  // Absent (negative) hints are ignored.
+  EXPECT_EQ(backoff_delay_ms(1, 100, 10'000, -1), 200);
+}
+
 TEST(ServeProtocol, ErrorResponsesCarryTheBackpressureHint) {
   EXPECT_EQ(make_error_response("boom"),
             R"({"ok": false, "error": "boom"})");

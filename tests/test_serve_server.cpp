@@ -1,17 +1,22 @@
 /// Socket-level tests for `rdse serve`: request/response round trips over a
 /// real Unix-domain socket, cache hits across connections, shutdown-request
-/// sequencing and bind failure on an occupied path.
+/// sequencing, bind failure on an occupied path, stale-socket recovery, and
+/// hostile clients (slow loris, byte-at-a-time framing, connection floods).
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "serve/server.hpp"
 #include "util/assert.hpp"
@@ -35,8 +40,74 @@ void wait_for_socket(const std::string& path) {
   FAIL() << "socket " << path << " never appeared";
 }
 
+/// Raw client connection for tests that need byte-level control over the
+/// wire (partial lines, held-open connections). Returns -1 on failure.
+int raw_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Read one newline-terminated line (newline stripped); empty on EOF first.
+std::string read_line(int fd) {
+  std::string line;
+  char byte = 0;
+  while (::recv(fd, &byte, 1, 0) == 1) {
+    if (byte == '\n') return line;
+    line.push_back(byte);
+  }
+  return line;
+}
+
+/// Retry ping until the server answers ok — used where the test must wait
+/// out a transient state (rebinding a stale socket, a connection slot
+/// freeing up) without a wall-clock guess.
+void wait_for_ping(const std::string& path) {
+  for (int i = 0; i < 500; ++i) {
+    try {
+      const std::string pong = send_request(path, R"({"op": "ping"})", 5'000);
+      if (JsonValue::parse(pong).at("ok").as_bool()) return;
+    } catch (const Error&) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << "server on " << path << " never answered a ping";
+}
+
 /// Start a server on its own thread, run `body` against it, then shut it
-/// down via a `shutdown` request (unless the body already did).
+/// down via a `shutdown` request (unless the body already did). The
+/// shutdown must be *acknowledged* — under a tight --max-conns it can be
+/// rejected at accept while the server is still reaping the body's last
+/// connection, in which case it is retried; request_stop() backstops the
+/// join so a failed graceful path cannot hang the suite.
+void with_server(ServerConfig config, const std::function<void()>& body) {
+  const std::string path = config.socket_path;
+  Server server(std::move(config));
+  std::thread thread([&server] { server.run(); });
+  wait_for_socket(path);
+  body();
+  for (int i = 0; i < 500 && ::access(path.c_str(), F_OK) == 0; ++i) {
+    try {
+      const std::string bye =
+          send_request(path, R"({"op": "shutdown"})", 5'000);
+      if (JsonValue::parse(bye).at("ok").as_bool()) break;
+    } catch (const Error&) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server.request_stop();
+  thread.join();
+}
+
 void with_server(const std::string& path,
                  const std::function<void()>& body) {
   ServerConfig config;
@@ -44,14 +115,7 @@ void with_server(const std::string& path,
   config.service.workers = 1;
   config.service.queue_capacity = 4;
   config.service.cache_capacity = 8;
-  Server server(config);
-  std::thread thread([&server] { server.run(); });
-  wait_for_socket(path);
-  body();
-  if (::access(path.c_str(), F_OK) == 0) {
-    (void)send_request(path, R"({"op": "shutdown"})", 5'000);
-  }
-  thread.join();
+  with_server(std::move(config), body);
 }
 
 TEST(ServeServer, PingRoundTripsOverTheSocket) {
@@ -134,6 +198,145 @@ TEST(ServeServer, RefusesToStealAnExistingSocketPath) {
 TEST(ServeServer, ClientReportsConnectFailureCleanly) {
   const std::string path = socket_path("serve-absent.sock");
   EXPECT_THROW((void)send_request(path, R"({"op": "ping"})", 1'000), Error);
+}
+
+TEST(ServeServer, RecoversAStaleSocketLeftByACrashedDaemon) {
+  const std::string path = socket_path("serve-stale.sock");
+  {
+    // The footprint of `kill -9`: a bound socket inode whose owner died
+    // without unlinking. Closing the fd does not remove the file.
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(path.size(), sizeof addr.sun_path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr),
+              0);
+    ::close(fd);
+  }
+  ASSERT_EQ(::access(path.c_str(), F_OK), 0);
+  with_server(path, [&path] {
+    // wait_for_socket saw the *stale* file, so the server may still be
+    // mid-rebind; ping-retry instead of racing it.
+    wait_for_ping(path);
+  });
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);  // clean shutdown unlinked it
+}
+
+TEST(ServeServer, SlowLorisConnectionsAreReaped) {
+  const std::string path = socket_path("serve-loris.sock");
+  ServerConfig config;
+  config.socket_path = path;
+  config.service.workers = 1;
+  config.idle_timeout_ms = 100;
+  with_server(std::move(config), [&path] {
+    const int fd = raw_connect(path);
+    ASSERT_GE(fd, 0);
+    // A partial request line, then silence — the classic loris hold.
+    const char partial[] = "{\"op\": ";
+    ASSERT_EQ(::send(fd, partial, sizeof partial - 1, MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof partial - 1));
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string line = read_line(fd);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_EQ(JsonValue::parse(line).at("error").as_string(),
+              "idle timeout");
+    // ...and the server closed the connection afterwards.
+    char byte = 0;
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+    ::close(fd);
+    EXPECT_LT(elapsed, 5'000) << "reap took " << elapsed << " ms";
+    // The daemon itself is unharmed.
+    wait_for_ping(path);
+  });
+}
+
+TEST(ServeServer, ByteAtATimeFramingStillGetsAnAnswer) {
+  const std::string path = socket_path("serve-trickle-in.sock");
+  with_server(path, [&path] {
+    const int fd = raw_connect(path);
+    ASSERT_GE(fd, 0);
+    const std::string request = "{\"op\": \"ping\"}\n";
+    for (const char byte : request) {
+      ASSERT_EQ(::send(fd, &byte, 1, MSG_NOSIGNAL), 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const std::string line = read_line(fd);
+    ::close(fd);
+    EXPECT_TRUE(JsonValue::parse(line).at("ok").as_bool()) << line;
+  });
+}
+
+TEST(ServeServer, ConnectionFloodIsRejectedAtAccept) {
+  const std::string path = socket_path("serve-flood.sock");
+  ServerConfig config;
+  config.socket_path = path;
+  config.service.workers = 1;
+  config.max_connections = 1;
+  with_server(std::move(config), [&path] {
+    const int held = raw_connect(path);  // occupies the single slot
+    ASSERT_GE(held, 0);
+    // The next connection is answered and closed at accept — no thread,
+    // no queue slot, just an immediate retryable error.
+    const int second = raw_connect(path);
+    ASSERT_GE(second, 0);
+    const std::string line = read_line(second);
+    const JsonValue doc = JsonValue::parse(line);
+    EXPECT_EQ(doc.at("error").as_string(), "connection limit reached");
+    EXPECT_GE(doc.at("retry_after_ms").as_int(), 0);
+    ::close(second);
+    // Freeing the slot lets clients back in (after the reap).
+    ::close(held);
+    wait_for_ping(path);
+  });
+}
+
+TEST(ServeServer, ClientTimeoutCoversATricklingServer) {
+  // A fake "server" that dribbles one byte per 40 ms: each byte would
+  // restart a per-recv SO_RCVTIMEO, but send_request's overall deadline
+  // must still fire on schedule.
+  const std::string path = socket_path("serve-dribble.sock");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(path.size(), sizeof addr.sun_path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  std::thread dribbler([listen_fd] {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) return;
+    for (int i = 0; i < 200; ++i) {  // never a newline, never EOF
+      if (::send(conn, "x", 1, MSG_NOSIGNAL) != 1) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    }
+    ::close(conn);
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    (void)send_request(path, R"({"op": "ping"})", 300);
+    FAIL() << "expected a timeout";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos)
+        << e.what();
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_GE(elapsed, 250);
+  EXPECT_LT(elapsed, 5'000) << "timeout fired after " << elapsed << " ms";
+  ::close(listen_fd);
+  dribbler.join();
+  ::unlink(path.c_str());
 }
 
 }  // namespace

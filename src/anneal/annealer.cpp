@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "util/assert.hpp"
+#include "util/hash.hpp"
+#include "util/json.hpp"
 
 namespace rdse {
 
@@ -161,6 +163,85 @@ void AnnealEngine::notify_state_replaced() {
     last_improvement_ = cooling_iter_;
   }
   note_best();
+}
+
+JsonValue AnnealEngine::save_state() const {
+  JsonValue out = JsonValue::object();
+
+  const Rng::State rs = rng_.state();
+  JsonValue rng = JsonValue::object();
+  JsonValue words = JsonValue::array();
+  for (const std::uint64_t w : rs.words) words.push_back(u64_to_hex(w));
+  rng.set("words", std::move(words));
+  rng.set("cached_normal", rs.cached_normal);
+  rng.set("has_cached_normal", rs.has_cached_normal);
+  out.set("rng", std::move(rng));
+
+  out.set("schedule_initialized", schedule_initialized_);
+  JsonValue sched = JsonValue::object();
+  if (schedule_initialized_) schedule_->save_state(sched);
+  out.set("schedule", std::move(sched));
+
+  const RunningStats::Raw ws = warm_stats_.raw();
+  JsonValue warm = JsonValue::object();
+  warm.set("n", static_cast<std::int64_t>(ws.n));
+  warm.set("mean", ws.mean);
+  warm.set("m2", ws.m2);
+  warm.set("min", ws.min);
+  warm.set("max", ws.max);
+  out.set("warm_stats", std::move(warm));
+
+  out.set("initial_cost", result_.initial_cost);
+  out.set("accepted", result_.accepted);
+  out.set("rejected", result_.rejected);
+  out.set("infeasible", result_.infeasible);
+  out.set("best_iteration", result_.best_iteration);
+  out.set("current", current_);
+  out.set("best", best_);
+  out.set("global_iter", global_iter_);
+  out.set("cooling_iter", cooling_iter_);
+  out.set("last_improvement", last_improvement_);
+  out.set("frozen", frozen_);
+  return out;
+}
+
+void AnnealEngine::load_state(const JsonValue& state) {
+  const JsonValue& rng = state.at("rng");
+  const JsonValue& words = rng.at("words");
+  RDSE_REQUIRE(words.size() == 4, "anneal state: bad RNG word count");
+  Rng::State rs;
+  for (std::size_t i = 0; i < 4; ++i) {
+    rs.words[i] = u64_from_hex(words.items()[i].as_string());
+  }
+  rs.cached_normal = rng.at("cached_normal").as_number();
+  rs.has_cached_normal = rng.at("has_cached_normal").as_bool();
+  rng_.set_state(rs);
+
+  schedule_initialized_ = state.at("schedule_initialized").as_bool();
+  if (schedule_initialized_) {
+    schedule_->load_state(state.at("schedule"));
+  }
+
+  const JsonValue& warm = state.at("warm_stats");
+  RunningStats::Raw ws;
+  ws.n = static_cast<std::size_t>(warm.at("n").as_int());
+  ws.mean = warm.at("mean").as_number();
+  ws.m2 = warm.at("m2").as_number();
+  ws.min = warm.at("min").as_number();
+  ws.max = warm.at("max").as_number();
+  warm_stats_.restore(ws);
+
+  result_.initial_cost = state.at("initial_cost").as_number();
+  result_.accepted = state.at("accepted").as_int();
+  result_.rejected = state.at("rejected").as_int();
+  result_.infeasible = state.at("infeasible").as_int();
+  result_.best_iteration = state.at("best_iteration").as_int();
+  current_ = state.at("current").as_number();
+  best_ = state.at("best").as_number();
+  global_iter_ = state.at("global_iter").as_int();
+  cooling_iter_ = state.at("cooling_iter").as_int();
+  last_improvement_ = state.at("last_improvement").as_int();
+  frozen_ = state.at("frozen").as_bool();
 }
 
 AnnealResult anneal(AnnealProblem& problem, const AnnealConfig& config) {

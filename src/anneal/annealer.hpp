@@ -125,6 +125,17 @@ class AnnealEngine {
   /// end).
   [[nodiscard]] AnnealResult result() const;
 
+  /// Checkpoint support. save_state() captures every mutable field of the
+  /// loop — the RNG stream (words as hex: JSON numbers cannot carry 64
+  /// bits), schedule position, warm-up statistics, counters, costs and the
+  /// freeze flag. load_state() restores them into a freshly constructed
+  /// engine over a problem already holding the checkpointed *current*
+  /// state; continuing the loop afterwards is bit-identical to never having
+  /// stopped. Configuration is not serialized here — callers rebuild the
+  /// same AnnealConfig (see core/checkpoint.hpp).
+  [[nodiscard]] JsonValue save_state() const;
+  void load_state(const JsonValue& state);
+
  private:
   void step_warmup();
   void step_cooling();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/assert.hpp"
+#include "util/json.hpp"
 
 namespace rdse {
 
@@ -50,6 +51,38 @@ double MoveMixController::weight(std::size_t c) const {
 double MoveMixController::acceptance(std::size_t c) const {
   RDSE_REQUIRE(c < names_.size(), "MoveMixController: class out of range");
   return acceptance_[c].value();
+}
+
+void MoveMixController::save_state(JsonValue& out) const {
+  JsonValue acc = JsonValue::array();
+  for (const Ewma& e : acceptance_) {
+    JsonValue pair = JsonValue::array();
+    pair.push_back(e.value());
+    pair.push_back(static_cast<std::int64_t>(e.count()));
+    acc.push_back(std::move(pair));
+  }
+  out.set("acceptance", std::move(acc));
+  JsonValue w = JsonValue::array();
+  for (const double x : weights_) w.push_back(x);
+  out.set("weights", std::move(w));
+  out.set("reports", static_cast<std::int64_t>(reports_));
+}
+
+void MoveMixController::load_state(const JsonValue& in) {
+  const JsonValue& acc = in.at("acceptance");
+  const JsonValue& w = in.at("weights");
+  RDSE_REQUIRE(acc.size() == names_.size() && w.size() == names_.size(),
+               "MoveMixController: class count mismatch in saved state");
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    const JsonValue& pair = acc.items()[c];
+    RDSE_REQUIRE(pair.size() == 2,
+                 "MoveMixController: malformed acceptance entry");
+    acceptance_[c].restore(
+        pair.items()[0].as_number(),
+        static_cast<std::size_t>(pair.items()[1].as_int()));
+    weights_[c] = w.items()[c].as_number();
+  }
+  reports_ = static_cast<std::uint64_t>(in.at("reports").as_int());
 }
 
 void MoveMixController::refresh_weights() {

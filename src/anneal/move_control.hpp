@@ -21,6 +21,8 @@
 
 namespace rdse {
 
+class JsonValue;
+
 class MoveMixController {
  public:
   /// `floor` is the minimum selection weight fraction of any class.
@@ -41,6 +43,13 @@ class MoveMixController {
   [[nodiscard]] double weight(std::size_t c) const;
   /// Smoothed acceptance rate of a class.
   [[nodiscard]] double acceptance(std::size_t c) const;
+
+  /// Checkpoint support: per-class acceptance EWMAs, selection weights and
+  /// the report counter. Class names and tuning constants are configuration
+  /// and are re-established by construction; load_state throws when the
+  /// class count does not match.
+  void save_state(JsonValue& out) const;
+  void load_state(const JsonValue& in);
 
  private:
   void refresh_weights();

@@ -5,8 +5,12 @@
 #include <limits>
 
 #include "util/assert.hpp"
+#include "util/json.hpp"
 
 namespace rdse {
+
+void CoolingSchedule::save_state(JsonValue& /*out*/) const {}
+void CoolingSchedule::load_state(const JsonValue& /*in*/) {}
 
 const char* to_string(ScheduleKind kind) {
   switch (kind) {
@@ -93,6 +97,22 @@ void ModifiedLamSchedule::update(double /*cost*/, bool accepted,
   ++iter_;
 }
 
+void ModifiedLamSchedule::save_state(JsonValue& out) const {
+  out.set("temp", temp_);
+  out.set("accept_rate", accept_rate_);
+  out.set("horizon", horizon_);
+  out.set("iter", iter_);
+  out.set("temp_floor", temp_floor_);
+}
+
+void ModifiedLamSchedule::load_state(const JsonValue& in) {
+  temp_ = in.at("temp").as_number();
+  accept_rate_ = in.at("accept_rate").as_number();
+  horizon_ = in.at("horizon").as_int();
+  iter_ = in.at("iter").as_int();
+  temp_floor_ = in.at("temp_floor").as_number();
+}
+
 // ---------------------------------------------------------------- LamDelosme
 
 LamDelosmeSchedule::LamDelosmeSchedule(double lambda) : lambda_(lambda) {
@@ -136,6 +156,42 @@ double LamDelosmeSchedule::temperature() const {
   return s_ > 0.0 ? 1.0 / s_ : std::numeric_limits<double>::infinity();
 }
 
+void LamDelosmeSchedule::save_state(JsonValue& out) const {
+  out.set("s", s_);
+  out.set("sigma0", sigma0_);
+  const EwmaStats::Raw cs = cost_stats_.raw();
+  JsonValue stats = JsonValue::object();
+  stats.set("mean", cs.mean);
+  stats.set("mean_n", static_cast<std::int64_t>(cs.mean_n));
+  stats.set("sq", cs.sq);
+  stats.set("sq_n", static_cast<std::int64_t>(cs.sq_n));
+  stats.set("cross", cs.cross);
+  stats.set("cross_n", static_cast<std::int64_t>(cs.cross_n));
+  stats.set("prev", cs.prev);
+  stats.set("n", static_cast<std::int64_t>(cs.n));
+  out.set("cost_stats", std::move(stats));
+  out.set("accept_value", accept_.value());
+  out.set("accept_n", static_cast<std::int64_t>(accept_.count()));
+}
+
+void LamDelosmeSchedule::load_state(const JsonValue& in) {
+  s_ = in.at("s").as_number();
+  sigma0_ = in.at("sigma0").as_number();
+  const JsonValue& stats = in.at("cost_stats");
+  EwmaStats::Raw cs;
+  cs.mean = stats.at("mean").as_number();
+  cs.mean_n = static_cast<std::size_t>(stats.at("mean_n").as_int());
+  cs.sq = stats.at("sq").as_number();
+  cs.sq_n = static_cast<std::size_t>(stats.at("sq_n").as_int());
+  cs.cross = stats.at("cross").as_number();
+  cs.cross_n = static_cast<std::size_t>(stats.at("cross_n").as_int());
+  cs.prev = stats.at("prev").as_number();
+  cs.n = static_cast<std::size_t>(stats.at("n").as_int());
+  cost_stats_.restore(cs);
+  accept_.restore(in.at("accept_value").as_number(),
+                  static_cast<std::size_t>(in.at("accept_n").as_int()));
+}
+
 // ----------------------------------------------------------------- Geometric
 
 GeometricSchedule::GeometricSchedule(double alpha, std::int64_t plateau)
@@ -156,6 +212,16 @@ void GeometricSchedule::update(double /*cost*/, bool /*accepted*/,
   if (iter_ % plateau_ == 0) {
     temp_ *= alpha_;
   }
+}
+
+void GeometricSchedule::save_state(JsonValue& out) const {
+  out.set("temp", temp_);
+  out.set("iter", iter_);
+}
+
+void GeometricSchedule::load_state(const JsonValue& in) {
+  temp_ = in.at("temp").as_number();
+  iter_ = in.at("iter").as_int();
 }
 
 }  // namespace rdse

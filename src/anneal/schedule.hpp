@@ -32,6 +32,8 @@
 
 namespace rdse {
 
+class JsonValue;
+
 enum class ScheduleKind : std::uint8_t {
   kModifiedLam,
   kLamDelosme,
@@ -69,6 +71,13 @@ class CoolingSchedule {
   [[nodiscard]] virtual double temperature() const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Checkpoint support: serialize the mutable runtime state into `out` /
+  /// restore it from `in`. Configuration (window sizes, lambda, alpha) is
+  /// not saved — it is re-established by constructing the same schedule
+  /// kind. Stateless schedules (greedy) keep the no-op defaults.
+  virtual void save_state(JsonValue& out) const;
+  virtual void load_state(const JsonValue& in);
 };
 
 /// Factory for the built-in schedules.
@@ -88,6 +97,8 @@ class ModifiedLamSchedule final : public CoolingSchedule {
   void update(double cost, bool accepted, bool evaluated) override;
   [[nodiscard]] double temperature() const override { return temp_; }
   [[nodiscard]] std::string name() const override { return "modified-lam"; }
+  void save_state(JsonValue& out) const override;
+  void load_state(const JsonValue& in) override;
 
   /// Lam's optimal acceptance-rate trajectory at progress t in [0, 1].
   [[nodiscard]] static double target_rate(double t);
@@ -116,6 +127,8 @@ class LamDelosmeSchedule final : public CoolingSchedule {
   void update(double cost, bool accepted, bool evaluated) override;
   [[nodiscard]] double temperature() const override;
   [[nodiscard]] std::string name() const override { return "lam-delosme"; }
+  void save_state(JsonValue& out) const override;
+  void load_state(const JsonValue& in) override;
 
   [[nodiscard]] static double rho(double accept_ratio);
 
@@ -136,6 +149,8 @@ class GeometricSchedule final : public CoolingSchedule {
   void update(double cost, bool accepted, bool evaluated) override;
   [[nodiscard]] double temperature() const override { return temp_; }
   [[nodiscard]] std::string name() const override { return "geometric"; }
+  void save_state(JsonValue& out) const override;
+  void load_state(const JsonValue& in) override;
 
  private:
   double alpha_;

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -17,15 +18,19 @@
 #include <vector>
 
 #include "baseline/mapper.hpp"
+#include "core/checkpoint.hpp"
 #include "core/mapper_bench.hpp"
 #include "core/report.hpp"
 #include "core/sweep_engine.hpp"
+#include "mapping/io.hpp"
 #include "model/registry.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
 #include "util/faultfs.hpp"
+#include "util/hash.hpp"
 #include "util/json.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace rdse::cli {
@@ -58,6 +63,16 @@ explore options:
   --batch K         candidate moves probed per annealing step [1]
                     (best-of-K then Metropolis; 1 = classic path)
   --schedule NAME   modified-lam | lam-delosme | geometric | greedy
+  --checkpoint PATH write an rdse.checkpoint.v1 file atomically every
+                    --checkpoint-every iterations (requires --runs 1); a
+                    killed run resumes bit-identically via --resume
+  --checkpoint-every N  iterations between checkpoints       [1000]
+  --resume PATH     resume an interrupted run from its checkpoint and keep
+                    checkpointing to the same file; only --checkpoint-every,
+                    --json and --quiet may accompany --resume
+  --json PATH       write an rdse.explore.v1 artifact of the final result
+                    (no wall-clock fields: bit-identical between a resumed
+                    and an uninterrupted run)
 
 bench options:
   --mappers CSV     registered mapper names                  [all]
@@ -106,11 +121,17 @@ serve options:
   --persist PATH    crash-safe solution-cache database (rdse.cachedb.v1):
                     loaded and verified at startup, rewritten atomically
                     after every fresh result
+  --journal PATH    write-ahead work journal (rdse.journal.v1): accepted
+                    work and its state transitions are appended durably;
+                    at startup the journal is replayed — accepted-but-not-
+                    completed work is re-enqueued — and compacted
   --idle-timeout-ms N  close connections idle for N ms (0 = never)  [30000]
   --max-conns N     concurrent connection cap (reject at accept)    [64]
   Requests are newline-delimited JSON; see README "Running the exploration
   service". Work requests accept "timeout_ms" for a server-side deadline.
-  SIGINT/SIGTERM (or a `shutdown` request) drain gracefully.
+  SIGINT/SIGTERM (or a `shutdown` request) drain gracefully; SIGHUP flushes
+  the cache and journal and re-applies RDSE_LOG_LEVEL without dropping
+  connections.
 
 request options:
   --socket PATH     socket of a running `rdse serve` daemon
@@ -199,10 +220,128 @@ void write_artifact(const std::string& path, const JsonValue& doc,
 
 // ------------------------------------------------------------------ explore
 
+/// The rdse.explore.v1 single-run artifact: configuration echo, initial and
+/// best metrics, annealing counters and the best mapping itself. Carries no
+/// wall-clock fields, so an interrupted-and-resumed run emits a byte-for-
+/// byte identical document to the uninterrupted reference — the CI crash-
+/// resume smoke `cmp`s the two.
+JsonValue explore_artifact(const std::string& model_name, std::int32_t clbs,
+                           const TaskGraph& tg, const ExplorerConfig& config,
+                           const RunResult& result) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "rdse.explore.v1");
+  doc.set("model", model_name);
+  doc.set("clbs", static_cast<std::int64_t>(clbs));
+  doc.set("seed", u64_to_hex(config.seed));
+  doc.set("iterations", config.iterations);
+  doc.set("warmup_iterations", config.warmup_iterations);
+  doc.set("schedule", to_string(config.schedule));
+  doc.set("batch", config.batch);
+  doc.set("initial_metrics", metrics_to_json(result.initial_metrics));
+  doc.set("best_metrics", metrics_to_json(result.best_metrics));
+  JsonValue anneal = JsonValue::object();
+  anneal.set("initial_cost", result.anneal.initial_cost);
+  anneal.set("best_cost", result.anneal.best_cost);
+  anneal.set("final_cost", result.anneal.final_cost);
+  anneal.set("iterations_run", result.anneal.iterations_run);
+  anneal.set("accepted", result.anneal.accepted);
+  anneal.set("rejected", result.anneal.rejected);
+  anneal.set("infeasible", result.anneal.infeasible);
+  anneal.set("best_iteration", result.anneal.best_iteration);
+  doc.set("anneal", std::move(anneal));
+  doc.set("best_solution", solution_to_text(tg, result.best_solution));
+  return doc;
+}
+
+/// Shared tail of the plain, checkpointed and resumed single-run paths.
+int finish_explore(const ModelSpec& model, std::int32_t clbs,
+                   const ExplorerConfig& config, const RunResult& result,
+                   const std::string& json_path, bool quiet,
+                   std::ostream& out) {
+  if (!quiet) print_run_report(out, model.app.graph, result);
+  const bool met = model.app.deadline == 0 ||
+                   result.best_metrics.makespan <= model.app.deadline;
+  out << "constraint: " << format_ms(result.best_metrics.makespan)
+      << (met ? " <= " : " > ") << format_ms(model.app.deadline)
+      << (met ? "  (met)" : "  (MISSED)") << '\n';
+  if (!json_path.empty()) {
+    write_artifact(json_path,
+                   explore_artifact(model.app.name, clbs, model.app.graph,
+                                    config, result),
+                   out, quiet);
+  }
+  return 0;
+}
+
+/// Drive a checkpointable session to completion, saving after every
+/// segment. A failed checkpoint write (disk fault) is a warning, not a
+/// fatal error: the run itself stays correct, only resumability of that
+/// segment is lost.
+int run_checkpointed(const ModelSpec& model, std::int32_t clbs,
+                     CheckpointableExplorer& session,
+                     const std::string& checkpoint_path,
+                     std::int64_t checkpoint_every,
+                     const std::string& json_path, bool quiet,
+                     std::ostream& out) {
+  const auto save = [&] {
+    JsonValue body = JsonValue::object();
+    body.set("kind", "explore");
+    body.set("model", model.app.name);
+    body.set("clbs", static_cast<std::int64_t>(clbs));
+    body.set("checkpoint_every", checkpoint_every);
+    body.set("session", session.save_state());
+    if (!save_checkpoint(checkpoint_path, body)) {
+      out << "rdse explore: warning: checkpoint write to '" << checkpoint_path
+          << "' failed; continuing without it\n";
+    }
+  };
+  while (!session.finished()) {
+    (void)session.step(checkpoint_every);
+    save();
+  }
+  return finish_explore(model, clbs, session.config(), session.result(),
+                        json_path, quiet, out);
+}
+
+int cmd_explore_resume(const Options& opts, std::ostream& out) {
+  // --resume rejects run-shaping flags loudly: the checkpoint is the
+  // authority on model, seed and schedule, and silently ignoring a
+  // contradicting --iters would look like it worked.
+  static constexpr std::string_view kFlags[] = {"resume", "checkpoint-every",
+                                                "json", "quiet"};
+  opts.require_known(kFlags);
+  require_no_positionals(opts);
+
+  const std::string path = opts.get_string("resume", "");
+  const bool quiet = opts.get_flag("quiet");
+  const std::string json_path = opts.get_string("json", "");
+
+  const JsonValue body = load_checkpoint(path);
+  RDSE_REQUIRE(body.at("kind").as_string() == "explore",
+               "checkpoint: '" + path + "' is not an explore checkpoint");
+  const ModelSpec model = load_model_spec(body.at("model").as_string());
+  const auto clbs = static_cast<std::int32_t>(body.at("clbs").as_int());
+  const std::int64_t checkpoint_every =
+      opts.get_int("checkpoint-every", body.at("checkpoint_every").as_int());
+  RDSE_REQUIRE(checkpoint_every >= 1,
+               "option --checkpoint-every: need at least one iteration");
+
+  Architecture arch = make_cpu_fpga_architecture(
+      clbs, model.tr_per_clb, model.bus_bytes_per_second);
+  CheckpointableExplorer session(model.app.graph, std::move(arch),
+                                 body.at("session"));
+  if (!quiet) out << "rdse explore: resumed from '" << path << "'\n";
+  return run_checkpointed(model, clbs, session, path, checkpoint_every,
+                          json_path, quiet, out);
+}
+
 int cmd_explore(const Options& opts, std::ostream& out) {
+  if (opts.get("resume").has_value()) return cmd_explore_resume(opts, out);
+
   static constexpr std::string_view kFlags[] = {
       "model", "clbs", "seed", "iters", "warmup",
-      "runs",  "threads", "schedule", "batch", "quiet"};
+      "runs",  "threads", "schedule", "batch", "quiet",
+      "checkpoint", "checkpoint-every", "json"};
   opts.require_known(kFlags);
   require_no_positionals(opts);
 
@@ -212,14 +351,24 @@ int cmd_explore(const Options& opts, std::ostream& out) {
   const auto threads =
       static_cast<unsigned>(opts.get_int("threads", 0, "RDSE_THREADS"));
   const bool quiet = opts.get_flag("quiet");
+  const std::string checkpoint_path = opts.get_string("checkpoint", "");
+  const std::int64_t checkpoint_every =
+      opts.get_int("checkpoint-every", 1'000);
+  const std::string json_path = opts.get_string("json", "");
   RDSE_REQUIRE(runs >= 0, "option --runs: negative run count");
+  RDSE_REQUIRE(checkpoint_every >= 1,
+               "option --checkpoint-every: need at least one iteration");
+  RDSE_REQUIRE(checkpoint_path.empty() || runs == 1,
+               "option --checkpoint: requires --runs 1");
+  RDSE_REQUIRE(json_path.empty() || runs == 1,
+               "option --json: requires --runs 1");
 
   ExplorerConfig config = base_config(opts, 20'000);
   config.schedule =
       parse_schedule(opts.get_string("schedule", "modified-lam"));
   config.batch = static_cast<int>(opts.get_int("batch", 1));
   RDSE_REQUIRE(config.batch >= 1, "option --batch: need at least one probe");
-  config.record_trace = runs == 1;
+  config.record_trace = runs == 1 && checkpoint_path.empty();
 
   const Architecture arch = make_cpu_fpga_architecture(
       clbs, model.tr_per_clb, model.bus_bytes_per_second);
@@ -229,15 +378,14 @@ int cmd_explore(const Options& opts, std::ostream& out) {
     out << "0 runs requested — nothing to explore\n";
     return 0;
   }
+  if (!checkpoint_path.empty()) {
+    CheckpointableExplorer session(model.app.graph, arch, config);
+    return run_checkpointed(model, clbs, session, checkpoint_path,
+                            checkpoint_every, json_path, quiet, out);
+  }
   if (runs == 1) {
     const RunResult result = explorer.run(config);
-    if (!quiet) print_run_report(out, model.app.graph, result);
-    const bool met = model.app.deadline == 0 ||
-                     result.best_metrics.makespan <= model.app.deadline;
-    out << "constraint: " << format_ms(result.best_metrics.makespan)
-        << (met ? " <= " : " > ") << format_ms(model.app.deadline)
-        << (met ? "  (met)" : "  (MISSED)") << '\n';
-    return 0;
+    return finish_explore(model, clbs, config, result, json_path, quiet, out);
   }
 
   const SweepEngine engine(threads);
@@ -673,17 +821,41 @@ int cmd_compare(const Options& opts, std::ostream& out, std::ostream& err) {
 // -------------------------------------------------------------------- serve
 
 /// Signal-to-accept-loop bridge: a handler may only touch a lock-free
-/// atomic, so the server polls this flag instead of being called directly.
+/// atomic, so the server polls these flags instead of being called
+/// directly.
 std::atomic<bool> g_serve_stop{false};
+std::atomic<bool> g_serve_reload{false};
 
 void handle_serve_signal(int /*signum*/) {
   g_serve_stop.store(true, std::memory_order_relaxed);
 }
 
+void handle_serve_reload(int /*signum*/) {
+  g_serve_reload.store(true, std::memory_order_relaxed);
+}
+
+/// Map RDSE_LOG_LEVEL (error|warn|info|debug) onto the global log
+/// threshold. Applied at serve startup and re-applied on SIGHUP. Unset or
+/// unknown values leave the level unchanged.
+void apply_log_level_from_env() {
+  const char* value = std::getenv("RDSE_LOG_LEVEL");
+  if (value == nullptr) return;
+  const std::string_view name(value);
+  if (name == "error") {
+    set_log_level(LogLevel::kError);
+  } else if (name == "warn") {
+    set_log_level(LogLevel::kWarn);
+  } else if (name == "info") {
+    set_log_level(LogLevel::kInfo);
+  } else if (name == "debug") {
+    set_log_level(LogLevel::kDebug);
+  }
+}
+
 int cmd_serve(const Options& opts, std::ostream& out) {
   static constexpr std::string_view kFlags[] = {
-      "socket", "workers", "queue", "cache", "run-threads",
-      "max-iters", "persist", "idle-timeout-ms", "max-conns", "quiet"};
+      "socket", "workers", "queue", "cache", "run-threads", "max-iters",
+      "persist", "journal", "idle-timeout-ms", "max-conns", "quiet"};
   opts.require_known(kFlags);
   require_no_positionals(opts);
 
@@ -712,6 +884,7 @@ int cmd_serve(const Options& opts, std::ostream& out) {
   RDSE_REQUIRE(config.service.max_iterations >= 1,
                "option --max-iters: need a positive cap");
   config.service.persist_path = opts.get_string("persist", "");
+  config.service.journal_path = opts.get_string("journal", "");
   config.idle_timeout_ms = idle_ms;
   config.max_connections = static_cast<std::size_t>(max_conns);
 
@@ -721,10 +894,15 @@ int cmd_serve(const Options& opts, std::ostream& out) {
     out << "rdse serve: fault injection armed from RDSE_FAULTFS\n";
   }
 
+  apply_log_level_from_env();
   g_serve_stop.store(false, std::memory_order_relaxed);
+  g_serve_reload.store(false, std::memory_order_relaxed);
   config.external_stop = &g_serve_stop;
+  config.reload_request = &g_serve_reload;
+  config.on_reload = [] { apply_log_level_from_env(); };
   std::signal(SIGINT, handle_serve_signal);
   std::signal(SIGTERM, handle_serve_signal);
+  std::signal(SIGHUP, handle_serve_reload);
 
   const std::string socket_path = config.socket_path;
   serve::Server server(std::move(config));

@@ -1,0 +1,720 @@
+#include "core/checkpoint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "mapping/io.hpp"
+#include "util/assert.hpp"
+#include "util/atomic_file.hpp"
+#include "util/hash.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rdse {
+
+namespace {
+
+const char* init_kind_name(InitKind kind) {
+  switch (kind) {
+    case InitKind::kRandomPartition: return "random-partition";
+    case InitKind::kAllSoftware: return "all-software";
+  }
+  return "?";
+}
+
+InitKind init_kind_from_name(const std::string& name) {
+  if (name == "random-partition") return InitKind::kRandomPartition;
+  if (name == "all-software") return InitKind::kAllSoftware;
+  throw Error("checkpoint: unknown init kind '" + name + "'");
+}
+
+ScheduleKind schedule_kind_from_name(const std::string& name) {
+  const auto kind = schedule_from_name(name);
+  if (!kind.has_value()) {
+    throw Error("checkpoint: unknown schedule '" + name + "'");
+  }
+  return *kind;
+}
+
+JsonValue move_config_to_json(const MoveConfig& m) {
+  JsonValue doc = JsonValue::object();
+  doc.set("p_zero", m.p_zero);
+  doc.set("p_change_impl", m.p_change_impl);
+  doc.set("p_reorder_contexts", m.p_reorder_contexts);
+  doc.set("p_resource_target", m.p_resource_target);
+  doc.set("enable_reorder_sw", m.enable_reorder_sw);
+  doc.set("enable_reassign", m.enable_reassign);
+  return doc;
+}
+
+MoveConfig move_config_from_json(const JsonValue& doc) {
+  MoveConfig m;
+  m.p_zero = doc.at("p_zero").as_number();
+  m.p_change_impl = doc.at("p_change_impl").as_number();
+  m.p_reorder_contexts = doc.at("p_reorder_contexts").as_number();
+  m.p_resource_target = doc.at("p_resource_target").as_number();
+  m.enable_reorder_sw = doc.at("enable_reorder_sw").as_bool();
+  m.enable_reassign = doc.at("enable_reassign").as_bool();
+  return m;
+}
+
+JsonValue cost_weights_to_json(const CostWeights& w) {
+  JsonValue doc = JsonValue::object();
+  doc.set("time_weight", w.time_weight);
+  doc.set("price_weight", w.price_weight);
+  doc.set("deadline_penalty_per_ms", w.deadline_penalty_per_ms);
+  doc.set("deadline", w.deadline);
+  return doc;
+}
+
+CostWeights cost_weights_from_json(const JsonValue& doc) {
+  CostWeights w;
+  w.time_weight = doc.at("time_weight").as_number();
+  w.price_weight = doc.at("price_weight").as_number();
+  w.deadline_penalty_per_ms = doc.at("deadline_penalty_per_ms").as_number();
+  w.deadline = doc.at("deadline").as_int();
+  return w;
+}
+
+JsonValue move_stats_to_json(
+    const std::array<MoveClassStats, kMoveKindCount>& stats) {
+  JsonValue arr = JsonValue::array();
+  for (const MoveClassStats& s : stats) {
+    JsonValue row = JsonValue::array();
+    row.push_back(s.drawn);
+    row.push_back(s.null_draws);
+    row.push_back(s.infeasible);
+    row.push_back(s.evaluated);
+    row.push_back(s.accepted);
+    arr.push_back(std::move(row));
+  }
+  return arr;
+}
+
+std::array<MoveClassStats, kMoveKindCount> move_stats_from_json(
+    const JsonValue& doc) {
+  RDSE_REQUIRE(doc.size() == kMoveKindCount,
+               "checkpoint: move-stats class count mismatch");
+  std::array<MoveClassStats, kMoveKindCount> stats{};
+  for (std::size_t k = 0; k < kMoveKindCount; ++k) {
+    const JsonValue& row = doc.items()[k];
+    RDSE_REQUIRE(row.size() == 5, "checkpoint: malformed move-stats row");
+    stats[k].drawn = row.items()[0].as_int();
+    stats[k].null_draws = row.items()[1].as_int();
+    stats[k].infeasible = row.items()[2].as_int();
+    stats[k].evaluated = row.items()[3].as_int();
+    stats[k].accepted = row.items()[4].as_int();
+  }
+  return stats;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ architecture
+
+JsonValue architecture_to_json(const Architecture& arch) {
+  JsonValue doc = JsonValue::object();
+  doc.set("bus_bytes_per_second", arch.bus().bytes_per_second());
+  JsonValue slots = JsonValue::array();
+  for (ResourceId id = 0; id < arch.slot_count(); ++id) {
+    if (!arch.alive(id)) {
+      slots.push_back(JsonValue());  // tombstone
+      continue;
+    }
+    const Resource& res = arch.resource(id);
+    JsonValue slot = JsonValue::object();
+    slot.set("kind", to_string(res.kind()));
+    slot.set("name", res.name());
+    slot.set("price", res.price());
+    switch (res.kind()) {
+      case ResourceKind::kProcessor:
+        slot.set("speed_factor",
+                 static_cast<const Processor&>(res).speed_factor());
+        break;
+      case ResourceKind::kAsic:
+        break;
+      case ResourceKind::kReconfigurable: {
+        const auto& rc = static_cast<const ReconfigurableCircuit&>(res);
+        slot.set("n_clbs", static_cast<std::int64_t>(rc.n_clbs()));
+        slot.set("tr_per_clb", rc.tr_per_clb());
+        break;
+      }
+    }
+    slots.push_back(std::move(slot));
+  }
+  doc.set("slots", std::move(slots));
+  return doc;
+}
+
+Architecture architecture_from_json(const JsonValue& doc) {
+  Architecture arch(Bus(doc.at("bus_bytes_per_second").as_int()));
+  for (const JsonValue& slot : doc.at("slots").items()) {
+    if (slot.is_null()) {
+      // Rebuild the tombstone so later resource ids keep their positions.
+      const ResourceId id = arch.add_processor("tombstone");
+      arch.remove(id);
+      continue;
+    }
+    const std::string& kind = slot.at("kind").as_string();
+    const std::string& name = slot.at("name").as_string();
+    const double price = slot.at("price").as_number();
+    if (kind == "processor") {
+      (void)arch.add_processor(name, price,
+                               slot.at("speed_factor").as_number());
+    } else if (kind == "asic") {
+      (void)arch.add_asic(name, price);
+    } else if (kind == "reconfigurable") {
+      const ResourceId id = arch.add_reconfigurable(
+          name, static_cast<std::int32_t>(slot.at("n_clbs").as_int()),
+          slot.at("tr_per_clb").as_int());
+      // add_reconfigurable derives the price from its CLB count; every
+      // creation site in the library does the same, so a mismatch means
+      // the file does not describe a system this build can reconstruct.
+      RDSE_REQUIRE(arch.resource(id).price() == price,
+                   "checkpoint: reconfigurable price mismatch");
+    } else {
+      throw Error("checkpoint: unknown resource kind '" + kind + "'");
+    }
+  }
+  return arch;
+}
+
+// ----------------------------------------------------------------- metrics
+
+JsonValue metrics_to_json(const Metrics& m) {
+  JsonValue doc = JsonValue::object();
+  doc.set("makespan", m.makespan);
+  doc.set("init_reconfig", m.init_reconfig);
+  doc.set("dyn_reconfig", m.dyn_reconfig);
+  doc.set("comm_cross", m.comm_cross);
+  doc.set("sw_busy", m.sw_busy);
+  doc.set("hw_busy", m.hw_busy);
+  doc.set("n_contexts", m.n_contexts);
+  doc.set("sw_tasks", m.sw_tasks);
+  doc.set("hw_tasks", m.hw_tasks);
+  doc.set("clbs_loaded", static_cast<std::int64_t>(m.clbs_loaded));
+  doc.set("max_context_clbs", static_cast<std::int64_t>(m.max_context_clbs));
+  return doc;
+}
+
+Metrics metrics_from_json(const JsonValue& doc) {
+  Metrics m;
+  m.makespan = doc.at("makespan").as_int();
+  m.init_reconfig = doc.at("init_reconfig").as_int();
+  m.dyn_reconfig = doc.at("dyn_reconfig").as_int();
+  m.comm_cross = doc.at("comm_cross").as_int();
+  m.sw_busy = doc.at("sw_busy").as_int();
+  m.hw_busy = doc.at("hw_busy").as_int();
+  m.n_contexts = static_cast<int>(doc.at("n_contexts").as_int());
+  m.sw_tasks = static_cast<int>(doc.at("sw_tasks").as_int());
+  m.hw_tasks = static_cast<int>(doc.at("hw_tasks").as_int());
+  m.clbs_loaded = static_cast<std::int32_t>(doc.at("clbs_loaded").as_int());
+  m.max_context_clbs =
+      static_cast<std::int32_t>(doc.at("max_context_clbs").as_int());
+  return m;
+}
+
+// ----------------------------------------------------------------- configs
+
+JsonValue explorer_config_to_json(const ExplorerConfig& config) {
+  JsonValue doc = JsonValue::object();
+  doc.set("seed", u64_to_hex(config.seed));
+  doc.set("iterations", config.iterations);
+  doc.set("warmup_iterations", config.warmup_iterations);
+  doc.set("schedule", to_string(config.schedule));
+  doc.set("init", init_kind_name(config.init));
+  doc.set("moves", move_config_to_json(config.moves));
+  doc.set("cost", cost_weights_to_json(config.cost));
+  doc.set("adaptive_move_mix", config.adaptive_move_mix);
+  doc.set("full_eval", config.full_eval);
+  doc.set("batch", config.batch);
+  doc.set("freeze_after", config.freeze_after);
+  return doc;
+}
+
+ExplorerConfig explorer_config_from_json(const JsonValue& doc) {
+  ExplorerConfig config;
+  config.seed = u64_from_hex(doc.at("seed").as_string());
+  config.iterations = doc.at("iterations").as_int();
+  config.warmup_iterations = doc.at("warmup_iterations").as_int();
+  config.schedule = schedule_kind_from_name(doc.at("schedule").as_string());
+  config.init = init_kind_from_name(doc.at("init").as_string());
+  config.moves = move_config_from_json(doc.at("moves"));
+  config.cost = cost_weights_from_json(doc.at("cost"));
+  config.adaptive_move_mix = doc.at("adaptive_move_mix").as_bool();
+  config.full_eval = doc.at("full_eval").as_bool();
+  config.batch = static_cast<int>(doc.at("batch").as_int());
+  config.freeze_after = doc.at("freeze_after").as_int();
+  config.record_trace = false;
+  return config;
+}
+
+JsonValue parallel_explorer_config_to_json(
+    const ParallelExplorerConfig& config) {
+  JsonValue doc = JsonValue::object();
+  doc.set("seed", u64_to_hex(config.seed));
+  doc.set("replicas", config.replicas);
+  doc.set("iterations", config.iterations);
+  doc.set("warmup_iterations", config.warmup_iterations);
+  doc.set("exchange_interval", config.exchange_interval);
+  doc.set("schedule", to_string(config.schedule));
+  JsonValue ladder = JsonValue::array();
+  for (const ScheduleKind kind : config.replica_schedules) {
+    ladder.push_back(to_string(kind));
+  }
+  doc.set("replica_schedules", std::move(ladder));
+  doc.set("init", init_kind_name(config.init));
+  doc.set("moves", move_config_to_json(config.moves));
+  doc.set("cost", cost_weights_to_json(config.cost));
+  doc.set("adaptive_move_mix", config.adaptive_move_mix);
+  doc.set("full_eval", config.full_eval);
+  doc.set("batch", config.batch);
+  doc.set("freeze_after", config.freeze_after);
+  return doc;
+}
+
+ParallelExplorerConfig parallel_explorer_config_from_json(
+    const JsonValue& doc) {
+  ParallelExplorerConfig config;
+  config.seed = u64_from_hex(doc.at("seed").as_string());
+  config.replicas = static_cast<int>(doc.at("replicas").as_int());
+  config.iterations = doc.at("iterations").as_int();
+  config.warmup_iterations = doc.at("warmup_iterations").as_int();
+  config.exchange_interval = doc.at("exchange_interval").as_int();
+  config.schedule = schedule_kind_from_name(doc.at("schedule").as_string());
+  config.replica_schedules.clear();
+  for (const JsonValue& kind : doc.at("replica_schedules").items()) {
+    config.replica_schedules.push_back(
+        schedule_kind_from_name(kind.as_string()));
+  }
+  config.init = init_kind_from_name(doc.at("init").as_string());
+  config.moves = move_config_from_json(doc.at("moves"));
+  config.cost = cost_weights_from_json(doc.at("cost"));
+  config.adaptive_move_mix = doc.at("adaptive_move_mix").as_bool();
+  config.full_eval = doc.at("full_eval").as_bool();
+  config.batch = static_cast<int>(doc.at("batch").as_int());
+  config.freeze_after = doc.at("freeze_after").as_int();
+  config.record_trace = false;
+  return config;
+}
+
+// ------------------------------------------------------------ file envelope
+
+bool save_checkpoint(const std::string& path, const JsonValue& body) {
+  JsonValue doc = JsonValue::object();
+  doc.set("format", kCheckpointFormat);
+  doc.set("checksum", fnv1a64_hex(body.dump()));
+  doc.set("body", body);
+  std::string data = doc.dump(2);
+  data += '\n';
+  return write_file_atomic(path, data);
+}
+
+JsonValue load_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    throw Error("checkpoint: cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(buffer.str());
+  } catch (const std::exception& e) {
+    throw Error("checkpoint: '" + path +
+                "' is not valid JSON (truncated or corrupt): " + e.what());
+  }
+  if (doc.kind() != JsonValue::Kind::kObject) {
+    throw Error("checkpoint: '" + path + "' is not a checkpoint document");
+  }
+  const JsonValue* format = doc.find("format");
+  if (format == nullptr || format->kind() != JsonValue::Kind::kString ||
+      format->as_string() != kCheckpointFormat) {
+    throw Error("checkpoint: '" + path + "' has a foreign format tag (want " +
+                std::string(kCheckpointFormat) + ")");
+  }
+  const JsonValue* checksum = doc.find("checksum");
+  const JsonValue* body = doc.find("body");
+  if (checksum == nullptr || checksum->kind() != JsonValue::Kind::kString ||
+      body == nullptr) {
+    throw Error("checkpoint: '" + path + "' is missing checksum or body");
+  }
+  if (checksum->as_string() != fnv1a64_hex(body->dump())) {
+    throw Error("checkpoint: '" + path +
+                "' failed its checksum (corrupt or hand-edited)");
+  }
+  return *body;
+}
+
+// -------------------------------------------------- CheckpointableExplorer
+
+CheckpointableExplorer::CheckpointableExplorer(const TaskGraph& tg,
+                                               Architecture arch,
+                                               const ExplorerConfig& config)
+    : tg_(&tg), explorer_(tg, std::move(arch)), config_(config) {
+  config_.record_trace = false;
+  throw_if_cancelled(config_.cancel);
+
+  // Same derivation as Explorer::run — segment-for-segment bit-identity
+  // starts at the initial solution.
+  Rng init_rng(config_.seed ^ 0x5851F42D4C957F2DULL);
+  Solution initial = explorer_.initial_solution(config_.init, init_rng);
+
+  problem_ = std::make_unique<DseProblem>(
+      tg, explorer_.architecture(), std::move(initial), config_.moves,
+      config_.cost, config_.adaptive_move_mix, config_.full_eval,
+      config_.batch);
+  initial_metrics_ = problem_->current_metrics();
+  engine_ = std::make_unique<AnnealEngine>(*problem_, anneal_config());
+}
+
+CheckpointableExplorer::CheckpointableExplorer(const TaskGraph& tg,
+                                               Architecture arch,
+                                               const JsonValue& state,
+                                               const CancelToken* cancel)
+    : tg_(&tg),
+      explorer_(tg, std::move(arch)),
+      config_(explorer_config_from_json(state.at("config"))) {
+  config_.cancel = cancel;
+  initial_metrics_ = metrics_from_json(state.at("initial_metrics"));
+
+  const JsonValue& prob = state.at("problem");
+  problem_ = std::make_unique<DseProblem>(
+      tg, architecture_from_json(prob.at("current_architecture")),
+      solution_from_text(tg, prob.at("current_solution").as_string()),
+      config_.moves, config_.cost, config_.adaptive_move_mix,
+      config_.full_eval, config_.batch);
+
+  // Construction order matters: the engine constructor snapshots the
+  // problem's current state as "best"; the checkpointed best is restored
+  // afterwards, then the engine's counters/RNG/schedule overwrite the
+  // fresh-start values.
+  engine_ = std::make_unique<AnnealEngine>(*problem_, anneal_config());
+  engine_->load_state(state.at("engine"));
+  problem_->restore_best_state(
+      architecture_from_json(prob.at("best_architecture")),
+      solution_from_text(tg, prob.at("best_solution").as_string()));
+  problem_->set_move_stats(move_stats_from_json(prob.at("move_stats")));
+  if (const JsonValue* mix = prob.find("move_mix")) {
+    RDSE_REQUIRE(problem_->move_mix() != nullptr,
+                 "checkpoint: move-mix state without adaptive_move_mix");
+    problem_->move_mix()->load_state(*mix);
+  }
+}
+
+AnnealConfig CheckpointableExplorer::anneal_config() const {
+  AnnealConfig ac;
+  ac.seed = config_.seed;
+  ac.iterations = config_.iterations;
+  ac.warmup_iterations = config_.warmup_iterations;
+  ac.schedule = config_.schedule;
+  ac.freeze_after = config_.freeze_after;
+  ac.cancel = config_.cancel;
+  return ac;
+}
+
+std::int64_t CheckpointableExplorer::step(std::int64_t max_iterations) {
+  return engine_->run(max_iterations);
+}
+
+bool CheckpointableExplorer::finished() const { return engine_->finished(); }
+
+RunResult CheckpointableExplorer::result() const {
+  RunResult result;
+  result.initial_metrics = initial_metrics_;
+  result.anneal = engine_->result();
+  result.best_solution = problem_->best_solution();
+  result.best_architecture = problem_->best_architecture();
+  result.best_metrics = problem_->best_metrics();
+  result.move_stats = problem_->move_stats();
+  return result;
+}
+
+JsonValue CheckpointableExplorer::save_state() const {
+  JsonValue body = JsonValue::object();
+  body.set("config", explorer_config_to_json(config_));
+  body.set("initial_metrics", metrics_to_json(initial_metrics_));
+
+  JsonValue prob = JsonValue::object();
+  prob.set("current_architecture",
+           architecture_to_json(problem_->current_architecture()));
+  prob.set("current_solution",
+           solution_to_text(*tg_, problem_->current_solution()));
+  prob.set("best_architecture",
+           architecture_to_json(problem_->best_architecture()));
+  prob.set("best_solution", solution_to_text(*tg_, problem_->best_solution()));
+  prob.set("move_stats", move_stats_to_json(problem_->move_stats()));
+  if (problem_->move_mix() != nullptr) {
+    JsonValue mix = JsonValue::object();
+    problem_->move_mix()->save_state(mix);
+    prob.set("move_mix", std::move(mix));
+  }
+  body.set("problem", std::move(prob));
+  body.set("engine", engine_->save_state());
+  return body;
+}
+
+// ------------------------------------------ CheckpointableParallelExplorer
+
+CheckpointableParallelExplorer::CheckpointableParallelExplorer(
+    const TaskGraph& tg, Architecture arch,
+    const ParallelExplorerConfig& config)
+    : tg_(&tg), explorer_(tg, std::move(arch)), config_(config) {
+  RDSE_REQUIRE(config_.replicas >= 1,
+               "CheckpointableParallelExplorer: need at least one replica");
+  RDSE_REQUIRE(config_.iterations >= 0 && config_.warmup_iterations >= 0 &&
+                   config_.exchange_interval >= 0,
+               "CheckpointableParallelExplorer: negative iteration counts");
+  config_.record_trace = false;
+  throw_if_cancelled(config_.cancel);
+
+  const int n = config_.replicas;
+  reps_.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    Replica& rep = reps_.emplace_back();
+    rep.seed = ParallelExplorer::replica_seed(config_.seed, r);
+    rep.schedule =
+        config_.replica_schedules.empty()
+            ? config_.schedule
+            : config_.replica_schedules[static_cast<std::size_t>(r) %
+                                        config_.replica_schedules.size()];
+    Rng init_rng(rep.seed ^ 0x5851F42D4C957F2DULL);
+    Solution initial = explorer_.initial_solution(config_.init, init_rng);
+    rep.problem = std::make_unique<DseProblem>(
+        tg, explorer_.architecture(), std::move(initial), config_.moves,
+        config_.cost, config_.adaptive_move_mix, config_.full_eval,
+        config_.batch);
+    rep.initial_metrics = rep.problem->current_metrics();
+    rep.engine =
+        std::make_unique<AnnealEngine>(*rep.problem,
+                                       replica_anneal_config(rep));
+  }
+  make_pool(config_.threads);
+}
+
+CheckpointableParallelExplorer::CheckpointableParallelExplorer(
+    const TaskGraph& tg, Architecture arch, const JsonValue& state,
+    unsigned threads, const CancelToken* cancel)
+    : tg_(&tg),
+      explorer_(tg, std::move(arch)),
+      config_(parallel_explorer_config_from_json(state.at("config"))) {
+  config_.cancel = cancel;
+  config_.threads = threads;
+  started_ = state.at("started").as_bool();
+  exchange_rounds_ = state.at("exchange_rounds").as_int();
+  adoptions_ = state.at("adoptions").as_int();
+
+  const JsonValue& replicas = state.at("replicas");
+  RDSE_REQUIRE(replicas.size() ==
+                   static_cast<std::size_t>(config_.replicas),
+               "checkpoint: replica count mismatch");
+  reps_.reserve(replicas.size());
+  for (std::size_t r = 0; r < replicas.size(); ++r) {
+    const JsonValue& doc = replicas.items()[r];
+    Replica& rep = reps_.emplace_back();
+    rep.seed = u64_from_hex(doc.at("seed").as_string());
+    rep.schedule = schedule_kind_from_name(doc.at("schedule").as_string());
+    rep.adoptions = doc.at("adoptions").as_int();
+    rep.initial_metrics = metrics_from_json(doc.at("initial_metrics"));
+    rep.problem = std::make_unique<DseProblem>(
+        tg, architecture_from_json(doc.at("current_architecture")),
+        solution_from_text(tg, doc.at("current_solution").as_string()),
+        config_.moves, config_.cost, config_.adaptive_move_mix,
+        config_.full_eval, config_.batch);
+    rep.engine = std::make_unique<AnnealEngine>(*rep.problem,
+                                                replica_anneal_config(rep));
+    rep.engine->load_state(doc.at("engine"));
+    rep.problem->restore_best_state(
+        architecture_from_json(doc.at("best_architecture")),
+        solution_from_text(tg, doc.at("best_solution").as_string()));
+    rep.problem->set_move_stats(move_stats_from_json(doc.at("move_stats")));
+    if (const JsonValue* mix = doc.find("move_mix")) {
+      RDSE_REQUIRE(rep.problem->move_mix() != nullptr,
+                   "checkpoint: move-mix state without adaptive_move_mix");
+      rep.problem->move_mix()->load_state(*mix);
+    }
+  }
+  make_pool(threads);
+}
+
+CheckpointableParallelExplorer::CheckpointableParallelExplorer(
+    CheckpointableParallelExplorer&&) noexcept = default;
+CheckpointableParallelExplorer& CheckpointableParallelExplorer::operator=(
+    CheckpointableParallelExplorer&&) noexcept = default;
+CheckpointableParallelExplorer::~CheckpointableParallelExplorer() = default;
+
+void CheckpointableParallelExplorer::make_pool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::min<unsigned>(
+        static_cast<unsigned>(config_.replicas),
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+AnnealConfig CheckpointableParallelExplorer::replica_anneal_config(
+    const Replica& rep) const {
+  AnnealConfig ac;
+  ac.seed = rep.seed;
+  ac.iterations = config_.iterations;
+  ac.warmup_iterations = config_.warmup_iterations;
+  ac.schedule = rep.schedule;
+  ac.freeze_after = config_.freeze_after;
+  ac.cancel = config_.cancel;
+  return ac;
+}
+
+bool CheckpointableParallelExplorer::any_running() const {
+  return std::any_of(reps_.begin(), reps_.end(), [](const Replica& rep) {
+    return !rep.engine->finished();
+  });
+}
+
+bool CheckpointableParallelExplorer::finished() const {
+  return !any_running();
+}
+
+bool CheckpointableParallelExplorer::step() {
+  if (!any_running()) return false;
+  const std::int64_t chunk =
+      config_.exchange_interval > 0
+          ? config_.exchange_interval
+          : std::max<std::int64_t>(config_.iterations, 1);
+  // Segment 0 covers warm-up plus the first cooling chunk, exactly as in
+  // ParallelExplorer::run, so every barrier lands on a shared cooling-
+  // iteration boundary.
+  const std::int64_t budget =
+      started_ ? chunk : config_.warmup_iterations + chunk;
+  pool_->parallel_for_index(reps_.size(), [this, budget](std::size_t i) {
+    (void)reps_[i].engine->run(budget);
+  });
+  started_ = true;
+  if (config_.replicas > 1 && config_.exchange_interval > 0 &&
+      any_running()) {
+    exchange();
+  }
+  return true;
+}
+
+void CheckpointableParallelExplorer::exchange() {
+  // Verbatim mirror of ParallelExplorer::run's barrier exchange: serial,
+  // replica-ordered, computed from snapshotted states.
+  const int n = config_.replicas;
+  ++exchange_rounds_;
+  std::vector<double> best_cost(reps_.size());
+  std::vector<double> current_cost(reps_.size());
+  for (std::size_t r = 0; r < reps_.size(); ++r) {
+    best_cost[r] = reps_[r].engine->best_cost();
+    current_cost[r] = reps_[r].engine->current_cost();
+  }
+  int leader = 0;
+  for (int r = 1; r < n; ++r) {
+    if (best_cost[static_cast<std::size_t>(r)] <
+        best_cost[static_cast<std::size_t>(leader)]) {
+      leader = r;
+    }
+  }
+  const int ring = (leader + 1) % n;
+  struct Donor {
+    Architecture arch;
+    Solution sol;
+  };
+  const Donor leader_donor{
+      reps_[static_cast<std::size_t>(leader)].problem->best_architecture(),
+      reps_[static_cast<std::size_t>(leader)].problem->best_solution()};
+  const Donor ring_donor{
+      reps_[static_cast<std::size_t>(ring)].problem->best_architecture(),
+      reps_[static_cast<std::size_t>(ring)].problem->best_solution()};
+  for (int r = 0; r < n; ++r) {
+    Replica& rep = reps_[static_cast<std::size_t>(r)];
+    if (rep.engine->finished()) continue;
+    const int donor_idx = r == leader ? ring : leader;
+    const Donor& donor = donor_idx == leader ? leader_donor : ring_donor;
+    if (best_cost[static_cast<std::size_t>(donor_idx)] <
+        current_cost[static_cast<std::size_t>(r)]) {
+      rep.problem->reset_state(donor.arch, donor.sol);
+      rep.engine->notify_state_replaced();
+      ++rep.adoptions;
+      ++adoptions_;
+    }
+  }
+}
+
+ParallelRunResult CheckpointableParallelExplorer::result() const {
+  ParallelRunResult out;
+  out.exchange_rounds = exchange_rounds_;
+  out.adoptions = adoptions_;
+
+  const int n = config_.replicas;
+  int best_replica = 0;
+  for (int r = 1; r < n; ++r) {
+    if (reps_[static_cast<std::size_t>(r)].engine->best_cost() <
+        reps_[static_cast<std::size_t>(best_replica)].engine->best_cost()) {
+      best_replica = r;
+    }
+  }
+  out.best_replica = best_replica;
+
+  const Replica& winner = reps_[static_cast<std::size_t>(best_replica)];
+  out.best.best_solution = winner.problem->best_solution();
+  out.best.best_architecture = winner.problem->best_architecture();
+  out.best.best_metrics = winner.problem->best_metrics();
+  out.best.initial_metrics = winner.initial_metrics;
+  out.best.anneal = winner.engine->result();
+  out.best.move_stats = winner.problem->move_stats();
+
+  out.replicas.reserve(reps_.size());
+  for (int r = 0; r < n; ++r) {
+    const Replica& rep = reps_[static_cast<std::size_t>(r)];
+    ReplicaOutcome outcome;
+    outcome.replica = r;
+    outcome.seed = rep.seed;
+    outcome.schedule = rep.schedule;
+    outcome.anneal = rep.engine->result();
+    outcome.best_metrics = rep.problem->best_metrics();
+    outcome.best_cost = rep.engine->best_cost();
+    outcome.adoptions = rep.adoptions;
+    out.replicas.push_back(std::move(outcome));
+  }
+  return out;
+}
+
+JsonValue CheckpointableParallelExplorer::save_state() const {
+  JsonValue body = JsonValue::object();
+  body.set("config", parallel_explorer_config_to_json(config_));
+  body.set("started", started_);
+  body.set("exchange_rounds", exchange_rounds_);
+  body.set("adoptions", adoptions_);
+
+  JsonValue replicas = JsonValue::array();
+  for (const Replica& rep : reps_) {
+    JsonValue doc = JsonValue::object();
+    doc.set("seed", u64_to_hex(rep.seed));
+    doc.set("schedule", to_string(rep.schedule));
+    doc.set("adoptions", rep.adoptions);
+    doc.set("initial_metrics", metrics_to_json(rep.initial_metrics));
+    doc.set("current_architecture",
+            architecture_to_json(rep.problem->current_architecture()));
+    doc.set("current_solution",
+            solution_to_text(*tg_, rep.problem->current_solution()));
+    doc.set("best_architecture",
+            architecture_to_json(rep.problem->best_architecture()));
+    doc.set("best_solution",
+            solution_to_text(*tg_, rep.problem->best_solution()));
+    doc.set("move_stats", move_stats_to_json(rep.problem->move_stats()));
+    if (rep.problem->move_mix() != nullptr) {
+      JsonValue mix = JsonValue::object();
+      rep.problem->move_mix()->save_state(mix);
+      doc.set("move_mix", std::move(mix));
+    }
+    doc.set("engine", rep.engine->save_state());
+    replicas.push_back(std::move(doc));
+  }
+  body.set("replicas", std::move(replicas));
+  return body;
+}
+
+}  // namespace rdse

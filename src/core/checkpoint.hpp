@@ -1,0 +1,187 @@
+#pragma once
+/// \file checkpoint.hpp
+/// \brief Durable checkpoint/resume for long explorations.
+///
+/// Format `rdse.checkpoint.v1`: one JSON document
+///
+///   {"format": "rdse.checkpoint.v1", "checksum": "<16 hex>", "body": {...}}
+///
+/// where `checksum` = fnv1a64_hex of the compact dump of `body`. Files are
+/// written with the temp+fsync+atomic-rename discipline (util/atomic_file,
+/// routed through util/faultfs), so a crash or injected storage fault
+/// leaves either the previous checkpoint or the new one — a failed save
+/// degrades to "no new checkpoint", never to a corrupt resume. Loading
+/// rejects missing, truncated, foreign-format and checksum-mismatched
+/// files loudly (throws Error).
+///
+/// The checkpointable sessions below mirror Explorer::run and
+/// ParallelExplorer::run step by step — same RNG derivations, same problem
+/// construction, same exchange logic — but execute in caller-controlled
+/// segments and serialize *every* mutable bit of the loop (RNG streams,
+/// schedule position, warm-up statistics, counters, move-mix EWMAs,
+/// current and best states, per-replica state). The contract, enforced by
+/// tests/test_core_checkpoint.cpp: a run resumed from a checkpoint taken
+/// at any point is bit-identical to the uninterrupted run, for any thread
+/// count on the parallel path.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/parallel_explorer.hpp"
+#include "util/json.hpp"
+
+namespace rdse {
+
+class ThreadPool;
+
+inline constexpr const char* kCheckpointFormat = "rdse.checkpoint.v1";
+
+/// Architecture <-> JSON. Tombstoned slots are preserved (as nulls) so
+/// resource ids — which solutions and moves hold — stay stable across a
+/// save/load cycle.
+[[nodiscard]] JsonValue architecture_to_json(const Architecture& arch);
+[[nodiscard]] Architecture architecture_from_json(const JsonValue& doc);
+
+/// Metrics <-> JSON (all integer fields; exact below 2^53).
+[[nodiscard]] JsonValue metrics_to_json(const Metrics& m);
+[[nodiscard]] Metrics metrics_from_json(const JsonValue& doc);
+
+/// Serializable subset of ExplorerConfig: everything that shapes the
+/// search trajectory. Runtime-only members (trace recording, cancel token,
+/// callbacks) are not persisted.
+[[nodiscard]] JsonValue explorer_config_to_json(const ExplorerConfig& config);
+[[nodiscard]] ExplorerConfig explorer_config_from_json(const JsonValue& doc);
+
+/// Same for ParallelExplorerConfig. `threads` is a throughput knob with no
+/// effect on results and is deliberately not persisted — a run may be
+/// resumed under a different thread count.
+[[nodiscard]] JsonValue parallel_explorer_config_to_json(
+    const ParallelExplorerConfig& config);
+[[nodiscard]] ParallelExplorerConfig parallel_explorer_config_from_json(
+    const JsonValue& doc);
+
+/// Atomically write `body` wrapped in the checksummed rdse.checkpoint.v1
+/// envelope. Returns false on any (injected or real) storage failure,
+/// leaving the previous checkpoint file untouched where the OS permits;
+/// never throws on I/O errors — a failed checkpoint must not kill the run.
+[[nodiscard]] bool save_checkpoint(const std::string& path,
+                                   const JsonValue& body);
+
+/// Load, verify and unwrap a checkpoint file. Throws Error on a missing
+/// file, unparseable JSON (truncated/torn writes), a foreign format tag or
+/// a checksum mismatch — corrupt checkpoints are rejected loudly, never
+/// silently resumed.
+[[nodiscard]] JsonValue load_checkpoint(const std::string& path);
+
+/// Explorer::run, resumable: the same initial-solution derivation, problem
+/// construction and annealing loop, executed in caller-controlled segments
+/// with full state capture between them.
+class CheckpointableExplorer {
+ public:
+  /// Start a fresh session (mirrors Explorer::run up to its first
+  /// iteration). Traces are never recorded — they are unbounded and are
+  /// not part of the checkpoint contract.
+  CheckpointableExplorer(const TaskGraph& tg, Architecture arch,
+                         const ExplorerConfig& config);
+
+  /// Resume from save_state() output. `arch` is the base architecture the
+  /// fresh run was constructed with (the session's current/best
+  /// architectures come from the state). `cancel` re-attaches a
+  /// cooperative-cancellation token (tokens are runtime state and are not
+  /// persisted).
+  CheckpointableExplorer(const TaskGraph& tg, Architecture arch,
+                         const JsonValue& state,
+                         const CancelToken* cancel = nullptr);
+
+  /// Run at most `max_iterations` further iterations; returns the number
+  /// executed (0 iff finished()).
+  std::int64_t step(std::int64_t max_iterations);
+
+  [[nodiscard]] bool finished() const;
+
+  /// Facade-compatible result (trace empty, wall_seconds 0 — timing is the
+  /// caller's concern across interrupted runs).
+  [[nodiscard]] RunResult result() const;
+
+  /// Complete resumable state as a JSON body for save_checkpoint().
+  [[nodiscard]] JsonValue save_state() const;
+
+  [[nodiscard]] const ExplorerConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] AnnealConfig anneal_config() const;
+
+  const TaskGraph* tg_;
+  Explorer explorer_;
+  ExplorerConfig config_;
+  Metrics initial_metrics_{};
+  std::unique_ptr<DseProblem> problem_;
+  std::unique_ptr<AnnealEngine> engine_;
+};
+
+/// ParallelExplorer::run, resumable: segments run all replicas to the next
+/// exchange barrier and then exchange, so a checkpoint taken between
+/// step() calls is always at a barrier — exactly the points where the
+/// uninterrupted run's replicas are in lockstep.
+class CheckpointableParallelExplorer {
+ public:
+  CheckpointableParallelExplorer(const TaskGraph& tg, Architecture arch,
+                                 const ParallelExplorerConfig& config);
+
+  /// Resume from save_state() output. `threads` overrides the worker count
+  /// (0 = min(replicas, hardware concurrency)); any value is bit-identical.
+  CheckpointableParallelExplorer(const TaskGraph& tg, Architecture arch,
+                                 const JsonValue& state, unsigned threads = 0,
+                                 const CancelToken* cancel = nullptr);
+
+  CheckpointableParallelExplorer(CheckpointableParallelExplorer&&) noexcept;
+  CheckpointableParallelExplorer& operator=(
+      CheckpointableParallelExplorer&&) noexcept;
+  ~CheckpointableParallelExplorer();
+
+  /// Advance every replica to the next exchange barrier, then exchange.
+  /// Returns false (and does nothing) once all replicas have finished.
+  bool step();
+
+  [[nodiscard]] bool finished() const;
+
+  /// Facade-compatible result (traces empty, wall_seconds 0).
+  [[nodiscard]] ParallelRunResult result() const;
+
+  /// Complete resumable state as a JSON body for save_checkpoint().
+  [[nodiscard]] JsonValue save_state() const;
+
+  [[nodiscard]] const ParallelExplorerConfig& config() const {
+    return config_;
+  }
+
+ private:
+  struct Replica {
+    std::unique_ptr<DseProblem> problem;
+    std::unique_ptr<AnnealEngine> engine;
+    Metrics initial_metrics{};
+    std::uint64_t seed = 0;
+    ScheduleKind schedule = ScheduleKind::kModifiedLam;
+    std::int64_t adoptions = 0;
+  };
+
+  [[nodiscard]] AnnealConfig replica_anneal_config(const Replica& rep) const;
+  [[nodiscard]] bool any_running() const;
+  void exchange();
+  void make_pool(unsigned threads);
+
+  const TaskGraph* tg_;
+  Explorer explorer_;
+  ParallelExplorerConfig config_;
+  std::vector<Replica> reps_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::int64_t exchange_rounds_ = 0;
+  std::int64_t adoptions_ = 0;
+  /// True once segment 0 (warm-up + first cooling chunk) has run; later
+  /// segments are one chunk each.
+  bool started_ = false;
+};
+
+}  // namespace rdse

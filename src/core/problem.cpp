@@ -72,6 +72,17 @@ void DseProblem::reset_state(Architecture arch, Solution sol) {
   if (inc_) inc_->reset(arch_, sol_);
 }
 
+void DseProblem::restore_best_state(Architecture arch, Solution sol) {
+  require_valid(*tg_, arch, sol);
+  const Evaluator ev(*tg_, arch);
+  const auto m = ev.evaluate(sol);
+  RDSE_REQUIRE(m.has_value(),
+               "restore_best_state: injected solution is infeasible");
+  best_arch_ = std::move(arch);
+  best_sol_ = std::move(sol);
+  best_metrics_ = *m;
+}
+
 MoveOutcome DseProblem::generate_candidate_move(Rng& rng) {
   if (mix_) {
     // Adaptive move-mix (EXP-A2): the controller picks the class, the

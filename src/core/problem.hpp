@@ -99,6 +99,25 @@ class DseProblem final : public AnnealProblem {
   /// driving an AnnealEngine must follow up with notify_state_replaced().
   void reset_state(Architecture arch, Solution sol);
 
+  /// Checkpoint restore: replace the best-so-far snapshot (validated and
+  /// re-evaluated). The construction sequence of a resumed problem takes
+  /// the checkpointed *current* state through the constructor and the
+  /// engine's initial snapshot_best() clobbers best with it; this puts the
+  /// checkpointed best back.
+  void restore_best_state(Architecture arch, Solution sol);
+
+  /// Checkpoint restore of the per-class move counters.
+  void set_move_stats(const std::array<MoveClassStats, kMoveKindCount>& s) {
+    move_stats_ = s;
+  }
+
+  /// Adaptive move-mix controller; nullptr unless adaptive_move_mix was
+  /// requested. Exposed for checkpoint save/restore of its EWMA state.
+  [[nodiscard]] MoveMixController* move_mix() { return mix_.get(); }
+  [[nodiscard]] const MoveMixController* move_mix() const {
+    return mix_.get();
+  }
+
  private:
   /// One §4.2 move draw into the candidate buffers (adaptive-mix forcing
   /// included) — shared by the single and batched propose paths.

@@ -1,24 +1,6 @@
 #include "serve/cache.hpp"
 
-#include <cstdio>
-
 namespace rdse::serve {
-
-std::uint64_t fnv1a64(std::string_view text) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (const char c : text) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
-std::string fnv1a64_hex(std::string_view text) {
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(fnv1a64(text)));
-  return std::string(buf, 16);
-}
 
 std::optional<std::string> SolutionCache::lookup(const std::string& key) {
   const std::lock_guard<std::mutex> lock(mutex_);

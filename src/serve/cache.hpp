@@ -20,13 +20,14 @@
 #include <utility>
 #include <vector>
 
+#include "util/hash.hpp"
+
 namespace rdse::serve {
 
-/// FNV-1a 64-bit hash; the cache-key fingerprint reported in responses.
-[[nodiscard]] std::uint64_t fnv1a64(std::string_view text);
-
-/// `fnv1a64` rendered as 16 lowercase hex digits.
-[[nodiscard]] std::string fnv1a64_hex(std::string_view text);
+// The FNV-1a cache-key fingerprint lives in util/hash (it is shared with
+// the checkpoint and journal formats); re-exported here for serve callers.
+using rdse::fnv1a64;
+using rdse::fnv1a64_hex;
 
 /// Thread-safe bounded LRU map from canonical request key to result payload
 /// bytes. The full key string is the map key (the FNV fingerprint is

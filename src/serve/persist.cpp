@@ -1,12 +1,10 @@
 #include "serve/persist.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <fstream>
+#include <unordered_set>
 
 #include "serve/cache.hpp"
-#include "util/faultfs.hpp"
+#include "util/atomic_file.hpp"
 #include "util/json.hpp"
 
 namespace rdse::serve {
@@ -65,34 +63,6 @@ bool valid_header(const std::string& line) {
   }
 }
 
-/// Write the whole buffer through the fault-injection shim, retrying real
-/// partial writes; false on any (injected or real) failure.
-bool write_all(int fd, const std::string& data) {
-  std::size_t done = 0;
-  while (done < data.size()) {
-    const ssize_t n =
-        faultfs::write(fd, data.data() + done, data.size() - done);
-    if (n <= 0) return false;
-    done += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Best-effort fsync of the directory holding `path`, so the rename itself
-/// survives a crash. Not routed through faultfs: the fault harness targets
-/// the data path, and a lost directory entry is indistinguishable from a
-/// missing file, which the loader already handles.
-void sync_parent_dir(const std::string& path) {
-  const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash + 1);
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd < 0) return;
-  (void)::fsync(fd);
-  (void)::close(fd);
-}
-
 }  // namespace
 
 LoadedCacheDb load_cache_db(const std::string& path) {
@@ -105,6 +75,7 @@ LoadedCacheDb load_cache_db(const std::string& path) {
   const bool header_ok = valid_header(line);
   if (!header_ok) ++out.skipped;
 
+  std::unordered_set<std::string> seen;
   while (std::getline(in, line)) {
     std::string key;
     std::string payload;
@@ -112,6 +83,13 @@ LoadedCacheDb load_cache_db(const std::string& path) {
     // version handshake the entry layout is not trustworthy even when
     // individual checksums happen to verify.
     if (!header_ok || !parse_entry(line, &key, &payload)) {
+      ++out.skipped;
+      continue;
+    }
+    // Entries are MRU first, so on a duplicate key the FIRST occurrence is
+    // the fresh one — a later duplicate is a stale leftover and must not
+    // shadow it.
+    if (!seen.insert(key).second) {
       ++out.skipped;
       continue;
     }
@@ -135,17 +113,7 @@ bool save_cache_db(
     data += '\n';
   }
 
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return false;
-  const bool written = write_all(fd, data) && faultfs::fsync(fd) == 0;
-  (void)::close(fd);
-  if (!written || faultfs::rename_file(tmp.c_str(), path.c_str()) != 0) {
-    (void)::unlink(tmp.c_str());
-    return false;
-  }
-  sync_parent_dir(path);
-  return true;
+  return write_file_atomic(path, data);
 }
 
 }  // namespace rdse::serve

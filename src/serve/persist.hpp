@@ -43,6 +43,8 @@ struct LoadedCacheDb {
 /// Load and verify `path`. Never throws on bad file contents — corrupt
 /// lines (including a bad or missing header, which voids the whole file)
 /// are counted in `skipped` and the rest is recovered where possible.
+/// Duplicate keys keep the first (MRU-most) occurrence; later stale copies
+/// are counted in `skipped`.
 [[nodiscard]] LoadedCacheDb load_cache_db(const std::string& path);
 
 /// Atomically persist `entries` (MRU first) to `path` via temp file +

@@ -139,6 +139,15 @@ void Server::run() {
 
   while (!stop_requested()) {
     reap_finished_threads();
+    if (config_.reload_request != nullptr &&
+        config_.reload_request->exchange(false,
+                                         std::memory_order_relaxed)) {
+      // SIGHUP: flush durable state and re-apply runtime config without
+      // touching the connection set or in-flight work.
+      log_info("serve: reload — flushing cache and journal");
+      service_.reload();
+      if (config_.on_reload) config_.on_reload();
+    }
     pollfd pfd{};
     pfd.fd = listen_fd_;
     pfd.events = POLLIN;

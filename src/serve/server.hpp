@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -44,6 +45,14 @@ struct ServerConfig {
   /// CLI points it at an atomic its signal handler sets (a signal handler
   /// cannot safely call into the server).
   const std::atomic<bool>* external_stop = nullptr;
+  /// Optional externally owned reload flag (SIGHUP). When the accept loop
+  /// observes it set it clears it, flushes the service's persistent cache
+  /// and journal, and invokes `on_reload` — all without dropping
+  /// connections or in-flight work.
+  std::atomic<bool>* reload_request = nullptr;
+  /// Called on the accept loop after a reload flush (the CLI re-applies
+  /// the log level here).
+  std::function<void()> on_reload;
 };
 
 class Server {

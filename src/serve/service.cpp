@@ -75,12 +75,22 @@ std::string plain_response(RequestOp op, JsonValue payload) {
 ExplorationService::ExplorationService(ServiceConfig config)
     : config_(std::move(config)),
       cache_(config_.cache_capacity),
-      pool_(config_.workers == 0 ? 1 : config_.workers) {
+      pool_(config_.workers == 0 ? 1 : config_.workers),
+      start_time_(std::chrono::steady_clock::now()) {
   load_persisted_cache();
+  if (!config_.journal_path.empty()) {
+    journal_ = std::make_unique<WorkJournal>(config_.journal_path);
+    if (!journal_->pending().empty()) {
+      // Crash recovery: re-run the accepted-but-never-answered work in the
+      // background so startup is not gated on it.
+      replay_thread_ = std::thread([this] { replay_journal(); });
+    }
+  }
 }
 
 ExplorationService::~ExplorationService() {
   begin_drain();
+  if (replay_thread_.joinable()) replay_thread_.join();
   // ThreadPool's destructor drains the queue and joins the workers; every
   // pending handle() caller is blocked on its job's future, which resolves
   // before the pool goes down.
@@ -95,6 +105,66 @@ void ExplorationService::begin_drain() {
   // Final flush so results computed since the last save survive the
   // shutdown even if an insert-time save failed transiently.
   save_persisted_cache();
+  if (journal_) (void)journal_->flush();
+}
+
+void ExplorationService::reload() {
+  save_persisted_cache();
+  if (journal_) (void)journal_->flush();
+}
+
+void ExplorationService::journal_event(std::string_view event,
+                                       const std::string& key) {
+  if (journal_) (void)journal_->append(event, key);
+}
+
+void ExplorationService::replay_journal() {
+  for (const std::string& key : journal_->pending()) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (draining_) return;
+    }
+    Request request;
+    try {
+      request = parse_request(JsonValue::parse(key));
+    } catch (const Error&) {
+      // Schema drift: a key this build cannot parse would otherwise be
+      // re-attempted on every restart. Close it out instead.
+      journal_event("cancelled", key);
+      continue;
+    }
+    const std::string response = run_work_request(request);
+    // A fresh execution journals its own transitions. Two outcomes need
+    // closing out here: a cache hit (the work completed before the crash
+    // but its 'completed' entry never hit the disk) and a definitive error
+    // (re-running cannot help). A backpressure rejection carries
+    // retry_after_ms and stays pending for the next startup instead.
+    try {
+      const JsonValue doc = JsonValue::parse(response);
+      const JsonValue* ok = doc.find("ok");
+      const bool succeeded = ok != nullptr &&
+                             ok->kind() == JsonValue::Kind::kBool &&
+                             ok->as_bool();
+      if (succeeded) {
+        const JsonValue* cached = doc.find("cached");
+        if (cached != nullptr && cached->kind() == JsonValue::Kind::kBool &&
+            cached->as_bool()) {
+          journal_event("completed", key);
+        }
+      } else if (doc.find("retry_after_ms") == nullptr) {
+        bool draining = false;
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          draining = draining_;
+        }
+        // During a drain the error is "shutting down", not a verdict on
+        // the work — leave the entry pending for the next startup.
+        if (!draining) journal_event("cancelled", key);
+      }
+    } catch (const std::exception&) {
+      // Unparseable response line: leave the entry pending.
+    }
+  }
 }
 
 void ExplorationService::load_persisted_cache() {
@@ -125,9 +195,24 @@ void ExplorationService::save_persisted_cache() {
 ServiceStats ExplorationService::stats() const {
   ServiceStats s;
   s.cache = cache_.stats();
+  const auto now = std::chrono::steady_clock::now();
+  s.uptime_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now - start_time_)
+                    .count();
+  s.journal_enabled = journal_ != nullptr;
+  if (journal_) s.journal = journal_->counters();
   const std::lock_guard<std::mutex> lock(mutex_);
   s.queue_depth = waiting_;
   s.in_flight = in_flight_;
+  s.in_flight_requests.reserve(in_flight_jobs_.size());
+  for (const auto& [id, job] : in_flight_jobs_) {
+    ServiceStats::InFlightInfo info;
+    info.fingerprint = job.fingerprint;
+    info.age_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now - job.started)
+                      .count();
+    s.in_flight_requests.push_back(std::move(info));
+  }
   s.queue_capacity = config_.queue_capacity;
   s.workers = pool_.size();
   s.requests_total = requests_total_;
@@ -166,9 +251,29 @@ JsonValue ExplorationService::status_payload() const {
   requests.set("errors", static_cast<std::int64_t>(s.errors));
   requests.set("cancelled", static_cast<std::int64_t>(s.cancelled));
   JsonValue doc = JsonValue::object();
+  doc.set("uptime_ms", s.uptime_ms);
   doc.set("cache", std::move(cache));
   doc.set("queue", std::move(queue));
   doc.set("requests", std::move(requests));
+  JsonValue in_flight = JsonValue::array();
+  for (const ServiceStats::InFlightInfo& info : s.in_flight_requests) {
+    JsonValue row = JsonValue::object();
+    row.set("key", info.fingerprint);
+    row.set("age_ms", info.age_ms);
+    in_flight.push_back(std::move(row));
+  }
+  doc.set("in_flight_requests", std::move(in_flight));
+  if (s.journal_enabled) {
+    JsonValue journal = JsonValue::object();
+    journal.set("replayed", static_cast<std::int64_t>(s.journal.replayed));
+    journal.set("skipped", static_cast<std::int64_t>(s.journal.skipped));
+    journal.set("compactions",
+                static_cast<std::int64_t>(s.journal.compactions));
+    journal.set("appends", static_cast<std::int64_t>(s.journal.appends));
+    journal.set("append_failures",
+                static_cast<std::int64_t>(s.journal.append_failures));
+    doc.set("journal", std::move(journal));
+  }
   if (s.persist_enabled) {
     JsonValue persist = JsonValue::object();
     persist.set("loaded", static_cast<std::int64_t>(s.persist_loaded));
@@ -250,6 +355,9 @@ std::string ExplorationService::run_work_request(const Request& request) {
     }
     ++waiting_;
   }
+  // Write-ahead: the acceptance is journaled before the job is submitted,
+  // so a crash from here on leaves a pending entry that startup replays.
+  journal_event("accepted", key);
 
   // Per-request deadline token, shared by reference with the worker: the
   // caller blocks on the future until the worker resolves it, so the
@@ -259,7 +367,8 @@ std::string ExplorationService::run_work_request(const Request& request) {
 
   std::promise<std::string> promise;
   std::future<std::string> future = promise.get_future();
-  pool_.submit([this, &request, &promise, &token] {
+  pool_.submit([this, &request, &promise, &token, &key, &fingerprint] {
+    std::uint64_t job_id = 0;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       --waiting_;
@@ -271,7 +380,12 @@ std::string ExplorationService::run_work_request(const Request& request) {
         return;
       }
       ++in_flight_;
+      job_id = ++next_job_id_;
+      in_flight_jobs_.emplace(
+          job_id,
+          InFlightJob{fingerprint, std::chrono::steady_clock::now()});
     }
+    journal_event("started", key);
     if (config_.on_job_start) config_.on_job_start();
     std::string payload;
     std::exception_ptr failure;
@@ -286,6 +400,7 @@ std::string ExplorationService::run_work_request(const Request& request) {
       // caller unblocks, stats() must no longer show this job as running.
       const std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
+      in_flight_jobs_.erase(job_id);
     }
     if (failure) {
       promise.set_exception(failure);
@@ -298,6 +413,7 @@ std::string ExplorationService::run_work_request(const Request& request) {
     std::string payload = future.get();
     cache_.insert(key, payload);
     save_persisted_cache();
+    journal_event("completed", key);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       ++completed_;
@@ -306,11 +422,13 @@ std::string ExplorationService::run_work_request(const Request& request) {
   } catch (const Cancelled& e) {
     // Deterministic, payload-free error: a deadline-expired or
     // drain-cancelled run never leaks a partial result and is never
-    // cached.
+    // cached. The client is told, so the journal entry is closed out.
+    journal_event("cancelled", key);
     const std::lock_guard<std::mutex> lock(mutex_);
     ++cancelled_;
     return make_error_response(e.what());
   } catch (const Error& e) {
+    journal_event("cancelled", key);
     const std::lock_guard<std::mutex> lock(mutex_);
     ++errors_;
     return make_error_response(e.what());

@@ -14,13 +14,18 @@
 /// thread-safe: the socket server calls handle() from many connection
 /// threads concurrently.
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "serve/cache.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
@@ -46,6 +51,10 @@ struct ServiceConfig {
   /// disables persistence. Loaded and verified at construction, rewritten
   /// atomically (temp + fsync + rename) after every fresh result.
   std::string persist_path;
+  /// Path of the write-ahead work journal (rdse.journal.v1); empty
+  /// disables journaling. Replayed and compacted at construction;
+  /// accepted-but-not-completed work is re-enqueued in the background.
+  std::string journal_path;
   /// Test hook: invoked by a worker when it starts executing a request
   /// (before any annealing). Lets tests hold workers inside a job to
   /// exercise the queue-full path deterministically.
@@ -69,6 +78,16 @@ struct ServiceStats {
   std::uint64_t persist_skipped = 0;  ///< corrupt lines skipped at startup
   std::uint64_t persist_saves = 0;    ///< successful database writes
   std::uint64_t persist_save_failures = 0;
+  std::int64_t uptime_ms = 0;  ///< since service construction
+  /// One entry per request executing right now: the request fingerprint
+  /// (fnv64 hex of its canonical key) and how long it has been running.
+  struct InFlightInfo {
+    std::string fingerprint;
+    std::int64_t age_ms = 0;
+  };
+  std::vector<InFlightInfo> in_flight_requests;
+  bool journal_enabled = false;
+  WorkJournal::Counters journal;
 };
 
 class ExplorationService {
@@ -99,6 +118,10 @@ class ExplorationService {
   /// complete, and the persisted cache — if any — is flushed.
   void begin_drain();
 
+  /// SIGHUP hook: flush the persisted cache and fsync the journal without
+  /// touching admission state — connections and in-flight work continue.
+  void reload();
+
   [[nodiscard]] ServiceStats stats() const;
 
  private:
@@ -108,14 +131,28 @@ class ExplorationService {
   [[nodiscard]] JsonValue status_payload() const;
   void load_persisted_cache();
   void save_persisted_cache();
+  void journal_event(std::string_view event, const std::string& key);
+  void replay_journal();
 
   ServiceConfig config_;
   SolutionCache cache_;
   ThreadPool pool_;
+  std::unique_ptr<WorkJournal> journal_;
+  std::chrono::steady_clock::time_point start_time_;
+  /// Re-runs crash-recovered journal entries; joined before the pool dies.
+  std::thread replay_thread_;
 
   mutable std::mutex mutex_;  ///< admission state + counters
   std::size_t waiting_ = 0;
   std::size_t in_flight_ = 0;
+  /// Requests executing right now, keyed by a per-job id (registry for the
+  /// status report's per-request ages).
+  struct InFlightJob {
+    std::string fingerprint;
+    std::chrono::steady_clock::time_point started;
+  };
+  std::uint64_t next_job_id_ = 0;
+  std::map<std::uint64_t, InFlightJob> in_flight_jobs_;
   bool draining_ = false;
   std::uint64_t requests_total_ = 0;
   std::uint64_t completed_ = 0;

@@ -1,0 +1,45 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/faultfs.hpp"
+
+namespace rdse {
+
+bool write_all_fd(int fd, std::string_view data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n =
+        faultfs::write(fd, data.data() + done, data.size() - done);
+    if (n <= 0) return false;
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+bool write_file_atomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool written = write_all_fd(fd, data) && faultfs::fsync(fd) == 0;
+  (void)::close(fd);
+  if (!written || faultfs::rename_file(tmp.c_str(), path.c_str()) != 0) {
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  sync_parent_dir(path);
+  return true;
+}
+
+}  // namespace rdse

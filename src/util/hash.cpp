@@ -1,0 +1,45 @@
+#include "util/hash.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace rdse {
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string fnv1a64_hex(std::string_view text) {
+  return u64_to_hex(fnv1a64(text));
+}
+
+std::string u64_to_hex(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf, 16);
+}
+
+std::uint64_t u64_from_hex(std::string_view hex) {
+  RDSE_REQUIRE(hex.size() == 16, "u64_from_hex: expected 16 hex digits");
+  std::uint64_t value = 0;
+  for (const char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw Error("u64_from_hex: invalid hex digit");
+    }
+  }
+  return value;
+}
+
+}  // namespace rdse

@@ -9,6 +9,7 @@
 /// stochastic component in the library takes an explicit Rng, so runs are
 /// reproducible from a single 64-bit seed.
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -82,6 +83,26 @@ class Rng {
 
   /// Derive an independent child generator (for per-run seeding).
   Rng split();
+
+  /// Complete serializable generator state: the 256-bit xoshiro words plus
+  /// the Box-Muller cache. Restoring it resumes the stream bit-identically
+  /// mid-sequence — the foundation of checkpoint/resume determinism.
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  [[nodiscard]] State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, cached_normal_,
+                 has_cached_normal_};
+  }
+
+  void set_state(const State& st) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = st.words[i];
+    cached_normal_ = st.cached_normal;
+    has_cached_normal_ = st.has_cached_normal;
+  }
 
  private:
   std::uint64_t s_[4] = {};

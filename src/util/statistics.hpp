@@ -30,6 +30,23 @@ class RunningStats {
   [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
   [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
 
+  /// Raw accumulator snapshot for checkpoint serialization.
+  struct Raw {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] Raw raw() const { return Raw{n_, mean_, m2_, min_, max_}; }
+  void restore(const Raw& r) {
+    n_ = r.n;
+    mean_ = r.mean;
+    m2_ = r.m2;
+    min_ = r.min;
+    max_ = r.max;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
@@ -53,6 +70,13 @@ class Ewma {
   [[nodiscard]] double value() const { return value_; }
   [[nodiscard]] std::size_t count() const { return n_; }
 
+  /// Checkpoint restore: overwrite the accumulator (alpha stays as
+  /// constructed — it is configuration, not state).
+  void restore(double value, std::size_t n) {
+    value_ = value;
+    n_ = n;
+  }
+
  private:
   double alpha_;
   double value_ = 0.0;
@@ -75,6 +99,29 @@ class EwmaStats {
   /// Lag-1 autocorrelation in [-1, 1]; 0 until enough samples are seen.
   [[nodiscard]] double autocorr1() const;
   [[nodiscard]] std::size_t count() const { return n_; }
+
+  /// Raw accumulator snapshot for checkpoint serialization.
+  struct Raw {
+    double mean = 0.0;
+    std::size_t mean_n = 0;
+    double sq = 0.0;
+    std::size_t sq_n = 0;
+    double cross = 0.0;
+    std::size_t cross_n = 0;
+    double prev = 0.0;
+    std::size_t n = 0;
+  };
+  [[nodiscard]] Raw raw() const {
+    return Raw{mean_.value(),  mean_.count(),  sq_.value(), sq_.count(),
+               cross_.value(), cross_.count(), prev_,       n_};
+  }
+  void restore(const Raw& r) {
+    mean_.restore(r.mean, r.mean_n);
+    sq_.restore(r.sq, r.sq_n);
+    cross_.restore(r.cross, r.cross_n);
+    prev_ = r.prev;
+    n_ = r.n;
+  }
 
  private:
   Ewma mean_;

@@ -18,7 +18,9 @@
 #include <utility>
 #include <vector>
 
+#include "serve/journal.hpp"
 #include "serve/persist.hpp"
+#include "serve/protocol.hpp"
 #include "serve/service.hpp"
 #include "util/faultfs.hpp"
 #include "util/json.hpp"
@@ -126,6 +128,23 @@ TEST(ServePersist, TamperedPayloadFailsTheChecksum) {
   const LoadedCacheDb db = load_cache_db(path);
   EXPECT_TRUE(db.entries.empty());
   EXPECT_EQ(db.skipped, 1u);
+}
+
+TEST(ServePersist, DuplicateKeyKeepsTheFreshMruOccurrence) {
+  // Regression: entries are MRU first, so when a database carries the same
+  // key twice (e.g. a partially compacted file), the FIRST occurrence is
+  // the fresh payload — a stale later duplicate must be skipped, not allowed
+  // to shadow it in the rebuilt cache.
+  const std::string path = db_path("cachedb-dupkey.json");
+  ASSERT_TRUE(save_cache_db(path, Entries{{"hot-key", "fresh-payload"},
+                                          {"other", "payload"},
+                                          {"hot-key", "stale-payload"}}));
+  const LoadedCacheDb db = load_cache_db(path);
+  ASSERT_EQ(db.entries.size(), 2u);
+  EXPECT_EQ(db.entries[0],
+            (std::pair<std::string, std::string>{"hot-key", "fresh-payload"}));
+  EXPECT_EQ(db.entries[1].first, "other");
+  EXPECT_EQ(db.skipped, 1u);  // the stale duplicate
 }
 
 // -------------------------------------------------------------- faultfs
@@ -314,6 +333,151 @@ TEST_F(FaultFsTest, EveryInjectedFaultDegradesToMissNotWrongPayload) {
       EXPECT_EQ(fresh, again.response) << spec;
     }
   }
+}
+
+// ------------------------------------------------- write-ahead journal
+
+std::string canonical_explore_key(int seed) {
+  return canonical_key(parse_request(JsonValue::parse(explore_line(seed))));
+}
+
+TEST_F(FaultFsTest, JournalReplaysOpenWorkAndCompactsClosedWork) {
+  const std::string path = db_path("journal-roundtrip.ndjson");
+  {
+    WorkJournal journal(path);
+    EXPECT_TRUE(journal.pending().empty());
+    EXPECT_TRUE(journal.append("accepted", "key-done"));
+    EXPECT_TRUE(journal.append("started", "key-done"));
+    EXPECT_TRUE(journal.append("accepted", "key-open"));
+    EXPECT_TRUE(journal.append("completed", "key-done"));
+    EXPECT_TRUE(journal.append("accepted", "key-cancelled"));
+    EXPECT_TRUE(journal.append("cancelled", "key-cancelled"));
+    EXPECT_TRUE(journal.flush());
+    EXPECT_EQ(journal.counters().appends, 6u);
+    EXPECT_EQ(journal.counters().append_failures, 0u);
+  }  // ~ "crash after these appends"
+
+  WorkJournal reopened(path);
+  // Only the accepted-but-never-finished key is replayed; completed and
+  // cancelled work is closed and compacted away.
+  ASSERT_EQ(reopened.pending().size(), 1u);
+  EXPECT_EQ(reopened.pending()[0], "key-open");
+  EXPECT_EQ(reopened.counters().replayed, 1u);
+  EXPECT_EQ(reopened.counters().skipped, 0u);
+  EXPECT_EQ(reopened.counters().compactions, 1u);
+  // The compacted file carries only the open entry (plus the header).
+  const std::string text = read_file(path);
+  EXPECT_EQ(text.rfind(kJournalFormat, 0), 0u);
+  EXPECT_NE(text.find("key-open"), std::string::npos);
+  EXPECT_EQ(text.find("key-done"), std::string::npos);
+  EXPECT_EQ(text.find("key-cancelled"), std::string::npos);
+}
+
+TEST_F(FaultFsTest, JournalForeignFormatThrowsGarbageLinesSkip) {
+  const std::string foreign = db_path("journal-foreign.ndjson");
+  write_file(foreign, "rdse.journal.v9\n");
+  EXPECT_THROW(WorkJournal{foreign}, Error);
+
+  // Torn and tampered lines are skipped individually; intact entries around
+  // them survive.
+  const std::string path = db_path("journal-garbage.ndjson");
+  {
+    WorkJournal journal(path);
+    EXPECT_TRUE(journal.append("accepted", "good-key"));
+  }
+  std::string text = read_file(path);
+  text += "not json at all\n";
+  text += R"({"seq": 9, "event": "accepted", "key": "forged", )"
+          R"("checksum": "0000000000000000"})"
+          "\n";
+  text += text.substr(text.find('\n') + 1, 20);  // torn final line
+  write_file(path, text);
+
+  WorkJournal reopened(path);
+  ASSERT_EQ(reopened.pending().size(), 1u);
+  EXPECT_EQ(reopened.pending()[0], "good-key");
+  EXPECT_EQ(reopened.counters().skipped, 3u);
+}
+
+TEST_F(FaultFsTest, JournalAppendFaultDegradesAndRecovers) {
+  const std::string path = db_path("journal-append-fault.ndjson");
+  WorkJournal journal(path);
+
+  faultfs::FaultPlan plan;
+  plan.fail_write_nth = 1;
+  faultfs::set_plan(plan);
+  EXPECT_FALSE(journal.append("accepted", "lost-key"));
+  faultfs::clear();
+  EXPECT_EQ(journal.counters().append_failures, 1u);
+
+  // The journal keeps working after the fault, and the recovery byte keeps
+  // the file parseable: a reopen replays exactly the surviving entry.
+  EXPECT_TRUE(journal.append("accepted", "kept-key"));
+  EXPECT_EQ(journal.counters().appends, 1u);
+
+  WorkJournal reopened(path);
+  ASSERT_EQ(reopened.pending().size(), 1u);
+  EXPECT_EQ(reopened.pending()[0], "kept-key");
+}
+
+TEST_F(FaultFsTest, ServiceReplaysAcceptedWorkAfterACrash) {
+  // The crash shape: work was journaled "accepted" (and even "started") but
+  // the process died before "completed". On restart the service re-executes
+  // it in the background and closes it out.
+  ServiceConfig config = fast_config();
+  config.journal_path = db_path("journal-crash.ndjson");
+  const std::string key = canonical_explore_key(17);
+  {
+    WorkJournal journal(config.journal_path);
+    ASSERT_TRUE(journal.append("accepted", key));
+    ASSERT_TRUE(journal.append("started", key));
+  }  // kill -9 here
+
+  {
+    ExplorationService service(config);
+    const ServiceStats stats = service.stats();
+    EXPECT_TRUE(stats.journal_enabled);
+    EXPECT_EQ(stats.journal.replayed, 1u);
+    EXPECT_GE(stats.uptime_ms, 0);
+    // The replay thread re-runs the work; wait for it to complete.
+    for (int i = 0; i < 2'000 && service.stats().completed == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(service.stats().completed, 1u);
+    // The re-run landed in the cache: the original client retrying its
+    // request gets an O(1) hit.
+    const auto hit = service.handle(explore_line(17));
+    ASSERT_TRUE(hit.ok) << hit.response;
+    EXPECT_NE(hit.response.find(R"("cached": true)"), std::string::npos);
+  }
+
+  // After the clean restart nothing is left to replay.
+  ExplorationService restarted(config);
+  EXPECT_EQ(restarted.stats().journal.replayed, 0u);
+}
+
+TEST_F(FaultFsTest, ServicePoisonJournalEntryIsCancelledNotFatal) {
+  // An unparseable key (schema drift, corruption that passed the line
+  // checksum) must be closed out as cancelled — not crash the service, not
+  // stay pending forever.
+  ServiceConfig config = fast_config();
+  config.journal_path = db_path("journal-poison.ndjson");
+  {
+    WorkJournal journal(config.journal_path);
+    ASSERT_TRUE(journal.append("accepted", "{\"op\": \"no-such-op\"}"));
+  }
+  {
+    ExplorationService service(config);
+    EXPECT_EQ(service.stats().journal.replayed, 1u);
+    // Poison is answered with a journaled "cancelled"; wait for it.
+    for (int i = 0; i < 2'000 && service.stats().journal.appends == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    // The service still answers real work.
+    EXPECT_TRUE(service.handle(explore_line(2)).ok);
+  }
+  ExplorationService restarted(config);
+  EXPECT_EQ(restarted.stats().journal.replayed, 0u);
 }
 
 // -------------------------------------------------- deadlines and drain

@@ -229,8 +229,18 @@ TEST(ServeProtocol, BackoffScheduleIsDeterministic) {
   // ...clamped at the cap, including far past it (no overflow).
   EXPECT_EQ(backoff_delay_ms(7, 100, 10'000, -1), 10'000);
   EXPECT_EQ(backoff_delay_ms(500, 100, 10'000, -1), 10'000);
+  // Attempt counts at and past the 63-doubling mark of a naive shift: the
+  // schedule must saturate at the cap, never wrap to a negative or tiny
+  // delay (a signed 64-bit shift overflows at attempt 57 for base 100).
+  for (const int attempt : {56, 57, 62, 63, 64, 100, 1'000, 1'000'000}) {
+    EXPECT_EQ(backoff_delay_ms(attempt, 100, 10'000, -1), 10'000)
+        << "attempt " << attempt;
+    EXPECT_EQ(backoff_delay_ms(attempt, 1, 10'000, -1), 10'000)
+        << "attempt " << attempt;
+  }
   // A zero base never backs off on its own.
   EXPECT_EQ(backoff_delay_ms(5, 0, 10'000, -1), 0);
+  EXPECT_EQ(backoff_delay_ms(1'000'000, 0, 10'000, -1), 0);
 }
 
 TEST(ServeProtocol, BackoffHonoursTheServerHint) {
